@@ -1,0 +1,175 @@
+//! Blacklist-based traffic classification.
+//!
+//! Mirrors the paper's use of the Disconnect adblocker list: a static
+//! domain blacklist assigns each request to one of five groups. The list
+//! here is the analyzer's *own* knowledge — maintained independently of
+//! the generator's domain rosters (a cross-crate test pins coverage, the
+//! way a real deployment would track list freshness).
+
+use serde::{Deserialize, Serialize};
+
+/// The five §4.1 traffic groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Ad-exchange endpoints, DSP callbacks, beacons, cookie-sync hosts.
+    Advertising,
+    /// Page-measurement collectors.
+    Analytics,
+    /// Social-widget hosts.
+    Social,
+    /// CDNs, font/asset hosts, tag routers.
+    ThirdPartyContent,
+    /// Everything else (first-party content).
+    Rest,
+}
+
+impl TrafficClass {
+    /// All five groups.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Advertising,
+        TrafficClass::Analytics,
+        TrafficClass::Social,
+        TrafficClass::ThirdPartyContent,
+        TrafficClass::Rest,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Advertising => "Advertising",
+            TrafficClass::Analytics => "Analytics",
+            TrafficClass::Social => "Social",
+            TrafficClass::ThirdPartyContent => "3rd party content",
+            TrafficClass::Rest => "Rest",
+        }
+    }
+}
+
+/// Advertising blacklist: the RTB exchanges' notification/bid domains plus
+/// standalone tracker hosts. Matching is suffix-based (any subdomain
+/// counts).
+const ADVERTISING: [&str; 23] = [
+    // Exchange endpoints (kept in sync with the RTB macro list).
+    "mopub.com",
+    "openx.net",
+    "rubiconproject.com",
+    "doubleclick.net",
+    "contextweb.com",
+    "adnxs.com",
+    "mathtag.com",
+    "smaato.net",
+    "nexage.com",
+    "inmobi.com",
+    "flurry.com",
+    "mydas.mobi",
+    "turn.com",
+    "criteo.com",
+    "creativecdn.com",
+    "smartadserver.com",
+    "360yield.com",
+    // Beacon / sync trackers.
+    "adsight.example",
+    "trackwise.example",
+    "cookiebridge.example",
+    "idgraph.example",
+    "bidlink.example",
+    "cartreminder.example",
+];
+
+const ANALYTICS: [&str; 6] = [
+    "metricsrus.example",
+    "webmetrica.example",
+    "audiencecount.example",
+    "pagepulse.example",
+    "clickstream.example",
+    "speedindex.example",
+];
+
+const SOCIAL: [&str; 5] = [
+    "facelink.example",
+    "chirper.example",
+    "fotogrid.example",
+    "pinmark.example",
+    "vidtube.example",
+];
+
+const THIRD_PARTY: [&str; 7] = [
+    "fastassets.example",
+    "cloudfiles.example",
+    "typeserve.example",
+    "pixhost.example",
+    "tagrouter.example",
+    "libmirror.example",
+    "streamedge.example",
+];
+
+/// True if `host` equals `entry` or is one of its subdomains.
+fn matches(host: &str, entry: &str) -> bool {
+    host == entry || (host.len() > entry.len() && host.ends_with(entry) && host.as_bytes()[host.len() - entry.len() - 1] == b'.')
+}
+
+/// Classifies a host into its traffic group.
+pub fn classify_domain(host: &str) -> TrafficClass {
+    let host = host.to_ascii_lowercase();
+    if ADVERTISING.iter().any(|e| matches(&host, e)) {
+        TrafficClass::Advertising
+    } else if ANALYTICS.iter().any(|e| matches(&host, e)) {
+        TrafficClass::Analytics
+    } else if SOCIAL.iter().any(|e| matches(&host, e)) {
+        TrafficClass::Social
+    } else if THIRD_PARTY.iter().any(|e| matches(&host, e)) {
+        TrafficClass::ThirdPartyContent
+    } else {
+        TrafficClass::Rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchanges_are_advertising() {
+        for adx in yav_types::Adx::ALL {
+            assert_eq!(
+                classify_domain(adx.domain()),
+                TrafficClass::Advertising,
+                "{}",
+                adx.domain()
+            );
+        }
+    }
+
+    #[test]
+    fn generator_rosters_covered() {
+        // The analyzer's blacklist must cover the generator's tracker
+        // universe — the Disconnect-freshness property.
+        for d in yav_weblog::domains::ANALYTICS {
+            assert_eq!(classify_domain(d), TrafficClass::Analytics, "{d}");
+        }
+        for d in yav_weblog::domains::SOCIAL {
+            assert_eq!(classify_domain(d), TrafficClass::Social, "{d}");
+        }
+        for d in yav_weblog::domains::THIRD_PARTY {
+            assert_eq!(classify_domain(d), TrafficClass::ThirdPartyContent, "{d}");
+        }
+        for d in yav_weblog::domains::AD_TRACKERS {
+            assert_eq!(classify_domain(d), TrafficClass::Advertising, "{d}");
+        }
+    }
+
+    #[test]
+    fn suffix_matching_is_label_safe() {
+        assert_eq!(classify_domain("cpp.imp.mpx.mopub.com"), TrafficClass::Advertising);
+        assert_eq!(classify_domain("MOPUB.COM"), TrafficClass::Advertising);
+        // "notmopub.com" must NOT match "mopub.com".
+        assert_eq!(classify_domain("notmopub.com"), TrafficClass::Rest);
+        assert_eq!(classify_domain("mopub.com.evil.example"), TrafficClass::Rest);
+    }
+
+    #[test]
+    fn publishers_are_rest() {
+        assert_eq!(classify_domain("www.dailynoticias7.example"), TrafficClass::Rest);
+        assert_eq!(classify_domain("api.com.superdeporte.app3"), TrafficClass::Rest);
+    }
+}

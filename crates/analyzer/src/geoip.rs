@@ -1,0 +1,64 @@
+//! Reverse IP geo-coding.
+//!
+//! The paper resolves each user IP to city level with the MaxMind GeoIP
+//! database. Our synthetic carrier assigns each city a `10.x.0.0/16` pool
+//! (see `yav_weblog::generator::city_ip`); [`GeoDb`] is the analyzer-side
+//! prefix table mapping those pools back to cities — a miniature,
+//! self-contained stand-in for MaxMind with the same lookup contract.
+
+use yav_types::City;
+
+/// A city-level IP prefix database.
+#[derive(Debug, Clone, Default)]
+pub struct GeoDb {
+    _private: (),
+}
+
+impl GeoDb {
+    /// Opens the built-in database.
+    pub fn open() -> GeoDb {
+        GeoDb { _private: () }
+    }
+
+    /// Resolves an IPv4 address (as u32) to a city, or `None` for
+    /// addresses outside the known carrier pools.
+    pub fn city_of(&self, ip: u32) -> Option<City> {
+        if ip >> 24 != 10 {
+            return None;
+        }
+        let octet2 = ((ip >> 16) & 0xFF) as usize;
+        let idx = octet2.checked_sub(40)?;
+        if idx < City::ALL.len() {
+            Some(City::from_index(idx))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_types::UserId;
+
+    #[test]
+    fn round_trips_generator_allocation() {
+        let db = GeoDb::open();
+        for (i, city) in City::ALL.iter().enumerate() {
+            for user in [0u32, 7, 1593] {
+                for churn in [0u8, 99, 255] {
+                    let ip = yav_weblog::generator::city_ip(*city, UserId(user), churn);
+                    assert_eq!(db.city_of(ip), Some(*city), "city {i} user {user}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_pools_are_none() {
+        let db = GeoDb::open();
+        assert_eq!(db.city_of(0x0808_0808), None); // 8.8.8.8
+        assert_eq!(db.city_of(0x0A00_0000), None); // 10.0.0.0 (below pool base)
+        assert_eq!(db.city_of(0x0AFF_0000), None); // 10.255.x (above pool top)
+    }
+}

@@ -1,0 +1,177 @@
+//! ADX↔DSP pair tracking and entity-share aggregates (Figures 2 and 3).
+//!
+//! Figure 2 plots, per month, the portion of distinct (exchange, bidder)
+//! pairs whose notifications carry encrypted vs cleartext prices.
+//! Figure 3 relates each ad entity's share of all RTB detections to its
+//! cumulative share of the *cleartext* prices observed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use yav_types::{Adx, PriceVisibility, SimTime};
+
+/// Per-month pair and share aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct PairTracker {
+    /// Distinct (adx, dsp-domain, visibility) pairs per month (0-based
+    /// month index within 2015; later months clamp).
+    monthly_pairs: [HashSet<(Adx, String, PriceVisibility)>; 12],
+    /// RTB detections per exchange.
+    adx_detections: BTreeMap<Adx, u64>,
+    /// Cleartext price detections per exchange.
+    adx_cleartext: BTreeMap<Adx, u64>,
+}
+
+/// One month's Figure-2 point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairShare {
+    /// 1-based month number.
+    pub month: u32,
+    /// Distinct pairs seen with encrypted prices.
+    pub encrypted_pairs: usize,
+    /// Distinct pairs seen with cleartext prices.
+    pub cleartext_pairs: usize,
+}
+
+impl PairShare {
+    /// Fraction of pairs delivering encrypted prices.
+    pub fn encrypted_fraction(&self) -> f64 {
+        let total = self.encrypted_pairs + self.cleartext_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.encrypted_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// One exchange's Figure-3 point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityShare {
+    /// Entity name.
+    pub name: String,
+    /// Share of all RTB detections (x-axis).
+    pub rtb_share: f64,
+    /// Share of all cleartext prices (summed cumulatively on the y-axis).
+    pub cleartext_share: f64,
+}
+
+impl PairTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> PairTracker {
+        PairTracker::default()
+    }
+
+    /// Records one detected notification.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        adx: Adx,
+        dsp_domain: Option<&str>,
+        visibility: PriceVisibility,
+    ) {
+        let bucket = if time.year() <= 2015 { time.month().index() } else { 11 };
+        if let Some(dsp) = dsp_domain {
+            self.monthly_pairs[bucket].insert((adx, dsp.to_owned(), visibility));
+        }
+        *self.adx_detections.entry(adx).or_insert(0) += 1;
+        if visibility == PriceVisibility::Cleartext {
+            *self.adx_cleartext.entry(adx).or_insert(0) += 1;
+        }
+    }
+
+    /// The Figure-2 series: per month, encrypted vs cleartext pair counts.
+    pub fn figure2(&self) -> Vec<PairShare> {
+        (0..12)
+            .map(|m| {
+                let enc = self.monthly_pairs[m]
+                    .iter()
+                    .filter(|(_, _, v)| *v == PriceVisibility::Encrypted)
+                    .count();
+                let clear = self.monthly_pairs[m].len() - enc;
+                PairShare { month: m as u32 + 1, encrypted_pairs: enc, cleartext_pairs: clear }
+            })
+            .collect()
+    }
+
+    /// The Figure-3 series: entities sorted by RTB share (descending),
+    /// with their cleartext-price shares.
+    pub fn figure3(&self) -> Vec<EntityShare> {
+        let total_rtb: u64 = self.adx_detections.values().sum();
+        let total_clear: u64 = self.adx_cleartext.values().sum();
+        let mut out: Vec<EntityShare> = self
+            .adx_detections
+            .iter()
+            .map(|(&adx, &n)| EntityShare {
+                name: adx.name().to_owned(),
+                rtb_share: if total_rtb > 0 { n as f64 / total_rtb as f64 } else { 0.0 },
+                cleartext_share: if total_clear > 0 {
+                    self.adx_cleartext.get(&adx).copied().unwrap_or(0) as f64 / total_clear as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| b.rtb_share.total_cmp(&a.rtb_share));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(month: u32) -> SimTime {
+        SimTime::from_ymd_hm(2015, month, 10, 12, 0)
+    }
+
+    #[test]
+    fn pairs_deduplicate_within_month() {
+        let mut p = PairTracker::new();
+        for _ in 0..5 {
+            p.record(t(1), Adx::MoPub, Some("mediamath.com"), PriceVisibility::Cleartext);
+        }
+        p.record(t(1), Adx::MoPub, Some("appnexus.com"), PriceVisibility::Cleartext);
+        p.record(t(1), Adx::DoubleClick, Some("mediamath.com"), PriceVisibility::Encrypted);
+        let f2 = p.figure2();
+        assert_eq!(f2[0].cleartext_pairs, 2);
+        assert_eq!(f2[0].encrypted_pairs, 1);
+        assert!((f2[0].encrypted_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // Other months untouched.
+        assert_eq!(f2[5].cleartext_pairs + f2[5].encrypted_pairs, 0);
+    }
+
+    #[test]
+    fn figure3_shares_sum_to_one() {
+        let mut p = PairTracker::new();
+        for _ in 0..70 {
+            p.record(t(2), Adx::MoPub, Some("x.com"), PriceVisibility::Cleartext);
+        }
+        for _ in 0..30 {
+            p.record(t(2), Adx::DoubleClick, Some("x.com"), PriceVisibility::Encrypted);
+        }
+        let f3 = p.figure3();
+        let rtb_total: f64 = f3.iter().map(|e| e.rtb_share).sum();
+        let clear_total: f64 = f3.iter().map(|e| e.cleartext_share).sum();
+        assert!((rtb_total - 1.0).abs() < 1e-12);
+        assert!((clear_total - 1.0).abs() < 1e-12);
+        // MoPub leads and owns all cleartext.
+        assert_eq!(f3[0].name, "MoPub");
+        assert!((f3[0].cleartext_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairs_without_dsp_still_count_shares() {
+        let mut p = PairTracker::new();
+        p.record(t(3), Adx::Adnxs, None, PriceVisibility::Cleartext);
+        assert_eq!(p.figure2()[2].cleartext_pairs, 0);
+        assert_eq!(p.figure3().len(), 1);
+    }
+
+    #[test]
+    fn late_times_clamp_to_december() {
+        let mut p = PairTracker::new();
+        let t2016 = SimTime::from_ymd_hm(2016, 3, 1, 0, 0);
+        p.record(t2016, Adx::MoPub, Some("d"), PriceVisibility::Cleartext);
+        assert_eq!(p.figure2()[11].cleartext_pairs, 1);
+    }
+}

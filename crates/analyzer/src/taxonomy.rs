@@ -1,0 +1,70 @@
+//! Publisher content taxonomy.
+//!
+//! The paper labels each visited website with IAB categories by querying
+//! Google AdWords' content classification. Our stand-in classifies a
+//! publisher domain by its content keywords — the synthetic universe names
+//! publishers after their topic (e.g. `midesporte12.example`), exactly the
+//! signal a real content classifier would extract from the page itself.
+
+use yav_types::IabCategory;
+
+/// Topic keywords → IAB category. Order matters only for overlapping
+/// keywords (none overlap here).
+const KEYWORDS: [(&str, IabCategory); 18] = [
+    ("noticias", IabCategory::News),
+    // "negocios" must outrank its substring "ocio".
+    ("negocios", IabCategory::Business),
+    ("ocio", IabCategory::ArtsEntertainment),
+    ("deporte", IabCategory::Sports),
+    ("tec", IabCategory::Technology),
+    ("aficion", IabCategory::Hobbies),
+    ("compras", IabCategory::Shopping),
+    ("viajes", IabCategory::Travel),
+    ("cocina", IabCategory::FoodDrink),
+    ("moda", IabCategory::StyleFashion),
+    ("salud", IabCategory::Health),
+    ("motor", IabCategory::Automotive),
+    ("gente", IabCategory::Society),
+    ("hogar", IabCategory::HomeGarden),
+    ("finanzas", IabCategory::PersonalFinance),
+    ("aula", IabCategory::Education),
+    ("empleo", IabCategory::Careers),
+    ("ciencia", IabCategory::Science),
+];
+
+/// Classifies a publisher host (or app bundle name) into an IAB category.
+/// Returns `None` when no topic keyword matches — the analyzer treats
+/// those as uncategorised, as AdWords does for unknown sites.
+pub fn categorize(host: &str) -> Option<IabCategory> {
+    let lower = host.to_ascii_lowercase();
+    KEYWORDS
+        .iter()
+        .find(|(kw, _)| lower.contains(kw))
+        .map(|&(_, iab)| iab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_universe_fully_categorised() {
+        let u = yav_weblog::PublisherUniverse::build(1, 400, 150);
+        for p in u.all() {
+            let got = categorize(&p.name);
+            assert_eq!(got, Some(p.iab), "publisher {}", p.name);
+        }
+    }
+
+    #[test]
+    fn unknown_hosts_none() {
+        assert_eq!(categorize("www.example.com"), None);
+        assert_eq!(categorize("cdn.fastassets.example"), None);
+    }
+
+    #[test]
+    fn subdomains_and_case() {
+        assert_eq!(categorize("WWW.ELDEPORTE5.EXAMPLE"), Some(IabCategory::Sports));
+        assert_eq!(categorize("api.com.minoticias.app3"), Some(IabCategory::News));
+    }
+}

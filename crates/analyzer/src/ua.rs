@@ -1,0 +1,135 @@
+//! User-agent fingerprinting (§4.3).
+//!
+//! The paper parses the `User-Agent` header to classify traffic by
+//! operating system, hardware class, and whether a request came from a
+//! native app or a mobile browser — the app case leaks process-VM /
+//! kernel fingerprints (Dalvik, ART, Darwin/CFNetwork).
+
+use serde::{Deserialize, Serialize};
+use yav_types::{DeviceType, InteractionType, Os};
+
+/// The facts a user-agent string leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UaFingerprint {
+    /// Operating system.
+    pub os: Os,
+    /// Hardware class.
+    pub device: DeviceType,
+    /// Native app vs web browser.
+    pub interaction: InteractionType,
+}
+
+/// Parses a user-agent string. Unknown strings fall back to
+/// `Other`/`Smartphone`/`MobileWeb` — the analyzer must classify every
+/// request, not just well-formed ones.
+pub fn parse_user_agent(ua: &str) -> UaFingerprint {
+    let lower = ua.to_ascii_lowercase();
+
+    // App-side fingerprints first: process VMs and HTTP stacks.
+    let in_app = lower.contains("dalvik")
+        || lower.contains("cfnetwork")
+        || lower.contains("darwin")
+        || lower.contains("nativehost")
+        || lower.contains("genericmobileapp");
+
+    let os = if lower.contains("android") || lower.contains("dalvik") {
+        Os::Android
+    } else if lower.contains("iphone")
+        || lower.contains("ipad")
+        || lower.contains("cfnetwork")
+        || lower.contains("darwin")
+        || lower.contains("like mac os x")
+    {
+        Os::Ios
+    } else if lower.contains("windows phone") || lower.contains("windowsphone") {
+        Os::WindowsMobile
+    } else {
+        Os::Other
+    };
+
+    let device = if lower.contains("ipad") || lower.contains("tablet") {
+        DeviceType::Tablet
+    } else if lower.contains("windows nt") || lower.contains("macintosh") {
+        DeviceType::Pc
+    } else {
+        DeviceType::Smartphone
+    };
+
+    UaFingerprint {
+        os,
+        device,
+        interaction: if in_app { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn android_web() {
+        let fp = parse_user_agent(
+            "Mozilla/5.0 (Linux; Android 5.1; SM-G900 Build/LMY47X) AppleWebKit/537.36 Chrome/43.0 Mobile Safari/537.36",
+        );
+        assert_eq!(fp.os, Os::Android);
+        assert_eq!(fp.interaction, InteractionType::MobileWeb);
+        assert_eq!(fp.device, DeviceType::Smartphone);
+    }
+
+    #[test]
+    fn android_app_via_dalvik() {
+        let fp = parse_user_agent("Dalvik/2.1.0 (Linux; U; Android 5.1; SM-G910)");
+        assert_eq!(fp.os, Os::Android);
+        assert_eq!(fp.interaction, InteractionType::MobileApp);
+    }
+
+    #[test]
+    fn ios_app_via_darwin() {
+        let fp = parse_user_agent("App/3 CFNetwork/711.3 Darwin/14.0.0");
+        assert_eq!(fp.os, Os::Ios);
+        assert_eq!(fp.interaction, InteractionType::MobileApp);
+    }
+
+    #[test]
+    fn ipad_is_tablet() {
+        let fp = parse_user_agent(
+            "Mozilla/5.0 (iPad; CPU iPhone OS 8_2 like Mac OS X) AppleWebKit/600.1 Version/8.0 Mobile Safari/600.1",
+        );
+        assert_eq!(fp.os, Os::Ios);
+        assert_eq!(fp.device, DeviceType::Tablet);
+    }
+
+    #[test]
+    fn windows_phone() {
+        let fp = parse_user_agent(
+            "Mozilla/5.0 (Windows Phone 8.1; ARM; Trident/7.0; IEMobile/11.0) like Gecko",
+        );
+        assert_eq!(fp.os, Os::WindowsMobile);
+    }
+
+    #[test]
+    fn junk_falls_back() {
+        let fp = parse_user_agent("curl/7.4");
+        assert_eq!(fp.os, Os::Other);
+        assert_eq!(fp.device, DeviceType::Smartphone);
+        assert_eq!(fp.interaction, InteractionType::MobileWeb);
+    }
+
+    #[test]
+    fn panel_agents_round_trip() {
+        // Every user-agent the panel can emit must be classified back to
+        // the user's configured OS/device/channel.
+        let panel = yav_weblog::Panel::build(3, 300);
+        for u in panel.users() {
+            let web = parse_user_agent(&u.web_user_agent());
+            assert_eq!(web.os, u.os, "web UA of {:?}", u.id);
+            assert_eq!(web.interaction, InteractionType::MobileWeb);
+            let app = parse_user_agent(&u.app_user_agent());
+            assert_eq!(app.os, u.os, "app UA of {:?}", u.id);
+            assert_eq!(app.interaction, InteractionType::MobileApp);
+            if u.os == Os::Ios {
+                assert_eq!(web.device, u.device, "iOS web UA leaks device class");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Market configuration.
+
+use crate::valuation::ValuationModel;
+use serde::{Deserialize, Serialize};
+use yav_types::{Adx, Cpm};
+
+/// Everything that parameterises a [`crate::Market`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Master seed; every internal randomness stream derives from it.
+    pub seed: u64,
+    /// Size of the DSP roster.
+    pub n_dsps: u32,
+    /// Exchange floor price: auctions clearing below it charge the floor.
+    pub floor: Cpm,
+    /// Mean number of DSP integrations participating per auction (the
+    /// realised count varies with user value and interest match).
+    pub mean_bidders: f64,
+    /// The latent price process.
+    pub valuation: ValuationModel,
+    /// Fraction of users in the DMP whale tail.
+    pub whale_fraction: f64,
+    /// Log-normal sigma of ordinary user value.
+    pub user_value_sigma: f64,
+    /// Probability that a cleartext-house (adx, dsp) integration migrates
+    /// to encrypted reporting at some point during the simulation (the
+    /// Figure-2 drift), for the two large cleartext exchanges.
+    pub migration_rate_major: f64,
+    /// Same, for the remaining cleartext exchanges.
+    pub migration_rate_minor: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> MarketConfig {
+        MarketConfig {
+            seed: 0x5EED,
+            n_dsps: 60,
+            floor: Cpm::from_micros(10_000), // 0.01 CPM
+            mean_bidders: 6.0,
+            valuation: ValuationModel::default(),
+            whale_fraction: 0.02,
+            user_value_sigma: 0.04,
+            migration_rate_major: 0.03,
+            migration_rate_minor: 0.08,
+        }
+    }
+}
+
+impl MarketConfig {
+    /// Whether `adx` counts as one of the two dominant cleartext
+    /// exchanges whose integrations rarely migrate (MoPub, Adnxs — the
+    /// Figure-3 heads).
+    pub fn is_major_cleartext(adx: Adx) -> bool {
+        matches!(adx, Adx::MoPub | Adx::Adnxs)
+    }
+}
+
+/// The impression-volume share of each exchange in the simulated mobile
+/// market — the x-axis of Figure 3. MoPub and Adnxs lead (33.55 % and
+/// 10.74 % in the paper); the encrypted-house exchanges sum to ≈27 %,
+/// matching the paper's ~26 % encrypted share of mobile RTB.
+pub fn adx_share(adx: Adx) -> f64 {
+    match adx {
+        Adx::MoPub => 0.3355,
+        Adx::Adnxs => 0.1074,
+        Adx::DoubleClick => 0.0942,
+        Adx::Smaato => 0.0691,
+        Adx::Nexage => 0.0646,
+        Adx::OpenX => 0.0445,
+        Adx::InMobi => 0.0414,
+        Adx::Rubicon => 0.0387,
+        Adx::Flurry => 0.0354,
+        Adx::Millennial => 0.0293,
+        Adx::Turn => 0.0252,
+        Adx::MathTag => 0.0240,
+        Adx::Smartadserver => 0.0236,
+        Adx::PulsePoint => 0.0200,
+        Adx::Criteo => 0.0197,
+        Adx::Rtbhouse => 0.0168,
+        Adx::Improve => 0.0106,
+    }
+}
+
+/// Samples an exchange according to [`adx_share`], using one uniform draw
+/// in `[0, 1)`.
+pub fn sample_adx(uniform: f64) -> Adx {
+    let mut acc = 0.0;
+    for adx in Adx::ALL {
+        acc += adx_share(adx);
+        if uniform < acc {
+            return adx;
+        }
+    }
+    *Adx::ALL.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_types::PriceVisibility;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = Adx::ALL.iter().map(|&a| adx_share(a)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn encrypted_houses_hold_about_a_quarter() {
+        let enc: f64 = Adx::ALL
+            .iter()
+            .filter(|a| a.house_style() == PriceVisibility::Encrypted)
+            .map(|&a| adx_share(a))
+            .sum();
+        assert!((0.24..=0.30).contains(&enc), "encrypted share {enc}");
+    }
+
+    #[test]
+    fn mopub_dominates_cleartext() {
+        // Figure 3: MoPub alone is ~45 % of cleartext prices.
+        let clear: f64 = Adx::ALL
+            .iter()
+            .filter(|a| a.house_style() == PriceVisibility::Cleartext)
+            .map(|&a| adx_share(a))
+            .sum();
+        let mopub_frac = adx_share(Adx::MoPub) / clear;
+        assert!((0.42..=0.50).contains(&mopub_frac), "mopub cleartext share {mopub_frac}");
+    }
+
+    #[test]
+    fn sampling_respects_shares() {
+        // Deterministic stratified probe of the inverse-CDF sampler.
+        let n = 100_000;
+        let mut mopub = 0usize;
+        for i in 0..n {
+            if sample_adx(i as f64 / n as f64) == Adx::MoPub {
+                mopub += 1;
+            }
+        }
+        let frac = mopub as f64 / n as f64;
+        assert!((frac - 0.3355).abs() < 0.001, "mopub sampled {frac}");
+        assert_eq!(sample_adx(0.9999999), Adx::Improve);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = MarketConfig::default();
+        assert!(c.n_dsps >= 10);
+        assert!(c.floor.is_positive());
+        assert!(c.migration_rate_minor > c.migration_rate_major);
+        assert!(MarketConfig::is_major_cleartext(Adx::MoPub));
+        assert!(!MarketConfig::is_major_cleartext(Adx::Turn));
+    }
+}

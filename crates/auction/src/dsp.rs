@@ -1,0 +1,140 @@
+//! Demand-side platforms: the bidders.
+//!
+//! Each simulated DSP has a strategy archetype that shapes how its
+//! decision engine perturbs the shared valuation model. The mix matters
+//! for the paper's headline: *retargeters* both bid the highest premiums
+//! and prefer confidential (encrypted) reporting channels, which is one of
+//! §2.3's proposed explanations for why encrypted charge prices run
+//! higher than cleartext ones.
+
+use serde::{Deserialize, Serialize};
+use yav_types::DspId;
+
+/// Bidding archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DspStrategy {
+    /// Broad-reach brand buyer: near-baseline valuations, bids often.
+    Brand,
+    /// Performance buyer: slightly sharper valuations, average volume.
+    Performance,
+    /// Retargeter: large premiums on well-matched users, insists on
+    /// confidential reporting.
+    Retargeter,
+}
+
+/// A DSP's static configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DspProfile {
+    /// The bidder's identity.
+    pub id: DspId,
+    /// Strategy archetype.
+    pub strategy: DspStrategy,
+    /// Log-scale offset this DSP adds to the shared valuation location.
+    pub mu_offset: f64,
+    /// Probability the DSP participates in (bids on) a given auction its
+    /// exchange integrations see.
+    pub participation: f64,
+    /// Extra log-premium applied when the user's interest match is high
+    /// (retargeting intensity).
+    pub match_premium: f64,
+}
+
+impl DspProfile {
+    /// Builds the deterministic DSP roster. Index `i` cycles through the
+    /// archetypes so any roster size keeps a realistic mix (≈20 %
+    /// retargeters).
+    pub fn roster(n: u32) -> Vec<DspProfile> {
+        (0..n)
+            .map(|i| {
+                // Deterministic per-DSP jitter from the index (splitmix-ish),
+                // so rosters are stable across runs and roster sizes.
+                let h = {
+                    let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                let jitter = ((h % 1000) as f64 / 1000.0 - 0.5) * 0.08; // ±0.04
+                let strategy = match i % 5 {
+                    0 | 1 => DspStrategy::Brand,
+                    2 | 3 => DspStrategy::Performance,
+                    _ => DspStrategy::Retargeter,
+                };
+                let (mu, participation, match_premium) = match strategy {
+                    DspStrategy::Brand => (-0.03 + jitter, 0.55, 0.0),
+                    DspStrategy::Performance => (0.03 + jitter, 0.45, 0.10),
+                    DspStrategy::Retargeter => (0.12 + jitter, 0.35, 0.35),
+                };
+                DspProfile {
+                    id: DspId(i),
+                    strategy,
+                    mu_offset: mu,
+                    participation,
+                    match_premium,
+                }
+            })
+            .collect()
+    }
+
+    /// Whether this DSP prefers encrypted price reporting when the
+    /// exchange offers the choice.
+    pub fn prefers_encryption(&self) -> bool {
+        matches!(self.strategy, DspStrategy::Retargeter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_deterministic() {
+        let a = DspProfile::roster(40);
+        let b = DspProfile::roster(40);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.strategy, y.strategy);
+            assert_eq!(x.mu_offset, y.mu_offset);
+        }
+    }
+
+    #[test]
+    fn archetype_mix() {
+        let roster = DspProfile::roster(50);
+        let retargeters = roster
+            .iter()
+            .filter(|d| d.strategy == DspStrategy::Retargeter)
+            .count();
+        assert_eq!(retargeters, 10, "one in five is a retargeter");
+    }
+
+    #[test]
+    fn retargeters_bid_up_and_hide() {
+        let roster = DspProfile::roster(50);
+        let avg = |s: DspStrategy| {
+            let v: Vec<f64> = roster
+                .iter()
+                .filter(|d| d.strategy == s)
+                .map(|d| d.mu_offset)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(DspStrategy::Retargeter) > avg(DspStrategy::Brand));
+        for d in &roster {
+            assert_eq!(d.prefers_encryption(), d.strategy == DspStrategy::Retargeter);
+            assert!(d.participation > 0.0 && d.participation <= 1.0);
+        }
+    }
+
+    #[test]
+    fn roster_prefix_stable() {
+        // Growing the roster must not reshuffle existing DSPs.
+        let small = DspProfile::roster(10);
+        let large = DspProfile::roster(100);
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.mu_offset, l.mu_offset);
+            assert_eq!(s.strategy, l.strategy);
+        }
+    }
+}

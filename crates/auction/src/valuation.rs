@@ -1,0 +1,370 @@
+//! The latent price process.
+//!
+//! Each DSP's decision engine values an impression as a log-normal draw
+//! whose location is the sum of feature *log-effects*. The effect tables
+//! below are the simulator's world model; they were chosen so that the
+//! shapes the paper measures in §4 and §6 emerge from second-price
+//! auctions over these valuations:
+//!
+//! | effect | target artefact |
+//! |---|---|
+//! | city: big markets lower median / higher variance | Fig. 5 |
+//! | daypart: morning premium | Fig. 6 |
+//! | weekday: higher maxima, similar medians | Fig. 7 |
+//! | OS: iOS premium over Android | Fig. 10 |
+//! | IAB category: IAB3 rich … IAB15 poor | Figs. 11, 15 |
+//! | slot format: MPU/Monster-MPU dearest, area ≠ price | Figs. 13, 14 |
+//! | app inventory ≈2.6× web | §4.4 |
+//! | encrypted-channel premium ≈1.7× | §6.1, Fig. 16 |
+//! | year-over-year drift (2015 → 2016 campaigns) | §6.2 time correction |
+//! | heavy-tailed per-user value | Fig. 17–19 |
+//!
+//! Downstream code never reads these tables — the analyzer and PME see
+//! only auction outcomes, exactly like the paper's observer.
+
+use crate::request::AdRequest;
+use serde::{Deserialize, Serialize};
+use yav_types::{AdSlotSize, City, DayOfWeek, IabCategory, InteractionType, Os, SimTime, TimeOfDay};
+
+/// Multiplicative feature-effect tables feeding bid valuations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValuationModel {
+    /// Median bid (CPM) for the reference context: Madrid smartphone
+    /// Android mobile-web MPU News-site afternoon weekday, average user.
+    pub base_median_cpm: f64,
+    /// Log-scale dispersion of individual DSP valuations.
+    pub sigma: f64,
+    /// Extra dispersion applied on weekdays (Fig. 7: similar medians,
+    /// fatter weekday upper tail).
+    pub weekday_sigma_bonus: f64,
+    /// Multiplier applied when the winning integration reports its price
+    /// encrypted (the confidential-channel premium, §2.3/§6.1).
+    pub encrypted_premium: f64,
+    /// Multiplicative drift per simulated year after the 2015 epoch.
+    pub yearly_drift: f64,
+}
+
+impl Default for ValuationModel {
+    fn default() -> ValuationModel {
+        ValuationModel {
+            base_median_cpm: 0.17,
+            sigma: 0.06,
+            weekday_sigma_bonus: 0.03,
+            encrypted_premium: 1.7,
+            yearly_drift: 1.12,
+        }
+    }
+}
+
+impl ValuationModel {
+    /// Log-location of the valuation distribution for a request, before
+    /// any DSP-specific offsets. `user_value` is the DMP's latent
+    /// per-user multiplier.
+    pub fn mu(&self, req: &AdRequest, user_value: f64) -> f64 {
+        self.base_median_cpm.ln()
+            + city_effect(req.city).ln()
+            + daypart_effect(req.time.time_of_day()).ln()
+            + weekday_effect(req.time.day_of_week()).ln()
+            + os_effect(req.os).ln()
+            + interaction_effect(req.interaction).ln()
+            + iab_effect(req.iab).ln()
+            + slot_effect(req.slot).ln()
+            + publisher_effect(&req.publisher_name).ln()
+            + self.drift(req.time).ln()
+            + user_value.max(1e-6).ln()
+            + 0.30 * req.interest_match // retargeting-ish: good matches bid up
+    }
+
+    /// Log-scale dispersion for a request.
+    pub fn sigma(&self, req: &AdRequest) -> f64 {
+        let weekday = if req.time.is_weekend() { 0.0 } else { self.weekday_sigma_bonus };
+        self.sigma + city_sigma_bonus(req.city) + weekday
+    }
+
+    /// The secular price drift between the 2015 epoch and `time`.
+    pub fn drift(&self, time: SimTime) -> f64 {
+        let years = time.minutes() as f64 / (365.0 * 24.0 * 60.0);
+        self.yearly_drift.powf(years)
+    }
+
+    /// The premium factor for an encrypted notification channel.
+    pub fn encrypted_factor(&self, encrypted: bool) -> f64 {
+        if encrypted {
+            self.encrypted_premium
+        } else {
+            1.0
+        }
+    }
+}
+
+/// City median effect: larger markets clear slightly *lower* medians
+/// (deeper supply), Fig. 5. Roughly −12 % per decade of population above
+/// 100 k.
+pub fn city_effect(city: City) -> f64 {
+    let pop = city.population() as f64;
+    (pop / 100_000.0).powf(-0.055)
+}
+
+/// City dispersion bonus: big-city auctions fluctuate more (Fig. 5's wide
+/// whiskers in Madrid/Barcelona).
+pub fn city_sigma_bonus(city: City) -> f64 {
+    // Scales 0 → 0.06 from the smallest (Torello) to the largest (Madrid)
+    // panel city, linear in log-population.
+    let pop = city.population() as f64;
+    let span = (3_165_000.0f64 / 14_000.0).ln();
+    0.06 * ((pop / 14_000.0).ln().max(0.0) / span)
+}
+
+/// Daypart effect (Fig. 6: early morning through noon runs hot).
+pub fn daypart_effect(tod: TimeOfDay) -> f64 {
+    match tod {
+        TimeOfDay::Night => 0.92,
+        TimeOfDay::EarlyMorning => 1.18,
+        TimeOfDay::Morning => 1.35,
+        TimeOfDay::Afternoon => 1.00,
+        TimeOfDay::Evening => 0.97,
+        TimeOfDay::LateEvening => 0.82,
+    }
+}
+
+/// Day-of-week effect (Fig. 7: medians close; Mondays a touch dearer,
+/// weekends softer).
+pub fn weekday_effect(dow: DayOfWeek) -> f64 {
+    match dow {
+        DayOfWeek::Monday => 1.08,
+        DayOfWeek::Tuesday => 1.04,
+        DayOfWeek::Wednesday => 1.03,
+        DayOfWeek::Thursday => 1.03,
+        DayOfWeek::Friday => 1.02,
+        DayOfWeek::Saturday => 0.93,
+        DayOfWeek::Sunday => 0.97,
+    }
+}
+
+/// OS effect (Fig. 10: iOS audiences draw higher prices).
+pub fn os_effect(os: Os) -> f64 {
+    match os {
+        Os::Ios => 1.48,
+        Os::Android => 1.0,
+        Os::WindowsMobile => 0.82,
+        Os::Other => 0.72,
+    }
+}
+
+/// Channel effect (§4.4: apps draw ≈2.6× the web price).
+pub fn interaction_effect(it: InteractionType) -> f64 {
+    match it {
+        InteractionType::MobileApp => 2.6,
+        InteractionType::MobileWeb => 1.0,
+    }
+}
+
+/// IAB category effect (Figs. 11, 15: Business & Marketing rich, Science
+/// poor; the rest graded between).
+pub fn iab_effect(iab: IabCategory) -> f64 {
+    match iab {
+        IabCategory::Business => 4.0,
+        IabCategory::PersonalFinance => 2.6,
+        IabCategory::Automotive => 1.7,
+        IabCategory::Travel => 1.55,
+        IabCategory::Shopping => 1.45,
+        IabCategory::Careers => 1.25,
+        IabCategory::Technology => 1.2,
+        IabCategory::Health => 1.1,
+        IabCategory::News => 1.0,
+        IabCategory::HomeGarden => 0.95,
+        IabCategory::Sports => 0.9,
+        IabCategory::StyleFashion => 0.85,
+        IabCategory::ArtsEntertainment => 0.8,
+        IabCategory::FoodDrink => 0.75,
+        IabCategory::Hobbies => 0.7,
+        IabCategory::Society => 0.6,
+        IabCategory::Education => 0.45,
+        IabCategory::Science => 0.15,
+    }
+}
+
+/// Idiosyncratic per-publisher price level: real inventory commands
+/// publisher-specific premiums beyond its IAB category (brand safety,
+/// viewability, audience quality). Derived deterministically from the
+/// publisher name via an Irwin-Hall approximate normal, log-scale sigma
+/// ≈ 0.12. This latent is what makes the paper's exact-publisher model
+/// variant (§5.4) outperform the IAB model in-campaign — i.e. overfit.
+pub fn publisher_effect(name: &str) -> f64 {
+    const SIGMA: f64 = 0.12;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    // Irwin-Hall: sum of 12 uniforms, minus 6, is ~N(0,1).
+    let mut z = -6.0f64;
+    for _ in 0..12 {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        z += (h >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    (SIGMA * z).exp()
+}
+
+/// Slot-format effect (Fig. 13: the MPU family clears highest; area does
+/// not order prices — the 120×600 skyscraper is big and cheap).
+pub fn slot_effect(slot: AdSlotSize) -> f64 {
+    match slot {
+        AdSlotSize::S300x250 => 1.00, // MPU: the reference, and the peak
+        AdSlotSize::S300x600 => 0.85, // Monster MPU: runner-up
+        AdSlotSize::S160x600 => 0.62,
+        AdSlotSize::S336x280 => 0.72,
+        AdSlotSize::S728x90 => 0.55,
+        AdSlotSize::S468x60 => 0.45,
+        AdSlotSize::S120x600 => 0.42,
+        AdSlotSize::S320x50 => 0.33,
+        AdSlotSize::S300x50 => 0.30,
+        AdSlotSize::S200x200 => 0.50,
+        AdSlotSize::S316x150 => 0.48,
+        AdSlotSize::S280x250 => 0.80,
+        AdSlotSize::S800x130 => 0.58,
+        AdSlotSize::S400x300 => 0.78,
+        // Full/half-screen interstitials command premiums.
+        AdSlotSize::S320x480 | AdSlotSize::S480x320 => 1.15,
+        AdSlotSize::S768x1024 | AdSlotSize::S1024x768 => 1.25,
+        AdSlotSize::S350x600 => 0.80,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_types::{Adx, DeviceType, PublisherId, UserId};
+
+    fn req_at(time: SimTime) -> AdRequest {
+        AdRequest {
+            time,
+            user: UserId(0),
+            city: City::Madrid,
+            os: Os::Android,
+            device: DeviceType::Smartphone,
+            interaction: InteractionType::MobileWeb,
+            publisher: PublisherId(0),
+            publisher_name: "news.example".into(),
+            iab: IabCategory::News,
+            slot: AdSlotSize::S300x250,
+            adx: Adx::MoPub,
+            interest_match: 0.0,
+        }
+    }
+
+    #[test]
+    fn reference_context_hits_base_median() {
+        let m = ValuationModel::default();
+        // Afternoon weekday (epoch + drift≈1) Madrid Android web MPU News.
+        let t = SimTime::from_ymd_hm(2015, 1, 7, 13, 0); // Wednesday afternoon
+        let mu = m.mu(&req_at(t), 1.0);
+        let expected = m.base_median_cpm
+            * city_effect(City::Madrid)
+            * daypart_effect(TimeOfDay::Afternoon)
+            * weekday_effect(DayOfWeek::Wednesday)
+            * publisher_effect("news.example")
+            * m.drift(t);
+        assert!((mu.exp() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ios_beats_android() {
+        assert!(os_effect(Os::Ios) > os_effect(Os::Android));
+    }
+
+    #[test]
+    fn apps_cost_2_6x_web() {
+        assert!((interaction_effect(InteractionType::MobileApp) - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iab3_rich_iab15_poor() {
+        let effects: Vec<f64> = IabCategory::ALL.iter().map(|&c| iab_effect(c)).collect();
+        let max = effects.iter().cloned().fold(f64::MIN, f64::max);
+        let min = effects.iter().cloned().fold(f64::MAX, f64::min);
+        assert_eq!(iab_effect(IabCategory::Business), max);
+        assert_eq!(iab_effect(IabCategory::Science), min);
+        // The paper's Fig. 11 spread: a decade or more between them.
+        assert!(max / min > 10.0);
+    }
+
+    #[test]
+    fn area_does_not_order_price() {
+        // §4.4's punchline: the giant skyscraper is cheaper than the MPU.
+        assert!(AdSlotSize::S120x600.area() > AdSlotSize::S300x250.area() * 95 / 100);
+        assert!(slot_effect(AdSlotSize::S120x600) < slot_effect(AdSlotSize::S300x250));
+        // And the MPU family tops the table.
+        for s in AdSlotSize::FIGURE13 {
+            assert!(slot_effect(s) <= slot_effect(AdSlotSize::S300x250));
+        }
+    }
+
+    #[test]
+    fn big_city_lower_median_higher_sigma() {
+        assert!(city_effect(City::Madrid) < city_effect(City::Torello));
+        assert!(city_sigma_bonus(City::Madrid) > city_sigma_bonus(City::Torello));
+        let m = ValuationModel::default();
+        let t = SimTime::from_ymd_hm(2015, 6, 6, 13, 0); // Saturday
+        let mut r = req_at(t);
+        r.city = City::Madrid;
+        let sigma_madrid = m.sigma(&r);
+        r.city = City::Torello;
+        assert!(sigma_madrid > m.sigma(&r));
+    }
+
+    #[test]
+    fn morning_runs_hot() {
+        assert!(daypart_effect(TimeOfDay::Morning) > daypart_effect(TimeOfDay::LateEvening));
+        assert!(daypart_effect(TimeOfDay::EarlyMorning) > daypart_effect(TimeOfDay::Night));
+    }
+
+    #[test]
+    fn weekday_sigma_fatter() {
+        let m = ValuationModel::default();
+        let weekday = req_at(SimTime::from_ymd_hm(2015, 3, 2, 13, 0)); // Monday
+        let weekend = req_at(SimTime::from_ymd_hm(2015, 3, 1, 13, 0)); // Sunday
+        assert!(m.sigma(&weekday) > m.sigma(&weekend));
+    }
+
+    #[test]
+    fn drift_compounds() {
+        let m = ValuationModel::default();
+        let d2015 = m.drift(SimTime::EPOCH);
+        let d2016 = m.drift(SimTime::from_ymd_hm(2016, 1, 1, 0, 0));
+        assert!((d2015 - 1.0).abs() < 1e-12);
+        assert!((d2016 - 1.12).abs() < 0.01);
+    }
+
+    #[test]
+    fn encrypted_premium_factor() {
+        let m = ValuationModel::default();
+        assert_eq!(m.encrypted_factor(false), 1.0);
+        assert!((m.encrypted_factor(true) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publisher_effect_is_stable_and_bounded() {
+        let a = publisher_effect("dailynoticias1.example");
+        let b = publisher_effect("dailynoticias1.example");
+        assert_eq!(a, b, "deterministic per publisher");
+        assert_ne!(a, publisher_effect("dailynoticias2.example"));
+        // Collect the spread over many names: roughly log-normal(0, 0.12).
+        let vals: Vec<f64> = (0..2000)
+            .map(|i| publisher_effect(&format!("pub{i}.example")).ln())
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.12).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn interest_match_raises_mu() {
+        let m = ValuationModel::default();
+        let t = SimTime::from_ymd_hm(2015, 1, 7, 13, 0);
+        let mut r = req_at(t);
+        let low = m.mu(&r, 1.0);
+        r.interest_match = 1.0;
+        assert!(m.mu(&r, 1.0) > low);
+    }
+}

@@ -1,0 +1,57 @@
+//! Market benchmarks: auction throughput.
+//!
+//! Dataset D needs ~78 k organic auctions and the campaigns close to a
+//! million probe auctions, so per-auction cost drives the wall time of
+//! every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use yav_auction::{AdRequest, Market, MarketConfig, ProbeBid};
+use yav_types::{
+    AdSlotSize, CampaignId, City, Cpm, DeviceType, DspId, IabCategory, InteractionType, Os,
+    PublisherId, SimTime, UserId,
+};
+
+fn request(i: u64) -> AdRequest {
+    AdRequest {
+        time: SimTime::from_ymd_hm(2015, 6, 15, 12, 0).plus_minutes((i % 600) as i64),
+        user: UserId((i % 500) as u32),
+        city: City::from_index((i % 10) as usize),
+        os: if i.is_multiple_of(3) { Os::Ios } else { Os::Android },
+        device: DeviceType::Smartphone,
+        interaction: if i.is_multiple_of(2) { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+        publisher: PublisherId((i % 200) as u32),
+        publisher_name: format!("dailynoticias{}.example", i % 200),
+        iab: IabCategory::ALL[(i % 18) as usize],
+        slot: AdSlotSize::S300x250,
+        adx: yav_auction::config::sample_adx((i % 1000) as f64 / 1000.0),
+        interest_match: 0.2,
+    }
+}
+
+fn bench_market(c: &mut Criterion) {
+    let mut g = c.benchmark_group("market");
+    g.bench_function("construction", |b| b.iter(|| Market::new(MarketConfig::default())));
+
+    let mut market = Market::new(MarketConfig::default());
+    let mut i = 0u64;
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("organic_auction", |b| {
+        b.iter(|| {
+            i += 1;
+            market.run_auction(black_box(&request(i)))
+        })
+    });
+
+    let probe =
+        ProbeBid { dsp: DspId(0), max_bid: Cpm::from_whole(30), campaign: CampaignId(1) };
+    g.bench_function("probe_auction", |b| {
+        b.iter(|| {
+            i += 1;
+            market.run_auction_with_probe(black_box(&request(i)), &probe)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_market);
+criterion_main!(benches);

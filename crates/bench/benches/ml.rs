@@ -1,0 +1,75 @@
+//! Machine-learning benchmarks: the PME's training and prediction costs.
+//!
+//! Training happens server-side on campaign reports (tens of thousands of
+//! rows); prediction happens on the client per encrypted notification and
+//! must stay in the microsecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use yav_ml::{Dataset, Discretizer, RandomForest, RandomForestConfig, TreeConfig};
+
+/// A deterministic 3-class dataset shaped like campaign ground truth:
+/// mixed ordinal features, feature-driven labels with mild noise.
+fn dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let city = (i % 4) as f64;
+        let tod = ((i / 4) % 6) as f64;
+        let iab = ((i * 7) % 18) as f64;
+        let app = ((i / 3) % 2) as f64;
+        let noise = ((i * 131) % 17) as f64;
+        let score = iab * 0.4 + app * 3.0 + tod * 0.3 + city * 0.1 + (noise - 8.0) * 0.05;
+        let label = if score < 2.5 {
+            0
+        } else if score < 5.0 {
+            1
+        } else {
+            2
+        };
+        rows.push(vec![city, tod, iab, app, noise]);
+        labels.push(label);
+    }
+    Dataset::new(
+        rows,
+        labels,
+        3,
+        ["city", "tod", "iab", "app", "noise"].iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+fn bench_discretizer(c: &mut Criterion) {
+    let prices: Vec<f64> = (0..5000)
+        .map(|i| 0.05 * 1.002f64.powi(i % 2000) * (1.0 + (i % 7) as f64 / 7.0))
+        .collect();
+    c.bench_function("ml/discretizer_fit_5k", |b| {
+        b.iter(|| Discretizer::fit(black_box(&prices), 4))
+    });
+    let d = Discretizer::fit(&prices, 4);
+    c.bench_function("ml/discretizer_assign", |b| b.iter(|| d.assign(black_box(1.3))));
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let data = dataset(4000);
+    let cfg = RandomForestConfig {
+        n_trees: 15,
+        tree: TreeConfig { max_depth: 12, ..TreeConfig::default() },
+        seed: 1,
+        threads: 4,
+    };
+    let mut g = c.benchmark_group("ml");
+    g.sample_size(10);
+    g.bench_function("forest_fit_4k_rows", |b| b.iter(|| RandomForest::fit(&data, &cfg)));
+    g.finish();
+
+    let forest = RandomForest::fit(&data, &cfg);
+    let row = data.row(17).to_vec();
+    let mut g = c.benchmark_group("ml_predict");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("forest_predict", |b| b.iter(|| forest.predict(black_box(&row))));
+    let tree = forest.representative_tree(&data);
+    g.bench_function("tree_predict", |b| b.iter(|| tree.predict(black_box(&row))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_discretizer, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Wire-format benchmarks: the hot paths of observation.
+//!
+//! YourAdValue and the analyzer classify *every* HTTP request a device
+//! makes, so URL parsing, nURL detection and token handling must stay in
+//! the sub-microsecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use yav_crypto::{base64url_decode, base64url_encode, sha256, PriceCrypter, PriceKeys};
+use yav_nurl::fields::{NurlFields, PricePayload};
+use yav_nurl::{template, NurlDetector, Url};
+use yav_types::{Adx, AuctionId, Cpm, DspId, ImpressionId};
+
+fn sample_nurl(adx: Adx, encrypted: bool) -> String {
+    let price = if encrypted {
+        let c = PriceCrypter::new(PriceKeys::derive("bench"));
+        PricePayload::Encrypted(c.encrypt(1_250_000, [7u8; 16]))
+    } else {
+        PricePayload::Cleartext(Cpm::from_f64(1.25))
+    };
+    let mut fields =
+        NurlFields::minimal(adx, DspId(3), price, ImpressionId(42), AuctionId(77));
+    fields.slot = Some(yav_types::AdSlotSize::S300x250);
+    fields.publisher = Some("dailynoticias7.example".into());
+    template::emit(&fields).to_string()
+}
+
+fn bench_url(c: &mut Criterion) {
+    let mut g = c.benchmark_group("url");
+    let ordinary = "http://www.dailynoticias7.example/articulo/1234.html?ref=portada&s=3";
+    g.throughput(Throughput::Bytes(ordinary.len() as u64));
+    g.bench_function("parse_ordinary", |b| {
+        b.iter(|| Url::parse(black_box(ordinary)).unwrap())
+    });
+    let nurl = sample_nurl(Adx::MoPub, false);
+    g.throughput(Throughput::Bytes(nurl.len() as u64));
+    g.bench_function("parse_nurl", |b| b.iter(|| Url::parse(black_box(&nurl)).unwrap()));
+    g.finish();
+}
+
+fn bench_nurl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nurl");
+    let clear = Url::parse(&sample_nurl(Adx::MoPub, false)).unwrap();
+    let enc = Url::parse(&sample_nurl(Adx::DoubleClick, true)).unwrap();
+    let ordinary =
+        Url::parse("http://cdn.fastassets.example/assets/17.js").unwrap();
+    let det = NurlDetector::new();
+    g.bench_function("detect_cleartext", |b| {
+        b.iter(|| det.detect(black_box(&clear)).unwrap())
+    });
+    g.bench_function("detect_encrypted", |b| {
+        b.iter(|| det.detect(black_box(&enc)).unwrap())
+    });
+    g.bench_function("detect_miss", |b| b.iter(|| det.detect(black_box(&ordinary))));
+    g.bench_function("parse_full_fields", |b| {
+        b.iter(|| template::parse(black_box(&clear)).unwrap().unwrap())
+    });
+    let fields = NurlFields::minimal(
+        Adx::MoPub,
+        DspId(1),
+        PricePayload::Cleartext(Cpm::ONE),
+        ImpressionId(1),
+        AuctionId(1),
+    );
+    g.bench_function("emit", |b| b.iter(|| template::emit(black_box(&fields))));
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let crypter = PriceCrypter::new(PriceKeys::derive("bench"));
+    g.bench_function("price_encrypt", |b| {
+        b.iter(|| crypter.encrypt(black_box(950_000), [9u8; 16]))
+    });
+    let token = crypter.encrypt(950_000, [9u8; 16]);
+    g.bench_function("price_decrypt", |b| b.iter(|| crypter.decrypt(black_box(&token)).unwrap()));
+    let data = vec![0xA5u8; 4096];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_4k", |b| b.iter(|| sha256(black_box(&data))));
+    let blob = vec![0x5Au8; 28];
+    g.bench_function("base64url_round_trip", |b| {
+        b.iter(|| base64url_decode(&base64url_encode(black_box(&blob))).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_url, bench_nurl, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Smoke tests: every experiment builder must produce non-degenerate
+//! output on a small world. This is what keeps `figures all` runnable.
+
+#![cfg(test)]
+
+use crate::{figs_dataset as fd, figs_model as fm, figs_user as fu, Scale, World};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(Scale::Small))
+}
+
+#[test]
+fn world_builds_consistently() {
+    let w = world();
+    assert!(w.report.detections.len() > 1000);
+    assert_eq!(w.report.detections.len(), w.truth.len());
+    assert_eq!(w.a1.setups_completed, 144);
+    assert_eq!(w.a2.setups_completed, 144);
+    assert!(w.pme.version() >= 1);
+    assert!(w.shift.coefficient > 1.0, "time shift {:?}", w.shift);
+    assert!(!w.feature_sample.is_empty());
+}
+
+#[test]
+fn dataset_figures_render() {
+    let w = world();
+    for (name, text) in [
+        ("fig2", fd::fig2(w)),
+        ("fig3", fd::fig3(w)),
+        ("table3", fd::table3(w)),
+        ("fig5", fd::fig5(w)),
+        ("fig6", fd::fig6(w)),
+        ("fig7", fd::fig7(w)),
+        ("fig8_9", fd::fig8_9(w)),
+        ("fig10", fd::fig10(w)),
+        ("fig11", fd::fig11(w)),
+        ("fig12", fd::fig12(w)),
+        ("fig13", fd::fig13(w)),
+        ("fig14", fd::fig14(w)),
+        ("table4", fd::table4(w)),
+    ] {
+        assert!(text.lines().count() >= 3, "{name} too thin:\n{text}");
+        assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
+    }
+    // encshare is a deliberate one-liner.
+    let share = fd::encrypted_share(w);
+    assert!(share.contains('%') && !share.contains("NaN"));
+}
+
+#[test]
+fn model_figures_render() {
+    let w = world();
+    for (name, text) in [
+        ("table5", fm::table5(w)),
+        ("samplesize", fm::samplesize(w)),
+        ("fig15", fm::fig15(w)),
+        ("fig16", fm::fig16(w)),
+        ("model", fm::model(w)),
+    ] {
+        assert!(text.lines().count() >= 3, "{name} too thin:\n{text}");
+        assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
+    }
+}
+
+#[test]
+fn user_figures_render() {
+    let w = world();
+    for (name, text) in [
+        ("fig17", fu::fig17(w)),
+        ("fig18", fu::fig18(w)),
+        ("fig19", fu::fig19(w)),
+        ("arpu", fu::arpu(w)),
+        ("truth", fu::truth_check(w)),
+    ] {
+        assert!(text.lines().count() >= 3, "{name} too thin:\n{text}");
+        assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
+    }
+}
+
+#[test]
+fn headline_bands_hold_at_small_scale() {
+    let w = world();
+    // Encrypted premium from the campaigns.
+    let med = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let ratio = med(w.a1.prices_cpm()) / med(w.a2.prices_cpm());
+    assert!((1.3..=2.2).contains(&ratio), "premium {ratio:.2}");
+
+    // Classifier quality (quick config, small data — generous band).
+    let trained = w.pme.trained_model().unwrap();
+    assert!(trained.cv.accuracy > 0.62, "accuracy {}", trained.cv.accuracy);
+    assert!(trained.cv.auc_roc > 0.85, "auc {}", trained.cv.auc_roc);
+
+    // The §5.4 negative result.
+    let (_, r2) = trained.regression_baseline;
+    assert!(r2 < 0.6, "regression R² {r2}");
+}

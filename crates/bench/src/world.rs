@@ -1,0 +1,225 @@
+//! World assembly: dataset D + campaigns + trained PME at a chosen scale.
+
+use yav_analyzer::{AnalyzerReport, WeblogAnalyzer};
+use yav_auction::{Market, MarketConfig};
+use yav_campaign::{Campaign, CampaignReport};
+use yav_ml::RandomForestConfig;
+use yav_pme::model::TrainConfig;
+use yav_pme::{Pme, TimeShift};
+use yav_types::Adx;
+use yav_weblog::{GroundTruth, WeblogConfig, WeblogGenerator};
+
+/// Experiment scales. Every scale runs the same code; only sizes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~100-user panel over two months; campaigns at 40 impressions per
+    /// setup. Seconds. Good for smoke runs and tests.
+    Small,
+    /// ~500-user panel over the full 2015; campaigns at 200 impressions
+    /// per setup. A couple of minutes. The default for `figures all`.
+    Mid,
+    /// The paper's sizes: 1 594 users over 2015 (≈78 k RTB impressions),
+    /// A1/A2 at 4 394/2 215 impressions per setup (≈632 k/319 k rows).
+    /// Tens of minutes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "mid" => Some(Scale::Mid),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    fn weblog(self) -> WeblogConfig {
+        match self {
+            Scale::Small => WeblogConfig::small(),
+            Scale::Mid => WeblogConfig {
+                users: 500,
+                days: 365,
+                rtb_slot_prob: 0.072,
+                views_per_user_day: 2.2,
+                aux_requests_per_view: 4.0,
+                ..WeblogConfig::paper()
+            },
+            Scale::Paper => WeblogConfig::paper(),
+        }
+    }
+
+    fn campaign_impressions(self) -> (u32, u32) {
+        match self {
+            Scale::Small => (40, 30),
+            Scale::Mid => (200, 120),
+            Scale::Paper => (4394, 2215),
+        }
+    }
+
+    /// Training configuration matched to the scale (the paper's 10-fold
+    /// ×10-run protocol at full size; lighter below).
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Scale::Small => TrainConfig::quick(),
+            Scale::Mid => TrainConfig {
+                cv_folds: 10,
+                cv_runs: 2,
+                forest: RandomForestConfig {
+                    n_trees: 40,
+                    threads: 8,
+                    ..TrainConfig::default().forest
+                },
+                ..TrainConfig::default()
+            },
+            Scale::Paper => TrainConfig {
+                cv_folds: 10,
+                cv_runs: 3,
+                forest: RandomForestConfig {
+                    n_trees: 40,
+                    threads: 8,
+                    ..TrainConfig::default().forest
+                },
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything the figure builders consume.
+pub struct World {
+    /// The scale this world was built at.
+    pub scale: Scale,
+    /// The analyzer's view of dataset D.
+    pub report: AnalyzerReport,
+    /// Simulator ground truth for D (validation-only fields).
+    pub truth: Vec<GroundTruth>,
+    /// Campaign A1 (encrypting exchanges).
+    pub a1: CampaignReport,
+    /// Campaign A2 (MoPub cleartext).
+    pub a2: CampaignReport,
+    /// The trained engine.
+    pub pme: Pme,
+    /// The §6.2 time-shift correction, already fitted.
+    pub shift: TimeShift,
+    /// Total HTTP requests streamed.
+    pub http_requests: u64,
+    /// Cleartext feature rows sampled for the dimensionality-reduction
+    /// experiment (288-vector, price) pairs.
+    pub feature_sample: Vec<(Vec<f64>, f64)>,
+}
+
+impl World {
+    /// Builds the world. Deterministic per scale.
+    pub fn build(scale: Scale) -> World {
+        let generator = WeblogGenerator::new(scale.weblog());
+        let mut market = Market::new(MarketConfig::default());
+        let mut analyzer = WeblogAnalyzer::new();
+        let mut truth = Vec::new();
+        let mut http_requests = 0u64;
+        let mut feature_sample: Vec<(Vec<f64>, f64)> = Vec::new();
+        // Reservoir cap for the reduction experiment.
+        const SAMPLE_CAP: usize = 12_000;
+        let mut seen_clear = 0usize;
+
+        generator.run(
+            &mut market,
+            |req| {
+                http_requests += 1;
+                if let Some(rec) = analyzer.ingest(&req) {
+                    if let Some(p) = rec.meta.cleartext_cpm {
+                        // Deterministic reservoir: keep every k-th row.
+                        seen_clear += 1;
+                        if feature_sample.len() < SAMPLE_CAP {
+                            feature_sample.push((rec.features, p.as_f64()));
+                        } else if seen_clear.is_multiple_of(7) {
+                            let slot = (seen_clear / 7) % SAMPLE_CAP;
+                            feature_sample[slot] = (rec.features, p.as_f64());
+                        }
+                    }
+                }
+            },
+            |t| truth.push(t),
+        );
+        let report = analyzer.finish();
+
+        let (a1_imps, a2_imps) = scale.campaign_impressions();
+        let universe = generator.universe().clone();
+        let a1 =
+            yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(a1_imps));
+        let a2 =
+            yav_campaign::execute(&mut market, &universe, &Campaign::a2().scaled(a2_imps));
+
+        let pme = Pme::new();
+        pme.train_from_campaign(&a1.rows, &scale.train_config());
+        // §6.2: time shift fitted within matched IAB strata (A2 vs the
+        // MoPub side of D) so content-mix differences between the
+        // campaign and organic traffic cancel out.
+        let strata: Vec<(Vec<f64>, Vec<f64>)> = yav_types::IabCategory::ALL
+            .iter()
+            .map(|&iab| {
+                let hist: Vec<f64> = report
+                    .detections
+                    .iter()
+                    .filter(|d| d.adx == Adx::MoPub && d.iab == Some(iab))
+                    .filter_map(|d| d.cleartext_cpm.map(|p| p.as_f64()))
+                    .collect();
+                let recent: Vec<f64> = a2
+                    .rows
+                    .iter()
+                    .filter(|r| r.iab == iab)
+                    .map(|r| r.charge.as_f64())
+                    .collect();
+                (hist, recent)
+            })
+            .collect();
+        let shift = TimeShift::fit_stratified(&strata, 30);
+        pme.set_time_shift(shift);
+
+        World { scale, report, truth, a1, a2, pme, shift, http_requests, feature_sample }
+    }
+
+    /// Cleartext prices (CPM) in D.
+    pub fn d_cleartext(&self) -> Vec<f64> {
+        self.report
+            .detections
+            .iter()
+            .filter_map(|d| d.cleartext_cpm.map(|p| p.as_f64()))
+            .collect()
+    }
+
+    /// Cleartext MoPub prices in D.
+    pub fn d_mopub(&self) -> Vec<f64> {
+        self.report
+            .detections
+            .iter()
+            .filter(|d| d.adx == Adx::MoPub)
+            .filter_map(|d| d.cleartext_cpm.map(|p| p.as_f64()))
+            .collect()
+    }
+
+    /// First month index (0-based) of the trace's final two observed
+    /// months — the "2 m" subset window of Figures 11, 15 and 16.
+    pub fn last_two_months_start(&self) -> usize {
+        self.report
+            .detections
+            .iter()
+            .map(|d| if d.time.year() <= 2015 { d.time.month().index() } else { 11 })
+            .max()
+            .unwrap_or(11)
+            .saturating_sub(1)
+    }
+
+    /// The trace's final two months of MoPub cleartext prices (the "2 m"
+    /// series of Figures 11, 15 and 16).
+    pub fn d_mopub_2m(&self) -> Vec<f64> {
+        let start = self.last_two_months_start();
+        self.report
+            .detections
+            .iter()
+            .filter(|d| d.adx == Adx::MoPub && d.time.month().index() >= start)
+            .filter_map(|d| d.cleartext_cpm.map(|p| p.as_f64()))
+            .collect()
+    }
+}

@@ -1,0 +1,382 @@
+//! Campaign execution against the simulated market.
+//!
+//! For each setup the executor synthesises auction traffic matching the
+//! filter tuple (the open market the DSP would bid on), submits the
+//! probe's capped bid, and books every win into the performance report.
+//! Wins carry the *true* charge price — the buyer side of the protocol
+//! always learns it, which is precisely why the paper's probing
+//! campaigns can collect encrypted-price ground truth.
+
+use crate::setups::Setup;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yav_auction::{AdRequest, Market, ProbeBid};
+use yav_types::time::CampaignShift;
+use yav_types::{
+    AdSlotSize, Adx, CampaignId, City, Cpm, DeviceType, DspId, IabCategory, InteractionType,
+    MicroUsd, Os, PriceVisibility, PublisherId, SimTime, UserId,
+};
+use yav_weblog::PublisherUniverse;
+
+/// A probing campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign identity (booked into won impressions).
+    pub id: CampaignId,
+    /// Human-readable name ("A1", "A2").
+    pub name: String,
+    /// Exchanges to sweep.
+    pub adxs: Vec<Adx>,
+    /// Publisher categories to target.
+    pub iabs: Vec<IabCategory>,
+    /// First day of the delivery window.
+    pub window_start: SimTime,
+    /// Window length in days.
+    pub window_days: u32,
+    /// Impressions to buy per setup (§5.2 suggests ≥185).
+    pub impressions_per_setup: u32,
+    /// Bid cap handed to the DSP (budget safeguard, §5.3).
+    pub max_bid: Cpm,
+    /// Total budget; execution stops when it is exhausted.
+    pub budget: MicroUsd,
+    /// The cooperating DSP.
+    pub dsp: DspId,
+    /// Maximum distinct publishers the DSP buys from (real campaigns
+    /// clear on a limited inventory list; Table 3 reports ~0.2-0.3 k).
+    pub publisher_cap: usize,
+    /// Traffic-synthesis seed.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// Campaign **A1**: the four encrypting exchanges, 13 days in May
+    /// 2016 (Table 3), 16 IAB categories.
+    pub fn a1() -> Campaign {
+        Campaign {
+            id: CampaignId(1),
+            name: "A1".into(),
+            adxs: Adx::ENCRYPTED_TARGETS.to_vec(),
+            iabs: IabCategory::ALL[..16].to_vec(),
+            window_start: SimTime::from_ymd_hm(2016, 5, 9, 0, 0),
+            window_days: 13,
+            impressions_per_setup: 4394, // ≈ 632 667 / 144 (Table 3)
+            max_bid: Cpm::from_whole(30),
+            budget: MicroUsd::from_dollars(2500),
+            dsp: DspId(0),
+            publisher_cap: 220,
+            seed: 0xA1,
+        }
+    }
+
+    /// Campaign **A2**: MoPub only, 8 days in June 2016, 7 IAB
+    /// categories (Table 3).
+    pub fn a2() -> Campaign {
+        Campaign {
+            id: CampaignId(2),
+            name: "A2".into(),
+            adxs: vec![Adx::MoPub],
+            iabs: IabCategory::ALL[..7].to_vec(),
+            window_start: SimTime::from_ymd_hm(2016, 6, 13, 0, 0),
+            window_days: 8,
+            impressions_per_setup: 2215, // ≈ 318 964 / 144 (Table 3)
+            max_bid: Cpm::from_whole(30),
+            budget: MicroUsd::from_dollars(1200),
+            dsp: DspId(0),
+            publisher_cap: 320,
+            seed: 0xA2,
+        }
+    }
+
+    /// A scaled copy for tests and quick runs.
+    pub fn scaled(&self, impressions_per_setup: u32) -> Campaign {
+        Campaign { impressions_per_setup, ..self.clone() }
+    }
+}
+
+/// One bought impression, as the DSP's performance report records it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeImpression {
+    /// The setup that bought it.
+    pub setup_id: u32,
+    /// Delivery time.
+    pub time: SimTime,
+    /// Audience city.
+    pub city: City,
+    /// Device OS.
+    pub os: Os,
+    /// Device class.
+    pub device: DeviceType,
+    /// App vs web inventory.
+    pub interaction: InteractionType,
+    /// Creative format.
+    pub format: AdSlotSize,
+    /// Exchange.
+    pub adx: Adx,
+    /// Publisher IAB category.
+    pub iab: IabCategory,
+    /// Publisher name.
+    pub publisher: String,
+    /// **True** charge price, from the buyer-side report.
+    pub charge: Cpm,
+    /// How the browser-side notification reported the price.
+    pub visibility: PriceVisibility,
+}
+
+/// The result of one campaign execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Every bought impression.
+    pub rows: Vec<ProbeImpression>,
+    /// Total spend.
+    pub spent: MicroUsd,
+    /// Setups completed in full before any budget stop.
+    pub setups_completed: usize,
+    /// True if the budget ran out mid-sweep.
+    pub budget_exhausted: bool,
+    /// Auctions entered (wins + losses) — the DSP's fill diagnostics.
+    pub auctions_entered: u64,
+}
+
+impl CampaignReport {
+    /// Distinct publishers reached (Table 3 reports ~0.2 k / ~0.3 k).
+    pub fn distinct_publishers(&self) -> usize {
+        let set: std::collections::HashSet<&str> =
+            self.rows.iter().map(|r| r.publisher.as_str()).collect();
+        set.len()
+    }
+
+    /// Distinct IAB categories reached.
+    pub fn distinct_iabs(&self) -> usize {
+        let set: std::collections::HashSet<IabCategory> =
+            self.rows.iter().map(|r| r.iab).collect();
+        set.len()
+    }
+
+    /// Charge prices as floating CPM (for statistics).
+    pub fn prices_cpm(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.charge.as_f64()).collect()
+    }
+}
+
+/// Executes a campaign: sweeps all 144 setups over the market.
+pub fn execute(
+    market: &mut Market,
+    universe: &PublisherUniverse,
+    campaign: &Campaign,
+) -> CampaignReport {
+    let setups = crate::setups::table5(&campaign.adxs);
+    let mut rng = StdRng::seed_from_u64(campaign.seed ^ 0xCA4B_0000_0000_0007);
+    let mut report = CampaignReport {
+        name: campaign.name.clone(),
+        rows: Vec::new(),
+        spent: MicroUsd::ZERO,
+        setups_completed: 0,
+        budget_exhausted: false,
+        auctions_entered: 0,
+    };
+
+    // Audience publishers: category-eligible inventory, capped to the
+    // campaign's publisher list (most popular first — that is where a
+    // DSP finds volume).
+    let mut eligible: Vec<&yav_weblog::Publisher> = universe
+        .all()
+        .iter()
+        .filter(|p| campaign.iabs.contains(&p.iab))
+        .collect();
+    eligible.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    eligible.truncate(campaign.publisher_cap.max(1));
+    assert!(!eligible.is_empty(), "universe has no publishers in the target categories");
+
+    'sweep: for setup in &setups {
+        let mut bought = 0u32;
+        let mut attempts = 0u32;
+        // Attempt cap: a probe with a sane cap wins nearly always, so the
+        // cap only guards against pathological configurations.
+        let max_attempts = campaign.impressions_per_setup.saturating_mul(4).max(16);
+        while bought < campaign.impressions_per_setup && attempts < max_attempts {
+            attempts += 1;
+            report.auctions_entered += 1;
+            let req = synthesize_request(&mut rng, setup, campaign, &eligible);
+            let probe =
+                ProbeBid { dsp: campaign.dsp, max_bid: campaign.max_bid, campaign: campaign.id };
+            let (_result, win) = market.run_auction_with_probe(&req, &probe);
+            let Some(win) = win else { continue };
+            bought += 1;
+            report.spent = report.spent.saturating_add(win.charge.per_impression());
+            report.rows.push(ProbeImpression {
+                setup_id: setup.id,
+                time: req.time,
+                city: setup.city,
+                os: setup.os,
+                device: setup.device,
+                interaction: setup.interaction,
+                format: setup.format,
+                adx: setup.adx,
+                iab: req.iab,
+                publisher: req.publisher_name.clone(),
+                charge: win.charge,
+                visibility: win.visibility,
+            });
+            if report.spent > campaign.budget {
+                report.budget_exhausted = true;
+                break 'sweep;
+            }
+        }
+        if bought == campaign.impressions_per_setup {
+            report.setups_completed += 1;
+        }
+    }
+    report
+}
+
+/// Synthesises one open-market ad request matching a setup's filters.
+fn synthesize_request(
+    rng: &mut StdRng,
+    setup: &Setup,
+    campaign: &Campaign,
+    eligible: &[&yav_weblog::Publisher],
+) -> AdRequest {
+    // Delivery time: a day in the window with the right day-type, an hour
+    // inside the shift.
+    let time = loop {
+        let day = rng.gen_range(0..campaign.window_days as i64);
+        let midnight = campaign.window_start.plus_days(day);
+        if !setup.day_type.matches(midnight.is_weekend()) {
+            continue;
+        }
+        let hour = loop {
+            let h = rng.gen_range(0..24u32);
+            if CampaignShift::from_hour(h) == setup.shift {
+                break h;
+            }
+        };
+        break midnight.plus_minutes(hour as i64 * 60 + rng.gen_range(0..60i64));
+    };
+
+    // The audience member: an open-market user (outside the panel's id
+    // space), so the DMP draws fresh value factors.
+    let user = UserId(1_000_000 + rng.gen_range(0..200_000u32));
+
+    // Publisher: any eligible one matching the channel.
+    let publisher = loop {
+        let p = eligible[rng.gen_range(0..eligible.len())];
+        if p.is_app == (setup.interaction == InteractionType::MobileApp) {
+            break p;
+        }
+    };
+
+    AdRequest {
+        time,
+        user,
+        city: setup.city,
+        os: setup.os,
+        device: setup.device,
+        interaction: setup.interaction,
+        publisher: PublisherId(publisher.id.0),
+        publisher_name: publisher.name.clone(),
+        iab: publisher.iab,
+        slot: setup.format,
+        adx: setup.adx,
+        interest_match: rng.gen_range(0.0..0.3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_auction::MarketConfig;
+
+    fn small_market() -> (Market, PublisherUniverse) {
+        (
+            Market::new(MarketConfig::default()),
+            PublisherUniverse::build(0xD474, 300, 120),
+        )
+    }
+
+    #[test]
+    fn a1_buys_encrypted_ground_truth() {
+        let (mut market, universe) = small_market();
+        let report = execute(&mut market, &universe, &Campaign::a1().scaled(4));
+        assert_eq!(report.setups_completed, 144);
+        assert_eq!(report.rows.len(), 144 * 4);
+        assert!(!report.budget_exhausted);
+        // Every A1 exchange encrypts: browser-side the prices are opaque,
+        // yet the report knows every charge.
+        for row in &report.rows {
+            assert_eq!(row.visibility, PriceVisibility::Encrypted);
+            assert!(row.charge.is_positive());
+            assert!(row.charge <= Campaign::a1().max_bid);
+        }
+        assert!(report.spent > MicroUsd::ZERO);
+    }
+
+    #[test]
+    fn a2_is_cleartext_mopub() {
+        let (mut market, universe) = small_market();
+        let report = execute(&mut market, &universe, &Campaign::a2().scaled(4));
+        for row in &report.rows {
+            assert_eq!(row.adx, Adx::MoPub);
+            assert_eq!(row.visibility, PriceVisibility::Cleartext);
+        }
+        assert!(report.distinct_iabs() <= 7);
+        assert!(report.distinct_publishers() > 10);
+    }
+
+    #[test]
+    fn encrypted_campaign_prices_run_higher() {
+        // The §6.1 headline must be visible in the raw campaign data.
+        let (mut market, universe) = small_market();
+        let a1 = execute(&mut market, &universe, &Campaign::a1().scaled(30));
+        let a2 = execute(&mut market, &universe, &Campaign::a2().scaled(30));
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let ratio = median(a1.prices_cpm()) / median(a2.prices_cpm());
+        assert!((1.25..=2.4).contains(&ratio), "A1/A2 median ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn setups_respect_filters_in_rows() {
+        let (mut market, universe) = small_market();
+        let report = execute(&mut market, &universe, &Campaign::a2().scaled(3));
+        let setups = crate::setups::table5(&[Adx::MoPub]);
+        for row in &report.rows {
+            let s = &setups[row.setup_id as usize];
+            assert_eq!(row.city, s.city);
+            assert_eq!(row.os, s.os);
+            assert_eq!(row.device, s.device);
+            assert_eq!(row.format, s.format);
+            assert_eq!(
+                CampaignShift::from_hour(row.time.hour()),
+                s.shift,
+                "delivery inside the shift"
+            );
+            assert!(s.day_type.matches(row.time.is_weekend()));
+        }
+    }
+
+    #[test]
+    fn budget_stop_works() {
+        let (mut market, universe) = small_market();
+        let mut tiny = Campaign::a1().scaled(50);
+        tiny.budget = MicroUsd(3_000); // three tenths of a cent
+        let report = execute(&mut market, &universe, &tiny);
+        assert!(report.budget_exhausted);
+        assert!(report.rows.len() < 144 * 50);
+        assert!(report.spent >= tiny.budget);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (mut m1, u1) = small_market();
+        let (mut m2, u2) = small_market();
+        let a = execute(&mut m1, &u1, &Campaign::a2().scaled(3));
+        let b = execute(&mut m2, &u2, &Campaign::a2().scaled(3));
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.spent, b.spent);
+    }
+}

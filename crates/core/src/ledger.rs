@@ -1,0 +1,189 @@
+//! Browser-local storage for YourAdValue.
+//!
+//! The extension stores every filtered charge price, the estimations for
+//! encrypted ones, and relevant auction metadata in the browser's local
+//! storage (§3.3); the toolbar shows running totals and per-price
+//! notifications on request. [`Ledger`] is that store.
+
+use serde::{Deserialize, Serialize};
+use yav_types::{Adx, Cpm, PriceVisibility, SimTime};
+
+/// One detected charge-price event, as stored locally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceEvent {
+    /// When the notification fired.
+    pub time: SimTime,
+    /// The exchange it came from.
+    pub adx: Adx,
+    /// How the price arrived.
+    pub visibility: PriceVisibility,
+    /// The price: read directly (cleartext) or estimated (encrypted).
+    pub amount: Cpm,
+    /// True when `amount` is a model estimate rather than a read value.
+    pub estimated: bool,
+}
+
+/// Cumulative cost summary over a queried period — what the toolbar
+/// popup renders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// Sum of readable (cleartext) charge prices, `C_u(T)`.
+    pub cleartext: Cpm,
+    /// Sum of estimated encrypted charge prices, `E_u(T)`.
+    pub encrypted_estimated: Cpm,
+    /// Number of cleartext notifications.
+    pub cleartext_count: u64,
+    /// Number of encrypted notifications.
+    pub encrypted_count: u64,
+}
+
+impl CostSummary {
+    /// The total `V_u(T) = C_u(T) + E_u(T)` (Eq. 1).
+    pub fn total(&self) -> Cpm {
+        self.cleartext.saturating_add(self.encrypted_estimated)
+    }
+
+    /// Total notifications in the period.
+    pub fn impressions(&self) -> u64 {
+        self.cleartext_count + self.encrypted_count
+    }
+}
+
+/// The local event store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    events: Vec<PriceEvent>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: PriceEvent) {
+        self.events.push(event);
+    }
+
+    /// All stored events, oldest first.
+    pub fn events(&self) -> &[PriceEvent] {
+        &self.events
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been detected yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Summary over the whole history.
+    pub fn summary(&self) -> CostSummary {
+        self.summary_between(SimTime::from_minutes(i64::MIN), SimTime::from_minutes(i64::MAX))
+    }
+
+    /// Summary over `[from, to)`.
+    pub fn summary_between(&self, from: SimTime, to: SimTime) -> CostSummary {
+        let mut s = CostSummary {
+            cleartext: Cpm::ZERO,
+            encrypted_estimated: Cpm::ZERO,
+            cleartext_count: 0,
+            encrypted_count: 0,
+        };
+        for e in &self.events {
+            if e.time < from || e.time >= to {
+                continue;
+            }
+            match e.visibility {
+                PriceVisibility::Cleartext => {
+                    s.cleartext = s.cleartext.saturating_add(e.amount);
+                    s.cleartext_count += 1;
+                }
+                PriceVisibility::Encrypted => {
+                    s.encrypted_estimated = s.encrypted_estimated.saturating_add(e.amount);
+                    s.encrypted_count += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// The most recent events, newest first — the toolbar's "previous
+    /// individual charge prices" view.
+    pub fn recent(&self, n: usize) -> Vec<&PriceEvent> {
+        self.events.iter().rev().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(day: i64, visibility: PriceVisibility, cpm: f64) -> PriceEvent {
+        PriceEvent {
+            time: SimTime::EPOCH.plus_days(day),
+            adx: Adx::MoPub,
+            visibility,
+            amount: Cpm::from_f64(cpm),
+            estimated: visibility == PriceVisibility::Encrypted,
+        }
+    }
+
+    #[test]
+    fn sums_split_by_visibility() {
+        let mut ledger = Ledger::new();
+        ledger.push(event(1, PriceVisibility::Cleartext, 0.5));
+        ledger.push(event(2, PriceVisibility::Cleartext, 1.0));
+        ledger.push(event(3, PriceVisibility::Encrypted, 2.0));
+        let s = ledger.summary();
+        assert_eq!(s.cleartext, Cpm::from_f64(1.5));
+        assert_eq!(s.encrypted_estimated, Cpm::from_f64(2.0));
+        assert_eq!(s.total(), Cpm::from_f64(3.5));
+        assert_eq!(s.impressions(), 3);
+        assert_eq!(s.cleartext_count, 2);
+    }
+
+    #[test]
+    fn period_queries_are_half_open() {
+        let mut ledger = Ledger::new();
+        for day in 0..10 {
+            ledger.push(event(day, PriceVisibility::Cleartext, 1.0));
+        }
+        let s = ledger.summary_between(SimTime::EPOCH.plus_days(2), SimTime::EPOCH.plus_days(5));
+        assert_eq!(s.cleartext_count, 3);
+        assert_eq!(s.cleartext, Cpm::from_whole(3));
+    }
+
+    #[test]
+    fn recent_is_newest_first() {
+        let mut ledger = Ledger::new();
+        for day in 0..5 {
+            ledger.push(event(day, PriceVisibility::Cleartext, day as f64));
+        }
+        let recent = ledger.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].amount, Cpm::from_f64(4.0));
+        assert_eq!(recent[1].amount, Cpm::from_f64(3.0));
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let ledger = Ledger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.summary().total(), Cpm::ZERO);
+        assert!(ledger.recent(3).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut ledger = Ledger::new();
+        ledger.push(event(1, PriceVisibility::Encrypted, 1.25));
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: Ledger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

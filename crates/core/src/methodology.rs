@@ -1,0 +1,273 @@
+//! The §6 methodology driver: per-user cost accounting over dataset D.
+//!
+//! Given the analyzer's detections, a trained client model and the §6.2
+//! time-shift correction, this module produces the per-user cost accounts
+//! behind the paper's headline results: Figure 17 (cumulative cost CDFs),
+//! Figure 18 (total cleartext vs total estimated encrypted cost per user)
+//! and Figure 19 (average prices per impression per user).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use yav_analyzer::DetectedImpression;
+use yav_pme::model::{ClientModel, CoreContext};
+use yav_pme::timeshift::TimeShift;
+use yav_types::{Cpm, PriceVisibility, UserId};
+
+/// One user's cost account over the analysis period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserCost {
+    /// The user.
+    pub user: UserId,
+    /// Sum of readable cleartext prices, `C_u(T)`.
+    pub cleartext: Cpm,
+    /// The same sum with the §6.2 time-shift correction applied.
+    pub cleartext_corrected: Cpm,
+    /// Sum of model-estimated encrypted prices, `E_u(T)`.
+    pub encrypted_estimated: Cpm,
+    /// Cleartext impressions observed.
+    pub cleartext_count: u64,
+    /// Encrypted impressions observed.
+    pub encrypted_count: u64,
+}
+
+impl UserCost {
+    /// `V_u(T)` with the raw cleartext sum.
+    pub fn total(&self) -> Cpm {
+        self.cleartext.saturating_add(self.encrypted_estimated)
+    }
+
+    /// `V_u(T)` with the time-corrected cleartext sum (the Figure-17
+    /// "total" series).
+    pub fn total_corrected(&self) -> Cpm {
+        self.cleartext_corrected.saturating_add(self.encrypted_estimated)
+    }
+
+    /// Average cleartext price per impression (NaN when none).
+    pub fn avg_cleartext(&self) -> f64 {
+        if self.cleartext_count == 0 {
+            f64::NAN
+        } else {
+            self.cleartext.as_f64() / self.cleartext_count as f64
+        }
+    }
+
+    /// Average estimated encrypted price per impression (NaN when none).
+    pub fn avg_encrypted(&self) -> f64 {
+        if self.encrypted_count == 0 {
+            f64::NAN
+        } else {
+            self.encrypted_estimated.as_f64() / self.encrypted_count as f64
+        }
+    }
+}
+
+/// Runs Equations 1–3 over a detection list: tallies cleartext, estimates
+/// encrypted with `model`, applies `shift` to the cleartext side, and
+/// returns one account per user (sorted by user id).
+pub fn per_user_costs(
+    detections: &[DetectedImpression],
+    model: &ClientModel,
+    shift: &TimeShift,
+) -> Vec<UserCost> {
+    let mut accounts: BTreeMap<UserId, UserCost> = BTreeMap::new();
+    for det in detections {
+        let account = accounts.entry(det.user).or_insert(UserCost {
+            user: det.user,
+            cleartext: Cpm::ZERO,
+            cleartext_corrected: Cpm::ZERO,
+            encrypted_estimated: Cpm::ZERO,
+            cleartext_count: 0,
+            encrypted_count: 0,
+        });
+        match det.visibility {
+            PriceVisibility::Cleartext => {
+                let price = det.cleartext_cpm.unwrap_or(Cpm::ZERO);
+                account.cleartext = account.cleartext.saturating_add(price);
+                account.cleartext_corrected = account
+                    .cleartext_corrected
+                    .saturating_add(Cpm::from_f64(shift.correct(price.as_f64())));
+                account.cleartext_count += 1;
+            }
+            PriceVisibility::Encrypted => {
+                let estimate = model.estimate(&CoreContext::from(det));
+                account.encrypted_estimated =
+                    account.encrypted_estimated.saturating_add(estimate);
+                account.encrypted_count += 1;
+            }
+        }
+    }
+    accounts.into_values().collect()
+}
+
+/// Summary statistics over a population of user accounts — the §6.2
+/// numbers (median user cost, share under 100 CPM, the uplift from
+/// encrypted estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSummary {
+    /// Number of users with at least one detection.
+    pub users: usize,
+    /// Median total cost (CPM).
+    pub median_total: f64,
+    /// Fraction of users whose yearly total stays under 100 CPM.
+    pub under_100_cpm: f64,
+    /// Mean relative uplift of total over cleartext-only cost, among
+    /// users with encrypted impressions (the "~55 %" of §6.2).
+    pub encrypted_uplift: f64,
+    /// Fraction of users in the extreme 1 000+ CPM tail.
+    pub tail_1000: f64,
+}
+
+impl PopulationSummary {
+    /// Computes the summary (corrected totals).
+    pub fn of(costs: &[UserCost]) -> PopulationSummary {
+        let totals: Vec<f64> = costs.iter().map(|c| c.total_corrected().as_f64()).collect();
+        let median_total = yav_stats::summary::median(&totals);
+        let under_100 = totals.iter().filter(|&&t| t < 100.0).count() as f64
+            / totals.len().max(1) as f64;
+        let tail_1000 = totals.iter().filter(|&&t| t >= 1000.0).count() as f64
+            / totals.len().max(1) as f64;
+        let uplifts: Vec<f64> = costs
+            .iter()
+            .filter(|c| c.encrypted_count > 0 && c.cleartext_corrected.is_positive())
+            .map(|c| {
+                c.encrypted_estimated.as_f64() / c.cleartext_corrected.as_f64()
+            })
+            .collect();
+        let encrypted_uplift = if uplifts.is_empty() {
+            0.0
+        } else {
+            uplifts.iter().sum::<f64>() / uplifts.len() as f64
+        };
+        PopulationSummary {
+            users: costs.len(),
+            median_total,
+            under_100_cpm: under_100,
+            encrypted_uplift,
+            tail_1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_auction::{Market, MarketConfig};
+    use yav_campaign::Campaign;
+    use yav_pme::engine::Pme;
+    use yav_pme::model::TrainConfig;
+    use yav_weblog::{PublisherUniverse, WeblogConfig, WeblogGenerator};
+
+    struct Fixture {
+        costs: Vec<UserCost>,
+        truth: Vec<yav_weblog::GroundTruth>,
+    }
+
+    fn fixture() -> Fixture {
+        let generator = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        let mut analyzer = yav_analyzer::WeblogAnalyzer::new();
+        let mut truth = Vec::new();
+        generator.run(
+            &mut market,
+            |req| {
+                analyzer.ingest(&req);
+            },
+            |t| truth.push(t),
+        );
+        let report = analyzer.finish();
+
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let rows =
+            yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(15)).rows;
+        let pme = Pme::new();
+        pme.train_from_campaign(&rows, &TrainConfig::quick());
+        let model = pme.current_model().unwrap();
+        let shift = TimeShift::fit(&[1.0], &[1.0]); // neutral for the test
+        Fixture { costs: per_user_costs(&report.detections, &model, &shift), truth }
+    }
+
+    #[test]
+    fn accounts_cover_all_detected_users() {
+        let fx = fixture();
+        let truth_users: std::collections::HashSet<UserId> =
+            fx.truth.iter().map(|t| t.user).collect();
+        assert_eq!(fx.costs.len(), truth_users.len());
+        for c in &fx.costs {
+            assert!(c.cleartext_count + c.encrypted_count > 0);
+            assert_eq!(c.total(), c.cleartext + c.encrypted_estimated);
+        }
+    }
+
+    #[test]
+    fn cleartext_sums_match_ground_truth_exactly() {
+        let fx = fixture();
+        let mut expected: BTreeMap<UserId, Cpm> = BTreeMap::new();
+        for t in &fx.truth {
+            if t.visibility == PriceVisibility::Cleartext {
+                let e = expected.entry(t.user).or_insert(Cpm::ZERO);
+                *e = e.saturating_add(t.charge);
+            }
+        }
+        for c in &fx.costs {
+            assert_eq!(
+                c.cleartext,
+                expected.get(&c.user).copied().unwrap_or(Cpm::ZERO),
+                "user {:?}",
+                c.user
+            );
+        }
+    }
+
+    #[test]
+    fn encrypted_estimates_track_truth_in_aggregate() {
+        let fx = fixture();
+        let est_total: f64 = fx.costs.iter().map(|c| c.encrypted_estimated.as_f64()).sum();
+        let true_total: f64 = fx
+            .truth
+            .iter()
+            .filter(|t| t.visibility == PriceVisibility::Encrypted)
+            .map(|t| t.charge.as_f64())
+            .sum();
+        let ratio = est_total / true_total;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "aggregate estimated/true encrypted ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn time_shift_scales_cleartext_only() {
+        let fx = fixture();
+        // Re-run with a 1.3× shift and compare.
+        let generator = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        let mut analyzer = yav_analyzer::WeblogAnalyzer::new();
+        generator.run(&mut market, |req| { analyzer.ingest(&req); }, |_| {});
+        let report = analyzer.finish();
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let rows = yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(15)).rows;
+        let pme = Pme::new();
+        pme.train_from_campaign(&rows, &TrainConfig::quick());
+        let model = pme.current_model().unwrap();
+        let shifted = per_user_costs(&report.detections, &model, &TimeShift::fit(&[1.0], &[1.3]));
+        for (a, b) in fx.costs.iter().zip(&shifted) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.encrypted_estimated, b.encrypted_estimated);
+            if a.cleartext.is_positive() {
+                let ratio = b.cleartext_corrected.as_f64() / a.cleartext.as_f64();
+                assert!((ratio - 1.3).abs() < 0.01, "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn population_summary_shape() {
+        let fx = fixture();
+        let s = PopulationSummary::of(&fx.costs);
+        assert_eq!(s.users, fx.costs.len());
+        assert!(s.median_total > 0.0);
+        assert!((0.0..=1.0).contains(&s.under_100_cpm));
+        assert!((0.0..=1.0).contains(&s.tail_1000));
+        assert!(s.encrypted_uplift >= 0.0);
+    }
+}

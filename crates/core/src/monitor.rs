@@ -1,0 +1,257 @@
+//! The YourAdValue extension runtime.
+//!
+//! [`YourAdValue`] is the client: it observes the device's HTTP requests
+//! (the browser's webRequest hook in the real extension), filters
+//! winning-price notifications, tallies cleartext prices directly and
+//! estimates encrypted ones locally with the downloaded decision-tree
+//! model — privacy-preserving: no browsing data leaves the device unless
+//! the user opts into anonymous contribution (§3.3).
+
+use crate::ledger::{Ledger, PriceEvent};
+use yav_analyzer::taxonomy;
+use yav_analyzer::ua::parse_user_agent;
+use yav_nurl::fields::PricePayload;
+use yav_nurl::{template, Url};
+use yav_pme::engine::{ContributionBatch, Pme};
+use yav_pme::model::{ClientModel, CoreContext};
+use yav_types::{City, PriceVisibility, SimTime};
+use yav_weblog::HttpRequest;
+
+/// The client-side monitor.
+#[derive(Debug, Default)]
+pub struct YourAdValue {
+    /// The user's home city as configured (or detected) by the extension;
+    /// used as model input when a notification carries no location.
+    home_city: Option<City>,
+    /// The downloaded estimation model, if any.
+    model: Option<ClientModel>,
+    /// Local storage.
+    ledger: Ledger,
+    /// Pending anonymous contributions (drained on opt-in upload).
+    pending: ContributionBatch,
+    /// Encrypted notifications skipped because no model was installed.
+    skipped_no_model: u64,
+}
+
+impl YourAdValue {
+    /// A fresh installation with no model.
+    pub fn new(home_city: Option<City>) -> YourAdValue {
+        YourAdValue { home_city, ..YourAdValue::default() }
+    }
+
+    /// Installs (or replaces) the estimation model — the result of the
+    /// extension's periodic "check for new versions" poll.
+    pub fn install_model(&mut self, model: ClientModel) {
+        self.model = Some(model);
+    }
+
+    /// The installed model version (0 = none).
+    pub fn model_version(&self) -> u32 {
+        self.model.as_ref().map(|m| m.version).unwrap_or(0)
+    }
+
+    /// Polls a PME for a fresher model; installs it if the version
+    /// advanced. Returns true when an update was installed.
+    pub fn refresh_model(&mut self, pme: &Pme) -> bool {
+        match pme.current_model() {
+            Some(m) if m.version > self.model_version() => {
+                self.model = Some(m);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Observes one HTTP request. Returns the stored event if it was a
+    /// winning-price notification.
+    pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
+        let url = Url::parse(&req.url).ok()?;
+        let fields = template::parse(&url).ok()??;
+
+        let fp = parse_user_agent(&req.user_agent);
+        let ctx = CoreContext {
+            city: self.home_city,
+            time: req.time,
+            device: fp.device,
+            os: fp.os,
+            interaction: fp.interaction,
+            format: fields.slot,
+            adx: fields.adx,
+            iab: fields.publisher.as_deref().and_then(taxonomy::categorize),
+            publisher: fields.publisher.clone(),
+        };
+
+        let event = match &fields.price {
+            PricePayload::Cleartext(price) => {
+                self.pending.cleartext.push((ctx, *price));
+                PriceEvent {
+                    time: req.time,
+                    adx: fields.adx,
+                    visibility: PriceVisibility::Cleartext,
+                    amount: *price,
+                    estimated: false,
+                }
+            }
+            PricePayload::Encrypted(_) => {
+                let Some(model) = &self.model else {
+                    // No model yet: the price is counted as an encrypted
+                    // sighting but cannot be valued.
+                    self.skipped_no_model += 1;
+                    self.pending.encrypted.push(ctx);
+                    return None;
+                };
+                let estimate = model.estimate(&ctx);
+                self.pending.encrypted.push(ctx);
+                PriceEvent {
+                    time: req.time,
+                    adx: fields.adx,
+                    visibility: PriceVisibility::Encrypted,
+                    amount: estimate,
+                    estimated: true,
+                }
+            }
+        };
+        self.ledger.push(event.clone());
+        Some(event)
+    }
+
+    /// Convenience for URL-only observation (no headers available).
+    pub fn observe_url(&mut self, time: SimTime, url: &str) -> Option<PriceEvent> {
+        self.observe(&HttpRequest {
+            time,
+            user: yav_types::UserId(0),
+            url: url.to_owned(),
+            client_ip: 0,
+            user_agent: String::new(),
+            bytes: 0,
+            duration_ms: 0,
+        })
+    }
+
+    /// The local ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Encrypted notifications that could not be valued (no model).
+    pub fn skipped_no_model(&self) -> u64 {
+        self.skipped_no_model
+    }
+
+    /// Drains and returns the pending anonymous-contribution batch (what
+    /// an opted-in client uploads to the PME).
+    pub fn take_contributions(&mut self) -> ContributionBatch {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Uploads pending contributions to a PME (opt-in path). Returns the
+    /// number of observations sent.
+    pub fn contribute_to(&mut self, pme: &Pme) -> usize {
+        let batch = self.take_contributions();
+        let n = batch.len();
+        if n > 0 {
+            pme.contribute(batch);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_auction::{Market, MarketConfig};
+    use yav_campaign::Campaign;
+    use yav_pme::model::TrainConfig;
+    use yav_weblog::{PublisherUniverse, WeblogConfig, WeblogGenerator};
+
+    fn trained_pme() -> Pme {
+        let mut market = Market::new(MarketConfig::default());
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let rows =
+            yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(10)).rows;
+        let pme = Pme::new();
+        pme.train_from_campaign(&rows, &TrainConfig::quick());
+        pme
+    }
+
+    fn traffic() -> Vec<HttpRequest> {
+        let generator = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        generator.collect(&mut market).requests
+    }
+
+    #[test]
+    fn tallies_cleartext_without_model() {
+        let mut yav = YourAdValue::new(Some(City::Madrid));
+        let mut events = 0;
+        for req in traffic() {
+            if yav.observe(&req).is_some() {
+                events += 1;
+            }
+        }
+        assert!(events > 0);
+        let s = yav.ledger().summary();
+        assert!(s.cleartext.is_positive());
+        // Without a model every encrypted sighting is skipped.
+        assert_eq!(s.encrypted_count, 0);
+        assert!(yav.skipped_no_model() > 0);
+    }
+
+    #[test]
+    fn model_unlocks_encrypted_estimation() {
+        let pme = trained_pme();
+        let mut yav = YourAdValue::new(Some(City::Madrid));
+        assert!(yav.refresh_model(&pme));
+        assert!(!yav.refresh_model(&pme), "same version: no reinstall");
+        assert_eq!(yav.model_version(), 1);
+        for req in traffic() {
+            yav.observe(&req);
+        }
+        let s = yav.ledger().summary();
+        assert!(s.encrypted_count > 0);
+        assert!(s.encrypted_estimated.is_positive());
+        assert_eq!(yav.skipped_no_model(), 0);
+        assert!(s.total() > s.cleartext, "Eq. 1: total includes E_u");
+    }
+
+    #[test]
+    fn contributions_flow_to_pme() {
+        let pme = trained_pme();
+        let mut yav = YourAdValue::new(None);
+        yav.refresh_model(&pme);
+        for req in traffic().into_iter().take(40_000) {
+            yav.observe(&req);
+        }
+        let sent = yav.contribute_to(&pme);
+        assert!(sent > 0);
+        let (clear, enc) = pme.contribution_count();
+        assert!(clear > 0);
+        assert!(enc > 0);
+        // Draining empties the buffer.
+        assert_eq!(yav.take_contributions().len(), 0);
+    }
+
+    #[test]
+    fn ordinary_traffic_is_ignored() {
+        let mut yav = YourAdValue::new(None);
+        assert!(yav
+            .observe_url(SimTime::EPOCH, "http://www.example.com/page.html")
+            .is_none());
+        assert!(yav.observe_url(SimTime::EPOCH, "not a url at all").is_none());
+        assert!(yav.ledger().is_empty());
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_context() {
+        let pme = trained_pme();
+        let mut a = YourAdValue::new(Some(City::Seville));
+        let mut b = YourAdValue::new(Some(City::Seville));
+        a.refresh_model(&pme);
+        b.refresh_model(&pme);
+        for req in traffic() {
+            let ea = a.observe(&req);
+            let eb = b.observe(&req);
+            assert_eq!(ea, eb);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Byte-string codecs: lowercase hex and URL-safe base64.
+//!
+//! Encrypted price tokens travel inside URL query parameters, so exchanges
+//! encode them with the URL-safe base64 alphabet (`-` and `_`, unpadded) —
+//! the `rtbwinprice=VLwbi4K2...` shape of Table 1 — or as bare hex
+//! (`price=B6A3F3C1...`). Both directions are implemented here with strict
+//! validation: a token that fails to decode is *not* an encrypted price.
+
+use std::fmt;
+
+/// Error produced by the decoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A byte outside the codec alphabet, at the given position.
+    InvalidByte(usize),
+    /// The input length is impossible for this codec.
+    InvalidLength(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidByte(pos) => write!(f, "invalid byte at position {pos}"),
+            CodecError::InvalidLength(len) => write!(f, "invalid input length {len}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes hex (either case) to bytes.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, CodecError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(CodecError::InvalidLength(bytes.len()));
+    }
+    let nibble = |b: u8, pos: usize| -> Result<u8, CodecError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(CodecError::InvalidByte(pos)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        out.push((nibble(bytes[i], i)? << 4) | nibble(bytes[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Encodes bytes with the URL-safe base64 alphabet, unpadded (the form
+/// exchanges embed in query strings).
+pub fn base64url_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        if chunk.len() > 1 {
+            out.push(B64[(n >> 6) as usize & 63] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(B64[n as usize & 63] as char);
+        }
+    }
+    out
+}
+
+/// Decodes URL-safe base64 (unpadded; trailing `=` padding is tolerated).
+pub fn base64url_decode(s: &str) -> Result<Vec<u8>, CodecError> {
+    let trimmed = s.trim_end_matches('=');
+    let bytes = trimmed.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(CodecError::InvalidLength(s.len()));
+    }
+    let val = |b: u8, pos: usize| -> Result<u32, CodecError> {
+        match b {
+            b'A'..=b'Z' => Ok((b - b'A') as u32),
+            b'a'..=b'z' => Ok((b - b'a' + 26) as u32),
+            b'0'..=b'9' => Ok((b - b'0' + 52) as u32),
+            b'-' => Ok(62),
+            b'_' => Ok(63),
+            _ => Err(CodecError::InvalidByte(pos)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    for (ci, chunk) in bytes.chunks(4).enumerate() {
+        let base = ci * 4;
+        let mut n = 0u32;
+        for (i, &b) in chunk.iter().enumerate() {
+            n |= val(b, base + i)? << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hex_round_trip() {
+        assert_eq!(hex_encode(&[0x00, 0xff, 0x5a]), "00ff5a");
+        assert_eq!(hex_decode("00ff5a").unwrap(), vec![0x00, 0xff, 0x5a]);
+        assert_eq!(hex_decode("00FF5A").unwrap(), vec![0x00, 0xff, 0x5a]);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_rejects() {
+        assert_eq!(hex_decode("abc"), Err(CodecError::InvalidLength(3)));
+        assert_eq!(hex_decode("zz"), Err(CodecError::InvalidByte(0)));
+        assert_eq!(hex_decode("a!"), Err(CodecError::InvalidByte(1)));
+    }
+
+    #[test]
+    fn base64url_known_vectors() {
+        // RFC 4648 vectors, translated to the URL-safe unpadded form.
+        assert_eq!(base64url_encode(b""), "");
+        assert_eq!(base64url_encode(b"f"), "Zg");
+        assert_eq!(base64url_encode(b"fo"), "Zm8");
+        assert_eq!(base64url_encode(b"foo"), "Zm9v");
+        assert_eq!(base64url_encode(b"foob"), "Zm9vYg");
+        assert_eq!(base64url_encode(b"fooba"), "Zm9vYmE");
+        assert_eq!(base64url_encode(b"foobar"), "Zm9vYmFy");
+        // The URL-safe alphabet appears where standard base64 would use +/.
+        assert_eq!(base64url_encode(&[0xfb, 0xff]), "-_8");
+    }
+
+    #[test]
+    fn base64url_decode_tolerates_padding() {
+        assert_eq!(base64url_decode("Zm9vYg==").unwrap(), b"foob");
+        assert_eq!(base64url_decode("Zm9vYg").unwrap(), b"foob");
+    }
+
+    #[test]
+    fn base64url_rejects() {
+        assert!(matches!(base64url_decode("Zm9v+"), Err(CodecError::InvalidLength(_))));
+        assert_eq!(base64url_decode("Zm+v"), Err(CodecError::InvalidByte(2)));
+        assert_eq!(base64url_decode("Zm/v"), Err(CodecError::InvalidByte(2)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hex_round_trip(data: Vec<u8>) {
+            prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_base64url_round_trip(data: Vec<u8>) {
+            prop_assert_eq!(base64url_decode(&base64url_encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_base64url_is_url_safe(data: Vec<u8>) {
+            let s = base64url_encode(&data);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_'));
+        }
+    }
+}

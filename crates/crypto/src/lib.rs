@@ -1,0 +1,37 @@
+//! Cryptographic substrate: the encrypted winning-price channel.
+//!
+//! A growing share of 2015-era exchanges delivered their charge prices as
+//! opaque 28-byte tokens (§2.3 of the paper cites Google's scheme, which
+//! "cannot easily be broken"). The whole premise of the paper is that an
+//! on-path observer — the user's own browser — sees these tokens but cannot
+//! decrypt them, so prices must be *estimated* from auction metadata.
+//!
+//! To reproduce that constraint faithfully the simulator needs a real
+//! scheme: exchanges hold keys and encrypt; DSPs hold the same keys and
+//! decrypt; the analyzer/YourAdValue side holds nothing and can only
+//! recognise the token shape. This crate provides:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, from scratch;
+//! * [`hmac`] — RFC 2104 HMAC over SHA-256;
+//! * [`price`] — the DoubleClick-style `iv ‖ (plaintext ⊕ pad) ‖ signature`
+//!   construction over a 28-byte layout (16-byte IV, 8-byte price,
+//!   4-byte integrity tag);
+//! * [`codec`] — hex and URL-safe base64, the encodings those tokens wear
+//!   inside notification URLs.
+//!
+//! No third-party crypto crates are used; determinism and auditability
+//! matter more here than raw speed, though the implementation still hashes
+//! hundreds of MB/s — far beyond what the simulator needs.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod hmac;
+pub mod price;
+pub mod sha256;
+
+pub use codec::{base64url_decode, base64url_encode, hex_decode, hex_encode};
+pub use hmac::hmac_sha256;
+pub use price::{EncryptedPrice, PriceCrypter, PriceKeys, PriceTokenError};
+pub use sha256::{sha256, Sha256};

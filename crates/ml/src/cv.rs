@@ -1,0 +1,225 @@
+//! Stratified k-fold cross-validation.
+//!
+//! §5.4's protocol: "we applied 10-fold cross validation, and averaged
+//! results over 10 runs". [`cross_validate`] reproduces exactly that,
+//! collecting the confusion statistics and weighted AUCROC of every fold.
+
+use crate::dataset::Dataset;
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::metrics::{auc_roc_ovr, ConfusionMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated cross-validation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvReport {
+    /// Folds per run.
+    pub folds: usize,
+    /// Repeated runs.
+    pub runs: usize,
+    /// Mean accuracy (== weighted TP rate).
+    pub accuracy: f64,
+    /// Mean weighted precision.
+    pub precision: f64,
+    /// Mean weighted recall.
+    pub recall: f64,
+    /// Mean weighted FP rate.
+    pub fp_rate: f64,
+    /// Mean weighted one-vs-rest AUCROC.
+    pub auc_roc: f64,
+    /// Per-class mean recall (to check "no class worse than 5 % from the
+    /// average", §5.4).
+    pub per_class_recall: Vec<f64>,
+}
+
+impl CvReport {
+    /// Largest gap between any class's recall and the overall recall.
+    pub fn worst_class_gap(&self) -> f64 {
+        self.per_class_recall
+            .iter()
+            .filter(|r| r.is_finite())
+            .map(|r| (self.recall - r).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Stratified fold assignment: each class's rows are shuffled and dealt
+/// round-robin, so every fold mirrors the class balance.
+pub fn stratified_folds(data: &Dataset, folds: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut assignment = vec![0usize; data.len()];
+    for class in 0..data.n_classes() {
+        let mut rows: Vec<usize> =
+            (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        rows.shuffle(rng);
+        for (j, &row) in rows.iter().enumerate() {
+            assignment[row] = j % folds;
+        }
+    }
+    assignment
+}
+
+/// Runs `runs` × `folds`-fold stratified CV of a random forest and
+/// averages the §5.4 metric suite.
+pub fn cross_validate(
+    data: &Dataset,
+    config: &RandomForestConfig,
+    folds: usize,
+    runs: usize,
+    seed: u64,
+) -> CvReport {
+    assert!(folds >= 2, "need at least two folds");
+    assert!(runs >= 1, "need at least one run");
+    let mut acc = Vec::new();
+    let mut prec = Vec::new();
+    let mut rec = Vec::new();
+    let mut fpr = Vec::new();
+    let mut auc = Vec::new();
+    let mut class_rec = vec![Vec::new(); data.n_classes()];
+
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
+        let assignment = stratified_folds(data, folds, &mut rng);
+        for fold in 0..folds {
+            let train: Vec<usize> =
+                (0..data.len()).filter(|&i| assignment[i] != fold).collect();
+            let test: Vec<usize> =
+                (0..data.len()).filter(|&i| assignment[i] == fold).collect();
+            if train.is_empty() || test.is_empty() {
+                continue;
+            }
+            let train_ds = data.select(&train);
+            let forest = RandomForest::fit(
+                &train_ds,
+                &RandomForestConfig {
+                    seed: config.seed ^ ((run * folds + fold) as u64) << 8,
+                    ..*config
+                },
+            );
+            let mut actual = Vec::with_capacity(test.len());
+            let mut predicted = Vec::with_capacity(test.len());
+            let mut probs = Vec::with_capacity(test.len());
+            for &i in &test {
+                let p = forest.predict_proba(data.row(i));
+                predicted.push(crate::tree::argmax(&p));
+                probs.push(p);
+                actual.push(data.label(i));
+            }
+            let cm = ConfusionMatrix::from_labels(data.n_classes(), &actual, &predicted);
+            acc.push(cm.accuracy());
+            prec.push(cm.weighted_precision());
+            rec.push(cm.weighted_recall());
+            fpr.push(cm.weighted_fp_rate());
+            let a = auc_roc_ovr(&probs, &actual, data.n_classes());
+            if a.is_finite() {
+                auc.push(a);
+            }
+            for (c, bucket) in class_rec.iter_mut().enumerate() {
+                let r = cm.recall(c);
+                if r.is_finite() {
+                    bucket.push(r);
+                }
+            }
+        }
+    }
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    CvReport {
+        folds,
+        runs,
+        accuracy: mean(&acc),
+        precision: mean(&prec),
+        recall: mean(&rec),
+        fp_rate: mean(&fpr),
+        auc_roc: mean(&auc),
+        per_class_recall: class_rec.iter().map(|v| mean(v)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+
+    fn dataset() -> Dataset {
+        // Separable 3-class problem with mild label noise.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..450usize {
+            let x = (i % 45) as f64 / 45.0;
+            let y = ((i * 11) % 45) as f64 / 45.0;
+            let mut label = if x < 0.33 { 0 } else if y < 0.5 { 1 } else { 2 };
+            if i % 29 == 0 {
+                label = (label + 1) % 3; // noise
+            }
+            rows.push(vec![x, y]);
+            labels.push(label);
+        }
+        Dataset::new(rows, labels, 3, vec!["x".into(), "y".into()])
+    }
+
+    fn quick_config() -> RandomForestConfig {
+        RandomForestConfig {
+            n_trees: 10,
+            tree: TreeConfig { max_depth: 8, ..TreeConfig::default() },
+            seed: 3,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let assignment = stratified_folds(&data, 10, &mut rng);
+        for fold in 0..10 {
+            for class in 0..3 {
+                let in_fold = (0..data.len())
+                    .filter(|&i| assignment[i] == fold && data.label(i) == class)
+                    .count();
+                let total = data.class_counts()[class];
+                let expected = total as f64 / 10.0;
+                assert!(
+                    (in_fold as f64 - expected).abs() <= 1.0,
+                    "fold {fold} class {class}: {in_fold} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cv_report_on_learnable_data() {
+        let report = cross_validate(&dataset(), &quick_config(), 5, 2, 1);
+        assert!(report.accuracy > 0.85, "accuracy {}", report.accuracy);
+        assert!(report.auc_roc > 0.9, "auc {}", report.auc_roc);
+        assert!(report.precision > 0.8);
+        assert!(report.fp_rate < 0.15);
+        assert_eq!(report.per_class_recall.len(), 3);
+        assert!(report.worst_class_gap() < 0.2);
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let a = cross_validate(&dataset(), &quick_config(), 4, 1, 9);
+        let b = cross_validate(&dataset(), &quick_config(), 4, 1, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unlearnable_labels_score_near_chance() {
+        // Labels depend on nothing the features know.
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 10) as f64]).collect();
+        let labels: Vec<usize> = (0..300).map(|i| (i * 7 + i / 13) % 3).collect();
+        let data = Dataset::new(rows, labels, 3, vec!["junk".into()]);
+        let report = cross_validate(&data, &quick_config(), 5, 1, 2);
+        assert!(report.accuracy < 0.55, "accuracy {} should be near 1/3", report.accuracy);
+        assert!((report.auc_roc - 0.5).abs() < 0.2, "auc {}", report.auc_roc);
+    }
+}

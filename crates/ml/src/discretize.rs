@@ -1,0 +1,256 @@
+//! Price-class construction (§5.1).
+//!
+//! The paper log-transforms charge prices and clusters them into four
+//! "well balanced" classes with an unsupervised equal-interval model whose
+//! splits are chosen by a leave-one-out entropy estimate. We reproduce
+//! that as: log-transform → search candidate cut vectors (quantile grid)
+//! → keep the cuts maximising the leave-one-out (Miller–Madow-corrected)
+//! Shannon entropy of the induced class distribution. Maximal entropy ⇔
+//! balanced occupancy, which is the property the classifier needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted price discretiser: `k − 1` ascending cut points in log-space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discretizer {
+    /// Ascending cut points (natural-log CPM).
+    cuts: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fits `k` classes over positive price values (CPM). Non-positive and
+    /// non-finite values are ignored during fitting.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` or fewer than `k` finite positive values remain.
+    pub fn fit(prices_cpm: &[f64], k: usize) -> Discretizer {
+        assert!(k >= 2, "need at least two classes");
+        let mut logs: Vec<f64> = prices_cpm
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite() && *p > 0.0)
+            .map(|p| p.ln())
+            .collect();
+        assert!(logs.len() >= k, "need at least k positive prices");
+        logs.sort_by(|a, b| a.total_cmp(b));
+
+        // Candidate cut positions: a fine quantile grid. We search the
+        // (k−1)-subset greedily — start from equal-frequency quantiles and
+        // hill-climb each cut over the grid while the LOO entropy improves.
+        let grid: Vec<f64> = (1..100)
+            .map(|i| quantile(&logs, i as f64 / 100.0))
+            .collect();
+
+        let mut cuts: Vec<f64> =
+            (1..k).map(|i| quantile(&logs, i as f64 / k as f64)).collect();
+        let mut best = loo_entropy(&logs, &cuts);
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for ci in 0..cuts.len() {
+                for &cand in &grid {
+                    // Keep cuts strictly ordered.
+                    let lo = if ci == 0 { f64::NEG_INFINITY } else { cuts[ci - 1] };
+                    let hi = if ci + 1 == cuts.len() { f64::INFINITY } else { cuts[ci + 1] };
+                    if cand <= lo || cand >= hi || cand == cuts[ci] {
+                        continue;
+                    }
+                    let old = cuts[ci];
+                    cuts[ci] = cand;
+                    let e = loo_entropy(&logs, &cuts);
+                    if e > best + 1e-12 {
+                        best = e;
+                        improved = true;
+                    } else {
+                        cuts[ci] = old;
+                    }
+                }
+            }
+        }
+        Discretizer { cuts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The class of a price (CPM). Non-positive prices land in class 0.
+    pub fn assign(&self, price_cpm: f64) -> usize {
+        // NaN and non-positive prices land in class 0 (note: a plain
+        // `<= 0.0` would misroute NaN).
+        if price_cpm.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return 0;
+        }
+        let lp = price_cpm.ln();
+        self.cuts.partition_point(|&c| c <= lp)
+    }
+
+    /// Representative (geometric-mid) price of a class, for turning a
+    /// predicted class back into a CPM estimate. Edge classes use the
+    /// adjacent cut shifted by half the mean inner width.
+    pub fn class_price(&self, class: usize) -> f64 {
+        let k = self.n_classes();
+        assert!(class < k, "class {class} out of range");
+        let cuts = &self.cuts;
+        let width = if cuts.len() >= 2 {
+            (cuts[cuts.len() - 1] - cuts[0]) / (cuts.len() - 1) as f64
+        } else {
+            1.0
+        };
+        let log_mid = if class == 0 {
+            cuts[0] - width / 2.0
+        } else if class == k - 1 {
+            cuts[k - 2] + width / 2.0
+        } else {
+            (cuts[class - 1] + cuts[class]) / 2.0
+        };
+        log_mid.exp()
+    }
+
+    /// The cut points (log-CPM).
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+}
+
+/// Interpolated quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Leave-one-out (Miller–Madow) entropy of the class occupancy induced by
+/// `cuts` over sorted log-values: plug-in Shannon entropy plus the
+/// `(m−1)/2n` small-sample correction, where `m` is the number of
+/// *occupied* classes. Empty classes are heavily penalised by the plug-in
+/// term already (they contribute nothing while starving others).
+fn loo_entropy(sorted_logs: &[f64], cuts: &[f64]) -> f64 {
+    let k = cuts.len() + 1;
+    let n = sorted_logs.len() as f64;
+    let mut counts = vec![0usize; k];
+    for &v in sorted_logs {
+        counts[cuts.partition_point(|&c| c <= v)] += 1;
+    }
+    let occupied = counts.iter().filter(|&&c| c > 0).count();
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.ln();
+        }
+    }
+    h + (occupied as f64 - 1.0) / (2.0 * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic, bimodal log-price sample.
+    fn prices() -> Vec<f64> {
+        let mut v = Vec::new();
+        for i in 0..400 {
+            v.push(0.1 * (1.0 + (i % 13) as f64 / 13.0)); // cheap cluster
+            v.push(2.0 * (1.0 + (i % 7) as f64 / 7.0)); // dear cluster
+        }
+        v
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let p = prices();
+        let d = Discretizer::fit(&p, 4);
+        assert_eq!(d.n_classes(), 4);
+        let mut counts = [0usize; 4];
+        for &x in &p {
+            counts[d.assign(x)] += 1;
+        }
+        let n = p.len();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > n / 10,
+                "class {i} too thin: {c}/{n} (counts {counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_monotone() {
+        let d = Discretizer::fit(&prices(), 4);
+        let mut last = 0;
+        for i in 1..200 {
+            let x = 0.01 * 1.06f64.powi(i);
+            let c = d.assign(x);
+            assert!(c >= last, "class must not decrease with price");
+            last = c;
+        }
+        assert_eq!(last, 3, "large prices reach the top class");
+    }
+
+    #[test]
+    fn cuts_sorted_and_class_prices_ordered() {
+        let d = Discretizer::fit(&prices(), 4);
+        for w in d.cuts().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for c in 0..3 {
+            assert!(d.class_price(c) < d.class_price(c + 1));
+        }
+    }
+
+    #[test]
+    fn class_price_lands_inside_class() {
+        let d = Discretizer::fit(&prices(), 4);
+        for c in 0..4 {
+            assert_eq!(d.assign(d.class_price(c)), c, "representative of class {c}");
+        }
+    }
+
+    #[test]
+    fn nonpositive_prices_default_to_class_zero() {
+        let d = Discretizer::fit(&prices(), 4);
+        assert_eq!(d.assign(0.0), 0);
+        assert_eq!(d.assign(-1.0), 0);
+        assert_eq!(d.assign(f64::NAN), 0);
+    }
+
+    #[test]
+    fn fit_ignores_junk() {
+        let mut p = prices();
+        p.push(f64::NAN);
+        p.push(-5.0);
+        p.push(0.0);
+        let d = Discretizer::fit(&p, 4);
+        assert_eq!(d.n_classes(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Discretizer::fit(&prices(), 4);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Discretizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn k1_rejected() {
+        Discretizer::fit(&[1.0, 2.0, 3.0], 1);
+    }
+
+    #[test]
+    fn more_classes_supported() {
+        // The paper tried 5–10 classes before settling on 4.
+        for k in 5..=10 {
+            let d = Discretizer::fit(&prices(), k);
+            assert_eq!(d.n_classes(), k);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Random forests: bagging + feature subsampling + out-of-bag error.
+//!
+//! §5.1 justifies the choice: the RF "takes into account the target
+//! variable, can be trained quickly on large datasets, maintains
+//! interpretability of features and generally does not overfit". Trees
+//! train in parallel with crossbeam scoped threads; each tree's RNG is
+//! derived from the forest seed and the tree index, so parallelism never
+//! affects the result.
+
+use crate::dataset::Dataset;
+use crate::tree::{argmax, DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree CART parameters. `features_per_split: None` here means
+    /// "use √d", the standard forest default.
+    pub tree: TreeConfig,
+    /// Seed for bootstrap and feature subsampling.
+    pub seed: u64,
+    /// Worker threads for training (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> RandomForestConfig {
+        RandomForestConfig {
+            n_trees: 40,
+            tree: TreeConfig { max_depth: 14, ..TreeConfig::default() },
+            seed: 0xF05E,
+            threads: 4,
+        }
+    }
+}
+
+/// A trained forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    /// Fraction of OOB rows misclassified during training.
+    oob_error: f64,
+    /// Normalised mean-decrease-impurity importances (sum to 1).
+    importances: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Trains a forest on the full dataset.
+    pub fn fit(data: &Dataset, config: &RandomForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let n = data.len();
+        let d = data.n_features();
+        let tree_config = TreeConfig {
+            features_per_split: config
+                .tree
+                .features_per_split
+                .or(Some(((d as f64).sqrt().ceil() as usize).max(1))),
+            ..config.tree
+        };
+
+        // Draw every tree's bootstrap up front (serially, so thread count
+        // cannot change results), then train in parallel.
+        let mut boots: Vec<Vec<usize>> = Vec::with_capacity(config.n_trees);
+        let mut seeds: Vec<u64> = Vec::with_capacity(config.n_trees);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..config.n_trees {
+            boots.push((0..n).map(|_| rng.gen_range(0..n)).collect());
+            seeds.push(rng.gen());
+        }
+
+        let threads = config.threads.max(1).min(config.n_trees);
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
+        if threads == 1 {
+            for (t, slot) in trees.iter_mut().enumerate() {
+                let mut trng = StdRng::seed_from_u64(seeds[t]);
+                *slot = Some(DecisionTree::fit(data, &boots[t], &tree_config, &mut trng));
+            }
+        } else {
+            let chunks: Vec<Vec<usize>> = (0..threads)
+                .map(|w| (w..config.n_trees).step_by(threads).collect())
+                .collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in &chunks {
+                    let boots = &boots;
+                    let seeds = &seeds;
+                    let tree_config = &tree_config;
+                    handles.push(scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&t| {
+                                let mut trng = StdRng::seed_from_u64(seeds[t]);
+                                (t, DecisionTree::fit(data, &boots[t], tree_config, &mut trng))
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    for (t, tree) in h.join().expect("tree trainer panicked") {
+                        trees[t] = Some(tree);
+                    }
+                }
+            })
+            .expect("training scope panicked");
+        }
+        let trees: Vec<DecisionTree> = trees.into_iter().map(|t| t.expect("all trained")).collect();
+
+        // Out-of-bag error: vote each row only with trees that never saw it.
+        let mut oob_votes = vec![vec![0.0f64; data.n_classes()]; n];
+        let mut in_bag = vec![false; n];
+        for (t, tree) in trees.iter().enumerate() {
+            in_bag.iter_mut().for_each(|b| *b = false);
+            for &i in &boots[t] {
+                in_bag[i] = true;
+            }
+            for (i, votes) in oob_votes.iter_mut().enumerate() {
+                if !in_bag[i] {
+                    for (c, p) in tree.predict_proba(data.row(i)).iter().enumerate() {
+                        votes[c] += p;
+                    }
+                }
+            }
+        }
+        let mut oob_wrong = 0usize;
+        let mut oob_total = 0usize;
+        for (i, votes) in oob_votes.iter().enumerate() {
+            if votes.iter().any(|&v| v > 0.0) {
+                oob_total += 1;
+                if argmax(votes) != data.label(i) {
+                    oob_wrong += 1;
+                }
+            }
+        }
+        let oob_error = if oob_total > 0 { oob_wrong as f64 / oob_total as f64 } else { f64::NAN };
+
+        // Aggregate and normalise importances.
+        let mut importances = vec![0.0f64; d];
+        for tree in &trees {
+            for (i, &v) in tree.importances().iter().enumerate() {
+                importances[i] += v;
+            }
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            importances.iter_mut().for_each(|v| *v /= total);
+        }
+
+        RandomForest { trees, n_classes: data.n_classes(), oob_error, importances }
+    }
+
+    /// Averaged class probabilities for one row.
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut probs = vec![0.0f64; self.n_classes];
+        for tree in &self.trees {
+            for (c, p) in tree.predict_proba(row).iter().enumerate() {
+                probs[c] += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        probs.iter_mut().for_each(|p| *p /= n);
+        probs
+    }
+
+    /// Majority-vote class for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba(row))
+    }
+
+    /// Out-of-bag error estimate from training.
+    pub fn oob_error(&self) -> f64 {
+        self.oob_error
+    }
+
+    /// Normalised feature importances.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The single most representative tree — the one whose lone
+    /// predictions agree most often with the full forest over `data`.
+    /// This is the compact model the PME ships to YourAdValue clients
+    /// ("apply the model M in the form of a decision tree", §3.2).
+    pub fn representative_tree(&self, data: &Dataset) -> &DecisionTree {
+        let mut best = (0usize, -1.0f64);
+        for (t, tree) in self.trees.iter().enumerate() {
+            let agree = (0..data.len())
+                .filter(|&i| tree.predict(data.row(i)) == self.predict(data.row(i)))
+                .count() as f64;
+            if agree > best.1 {
+                best = (t, agree);
+            }
+        }
+        &self.trees[best.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 3-class dataset with two informative features and one
+    /// pure-noise feature.
+    fn dataset(n: usize) -> Dataset {
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i % 30) as f64 / 30.0;
+            let y = ((i * 7) % 30) as f64 / 30.0;
+            let noise = ((i * 13) % 17) as f64;
+            let label = if x < 0.33 {
+                0
+            } else if y < 0.5 {
+                1
+            } else {
+                2
+            };
+            rows.push(vec![x, y, noise]);
+            labels.push(label);
+        }
+        Dataset::new(rows, labels, 3, vec!["x".into(), "y".into(), "noise".into()])
+    }
+
+    #[test]
+    fn learns_and_reports_low_oob() {
+        let data = dataset(600);
+        let forest = RandomForest::fit(&data, &RandomForestConfig::default());
+        let correct = (0..data.len())
+            .filter(|&i| forest.predict(data.row(i)) == data.label(i))
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.97);
+        assert!(forest.oob_error() < 0.1, "oob {}", forest.oob_error());
+    }
+
+    #[test]
+    fn importances_rank_signal_over_noise() {
+        let data = dataset(600);
+        let forest = RandomForest::fit(&data, &RandomForestConfig::default());
+        let imp = forest.importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[2] && imp[1] > imp[2], "importances {imp:?}");
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let data = dataset(300);
+        let mut cfg = RandomForestConfig { n_trees: 9, ..RandomForestConfig::default() };
+        cfg.threads = 1;
+        let serial = RandomForest::fit(&data, &cfg);
+        cfg.threads = 4;
+        let parallel = RandomForest::fit(&data, &cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = dataset(300);
+        let cfg = RandomForestConfig::default();
+        let a = RandomForest::fit(&data, &cfg);
+        let b = RandomForest::fit(&data, &cfg);
+        assert_eq!(a, b);
+        let c = RandomForest::fit(&data, &RandomForestConfig { seed: 99, ..cfg });
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = dataset(300);
+        let forest = RandomForest::fit(&data, &RandomForestConfig::default());
+        for i in (0..data.len()).step_by(37) {
+            let p = forest.predict_proba(data.row(i));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn representative_tree_agrees_with_forest() {
+        let data = dataset(400);
+        let forest = RandomForest::fit(&data, &RandomForestConfig::default());
+        let tree = forest.representative_tree(&data);
+        let agree = (0..data.len())
+            .filter(|&i| tree.predict(data.row(i)) == forest.predict(data.row(i)))
+            .count();
+        assert!(agree as f64 / data.len() as f64 > 0.9, "agreement {agree}/{}", data.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = dataset(200);
+        let cfg = RandomForestConfig { n_trees: 5, ..RandomForestConfig::default() };
+        let forest = RandomForest::fit(&data, &cfg);
+        let json = serde_json::to_string(&forest).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, forest);
+    }
+}

@@ -1,0 +1,254 @@
+//! Evaluation metrics: confusion-matrix statistics and AUCROC.
+//!
+//! §5.4 reports TP rate, FP rate, precision, recall and "weighted area
+//! under the receiver operating characteristic curve" — weighted averages
+//! across classes, Weka-style. Those exact quantities are computed here.
+
+use serde::{Deserialize, Serialize};
+
+/// A k×k confusion matrix: `m[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_labels(n_classes: usize, actual: &[usize], predicted: &[usize]) -> ConfusionMatrix {
+        assert_eq!(actual.len(), predicted.len(), "label slices must align");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            counts[a][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Support (actual count) of one class.
+    pub fn support(&self, class: usize) -> usize {
+        self.counts[class].iter().sum()
+    }
+
+    /// Overall accuracy — also the weighted-average TP rate (recall),
+    /// which is what Weka's "TP Rate" headline number is.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Per-class recall (TP rate).
+    pub fn recall(&self, class: usize) -> f64 {
+        let support = self.support(class);
+        if support == 0 {
+            return f64::NAN;
+        }
+        self.counts[class][class] as f64 / support as f64
+    }
+
+    /// Per-class precision.
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.n_classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            return f64::NAN;
+        }
+        self.counts[class][class] as f64 / predicted as f64
+    }
+
+    /// Per-class false-positive rate: of everything *not* in `class`, the
+    /// fraction predicted as `class`.
+    pub fn fp_rate(&self, class: usize) -> f64 {
+        let negatives: usize =
+            (0..self.n_classes()).filter(|&a| a != class).map(|a| self.support(a)).sum();
+        if negatives == 0 {
+            return f64::NAN;
+        }
+        let fp: usize =
+            (0..self.n_classes()).filter(|&a| a != class).map(|a| self.counts[a][class]).sum();
+        fp as f64 / negatives as f64
+    }
+
+    /// Support-weighted average of a per-class metric (skips NaN classes).
+    fn weighted(&self, f: impl Fn(usize) -> f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for c in 0..self.n_classes() {
+            let v = f(c);
+            let s = self.support(c) as f64;
+            if v.is_finite() && s > 0.0 {
+                num += v * s;
+                den += s;
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Weighted-average precision.
+    pub fn weighted_precision(&self) -> f64 {
+        self.weighted(|c| self.precision(c))
+    }
+
+    /// Weighted-average recall (== TP rate == accuracy when every class
+    /// has support).
+    pub fn weighted_recall(&self) -> f64 {
+        self.weighted(|c| self.recall(c))
+    }
+
+    /// Weighted-average FP rate.
+    pub fn weighted_fp_rate(&self) -> f64 {
+        self.weighted(|c| self.fp_rate(c))
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+}
+
+/// Binary ROC AUC from scores: probability a random positive outranks a
+/// random negative (ties count half) — the Mann–Whitney formulation,
+/// computed via ranks in O(n log n).
+pub fn auc_binary(scores: &[f64], positive: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positive.len());
+    let n_pos = positive.iter().filter(|&&p| p).count();
+    let n_neg = positive.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    // Mid-rank the scores.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if positive[k] {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Support-weighted one-vs-rest multiclass AUCROC from predicted
+/// probability vectors.
+pub fn auc_roc_ovr(probs: &[Vec<f64>], actual: &[usize], n_classes: usize) -> f64 {
+    assert_eq!(probs.len(), actual.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for c in 0..n_classes {
+        let scores: Vec<f64> = probs.iter().map(|p| p[c]).collect();
+        let positive: Vec<bool> = actual.iter().map(|&a| a == c).collect();
+        let support = positive.iter().filter(|&&p| p).count() as f64;
+        let auc = auc_binary(&scores, &positive);
+        if auc.is_finite() && support > 0.0 {
+            num += auc * support;
+            den += support;
+        }
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::NAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let cm = ConfusionMatrix::from_labels(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.weighted_precision(), 1.0);
+        assert_eq!(cm.weighted_recall(), 1.0);
+        assert_eq!(cm.weighted_fp_rate(), 0.0);
+    }
+
+    #[test]
+    fn known_matrix() {
+        // actual 0: predicted [0,0,1]; actual 1: predicted [1,1,0].
+        let cm = ConfusionMatrix::from_labels(2, &[0, 0, 0, 1, 1, 1], &[0, 0, 1, 1, 1, 0]);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.fp_rate(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.support(1), 3);
+        assert_eq!(cm.total(), 6);
+    }
+
+    #[test]
+    fn empty_class_is_nan_but_weighted_survives() {
+        let cm = ConfusionMatrix::from_labels(3, &[0, 0, 1], &[0, 0, 1]);
+        assert!(cm.recall(2).is_nan());
+        assert_eq!(cm.weighted_recall(), 1.0);
+    }
+
+    #[test]
+    fn auc_binary_separable() {
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+        let pos = [true, true, true, false, false, false];
+        assert_eq!(auc_binary(&scores, &pos), 1.0);
+        let inverted: Vec<bool> = pos.iter().map(|p| !p).collect();
+        assert_eq!(auc_binary(&scores, &inverted), 0.0);
+    }
+
+    #[test]
+    fn auc_binary_random_is_half() {
+        // Alternating labels with identical scores ⇒ 0.5 by tie-handling.
+        let scores = [0.5; 10];
+        let pos: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        assert!((auc_binary(&scores, &pos) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_binary_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8>0.6),(0.8>0.2),
+        // (0.4<0.6),(0.4>0.2) ⇒ 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let pos = [true, true, false, false];
+        assert!((auc_binary(&scores, &pos) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_is_nan() {
+        assert!(auc_binary(&[0.1, 0.2], &[true, true]).is_nan());
+    }
+
+    #[test]
+    fn ovr_weights_by_support() {
+        // Class 0 perfectly ranked (support 2), class 1 perfectly ranked
+        // (support 2): weighted AUC 1.
+        let probs = vec![
+            vec![0.9, 0.1],
+            vec![0.8, 0.2],
+            vec![0.1, 0.9],
+            vec![0.2, 0.8],
+        ];
+        let actual = [0, 0, 1, 1];
+        assert_eq!(auc_roc_ovr(&probs, &actual, 2), 1.0);
+    }
+}

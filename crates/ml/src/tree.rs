@@ -1,0 +1,502 @@
+//! CART decision trees.
+//!
+//! The model YourAdValue ships to clients is "a decision tree" (§3.2), so
+//! trees here are plain serde-serialisable data. Training is exact CART:
+//! at each node, candidate features (optionally a random subset — that is
+//! the random-forest hook) are scanned over sorted value midpoints for the
+//! split with the best Gini-impurity decrease.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be split further.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Features tried per split; `None` means all (plain CART), `Some(m)`
+    /// samples `m` without replacement (random-forest mode).
+    pub features_per_split: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            features_per_split: None,
+        }
+    }
+}
+
+/// Tree nodes. Stored as an arena (`Vec<Node>`) with index links, which
+/// serialises compactly and keeps prediction cache-friendly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: `row[feature] <= threshold` goes left.
+    Split {
+        /// Feature column index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+    /// Leaf: class probability vector.
+    Leaf {
+        /// P(class) per class.
+        probs: Vec<f64>,
+    },
+}
+
+/// A trained classification tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+    /// Total Gini-impurity decrease credited to each feature during
+    /// training (unnormalised mean-decrease-impurity importances).
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on (a subset of) a dataset. `indices` selects the
+    /// training rows (bootstrap samples pass duplicates freely); `rng`
+    /// drives feature subsampling only.
+    pub fn fit(data: &Dataset, indices: &[usize], config: &TreeConfig, rng: &mut StdRng) -> DecisionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+            importances: vec![0.0; data.n_features()],
+        };
+        let mut idx = indices.to_vec();
+        tree.build(data, &mut idx, 0, config, rng);
+        tree
+    }
+
+    /// Recursive node construction over `indices` (reordered in place);
+    /// returns the node's arena index.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = class_counts(data, indices, self.n_classes);
+        let node_impurity = gini(&counts, indices.len());
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+
+        if pure
+            || depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+        {
+            return self.push_leaf(&counts, indices.len());
+        }
+
+        let Some((feature, threshold, gain)) =
+            self.best_split(data, indices, node_impurity, config, rng)
+        else {
+            return self.push_leaf(&counts, indices.len());
+        };
+
+        self.importances[feature] += gain * indices.len() as f64;
+
+        // Partition in place.
+        let mut mid = 0usize;
+        for i in 0..indices.len() {
+            if data.row(indices[i])[feature] <= threshold {
+                indices.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < indices.len());
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+        let (l, r) = {
+            let (left_idx, right_idx) = indices.split_at_mut(mid);
+            let l = self.build(data, left_idx, depth + 1, config, rng);
+            let r = self.build(data, right_idx, depth + 1, config, rng);
+            (l, r)
+        };
+        if let Node::Split { left, right, .. } = &mut self.nodes[node_idx] {
+            *left = l;
+            *right = r;
+        }
+        node_idx
+    }
+
+    fn push_leaf(&mut self, counts: &[usize], n: usize) -> usize {
+        let probs = counts.iter().map(|&c| c as f64 / n.max(1) as f64).collect();
+        self.nodes.push(Node::Leaf { probs });
+        self.nodes.len() - 1
+    }
+
+    /// Finds the best (feature, threshold) by Gini gain; `None` if no
+    /// split satisfies the leaf-size constraints.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        node_impurity: f64,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64, f64)> {
+        let all: Vec<usize> = (0..self.n_features).collect();
+        // With feature subsampling, order the *full* roster with the random
+        // subset first: the scan below stops after the subset if it found a
+        // valid split, but keeps drawing further features when it did not
+        // (sklearn semantics — a node only becomes a leaf when no feature
+        // at all can split it).
+        let (features, subset_len): (Vec<usize>, usize) = match config.features_per_split {
+            Some(m) if m < all.len() => {
+                let mut shuffled = all.clone();
+                for i in 0..shuffled.len() {
+                    let j = rng.gen_range(i..shuffled.len());
+                    shuffled.swap(i, j);
+                }
+                (shuffled, m)
+            }
+            _ => {
+                let len = all.len();
+                (all, len)
+            }
+        };
+
+        let n = indices.len();
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for (fi, &f) in features.iter().enumerate() {
+            if fi >= subset_len && best.is_some() {
+                break; // subset exhausted and a valid split exists
+            }
+            pairs.clear();
+            pairs.extend(indices.iter().map(|&i| (data.row(i)[f], data.label(i))));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if pairs[0].0 == pairs[n - 1].0 {
+                continue; // constant feature here
+            }
+
+            let mut left_counts = vec![0usize; self.n_classes];
+            let total_counts = {
+                let mut t = vec![0usize; self.n_classes];
+                for &(_, l) in pairs.iter() {
+                    t[l] += 1;
+                }
+                t
+            };
+            for split_at in 1..n {
+                left_counts[pairs[split_at - 1].1] += 1;
+                // Only split between distinct values.
+                if pairs[split_at - 1].0 == pairs[split_at].0 {
+                    continue;
+                }
+                let n_left = split_at;
+                let n_right = n - split_at;
+                if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+                    continue;
+                }
+                let right_counts: Vec<usize> = total_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                    + n_right as f64 * gini(&right_counts, n_right))
+                    / n as f64;
+                let gain = node_impurity - weighted;
+                if gain > best.map(|(_, _, g)| g).unwrap_or(1e-12) {
+                    let threshold = (pairs[split_at - 1].0 + pairs[split_at].0) / 2.0;
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Class-probability vector for one feature row.
+    pub fn predict_proba(&self, row: &[f64]) -> &[f64] {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf { probs } => return probs,
+            }
+        }
+    }
+
+    /// Most probable class for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        argmax(self.predict_proba(row))
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of feature columns expected.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Node count (size of the shipped model).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.depth_of(0)
+    }
+
+    fn depth_of(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + self.depth_of(*left).max(self.depth_of(*right)),
+        }
+    }
+
+    /// Unnormalised impurity-decrease importances.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+}
+
+/// Index of the largest element (first wins ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn class_counts(data: &Dataset, indices: &[usize], k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    counts
+}
+
+/// Gini impurity of a count vector.
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0;
+    for &c in counts {
+        let p = c as f64 / n as f64;
+        sum_sq += p * p;
+    }
+    1.0 - sum_sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A hierarchical two-feature dataset: class 1 iff `a > 0.5 && b > 0.5`.
+    /// Greedy CART needs both features (depth ≥ 2) to solve it exactly,
+    /// and — unlike XOR — its first split has positive gain.
+    fn xor_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            // jitter that never crosses the 0.5 boundaries
+            let j = (i % 10) as f64 * 0.01;
+            rows.push(vec![a + j, b + j]);
+            labels.push((a as usize) & (b as usize));
+        }
+        Dataset::new(rows, labels, 2, vec!["a".into(), "b".into()])
+    }
+
+    fn fit(data: &Dataset, config: TreeConfig) -> DecisionTree {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        DecisionTree::fit(data, &idx, &config, &mut rng)
+    }
+
+    #[test]
+    fn solves_xor() {
+        let data = xor_dataset();
+        let tree = fit(&data, TreeConfig::default());
+        for i in 0..data.len() {
+            assert_eq!(tree.predict(data.row(i)), data.label(i), "row {i}");
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let data = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1],
+            2,
+            vec!["x".into()],
+        );
+        let tree = fit(&data, TreeConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[42.0]), 1);
+        assert_eq!(tree.predict_proba(&[42.0]), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_depth_zero_is_majority_vote() {
+        let data = xor_dataset();
+        let tree = fit(&data, TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        assert_eq!(tree.n_nodes(), 1);
+        // The AND dataset is 75 % class 0 / 25 % class 1.
+        let p = tree.predict_proba(&[0.0, 0.0]);
+        assert!((p[0] - 0.75).abs() < 1e-9 && (p[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let data = xor_dataset();
+        let tree = fit(
+            &data,
+            TreeConfig { min_samples_leaf: 60, ..TreeConfig::default() },
+        );
+        // With 200 rows and 60-sample leaves the tree can split at most
+        // a couple of times.
+        assert!(tree.n_nodes() <= 7, "nodes {}", tree.n_nodes());
+    }
+
+    #[test]
+    fn importances_credit_used_features() {
+        let data = xor_dataset();
+        let tree = fit(&data, TreeConfig::default());
+        let imp = tree.importances();
+        assert!(imp[0] > 0.0 && imp[1] > 0.0, "xor needs both features: {imp:?}");
+
+        // A dataset where only feature 0 matters.
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 2) as f64, (i % 7) as f64]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let d2 = Dataset::new(rows, labels, 2, vec!["sig".into(), "noise".into()]);
+        let t2 = fit(&d2, TreeConfig::default());
+        assert!(t2.importances()[0] > 10.0 * t2.importances()[1].max(1e-9));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = xor_dataset();
+        let tree = fit(&data, TreeConfig::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(back.predict(data.row(3)), tree.predict(data.row(3)));
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(
+            &data,
+            &idx,
+            &TreeConfig { features_per_split: Some(1), ..TreeConfig::default() },
+            &mut rng,
+        );
+        let correct = (0..data.len())
+            .filter(|&i| tree.predict(data.row(i)) == data.label(i))
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[0.3, 0.3, 0.2]), 0);
+        assert_eq!(argmax(&[0.1, 0.5, 0.4]), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// A trained tree's probability vectors always form a simplex and
+        /// its predictions stay within the trained label range, for any
+        /// deterministic dataset shape and any query point.
+        #[test]
+        fn prop_tree_is_well_formed(
+            seed in 0u64..500,
+            n in 20usize..120,
+            n_classes in 2usize..5,
+            depth in 1usize..10,
+            qx in -100.0f64..100.0,
+            qy in -100.0f64..100.0,
+        ) {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
+                    let y = ((i as u64).wrapping_mul(seed + 13) % 89) as f64;
+                    vec![x, y]
+                })
+                .collect();
+            let labels: Vec<usize> =
+                (0..n).map(|i| (i.wrapping_mul(3) + seed as usize) % n_classes).collect();
+            let data = Dataset::new(rows, labels, n_classes, vec!["x".into(), "y".into()]);
+            let idx: Vec<usize> = (0..n).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tree = DecisionTree::fit(
+                &data,
+                &idx,
+                &TreeConfig { max_depth: depth, ..TreeConfig::default() },
+                &mut rng,
+            );
+            let probs = tree.predict_proba(&[qx, qy]);
+            prop_assert_eq!(probs.len(), n_classes);
+            prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            prop_assert!(tree.predict(&[qx, qy]) < n_classes);
+            prop_assert!(tree.depth() <= depth);
+        }
+
+        /// Training rows are always predicted to a class that actually
+        /// occurs among them (the tree cannot invent labels).
+        #[test]
+        fn prop_predictions_use_seen_labels(seed in 0u64..200) {
+            let rows: Vec<Vec<f64>> =
+                (0..60).map(|i| vec![((i as u64 * (seed + 3)) % 31) as f64]).collect();
+            // Only classes 1 and 3 of a 5-class space appear.
+            let labels: Vec<usize> = (0..60).map(|i| if i % 2 == 0 { 1 } else { 3 }).collect();
+            let data = Dataset::new(rows, labels, 5, vec!["x".into()]);
+            let idx: Vec<usize> = (0..60).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tree = DecisionTree::fit(&data, &idx, &TreeConfig::default(), &mut rng);
+            for q in [-5.0, 0.0, 15.5, 400.0] {
+                let p = tree.predict(&[q]);
+                prop_assert!(p == 1 || p == 3, "invented class {p}");
+            }
+        }
+    }
+}

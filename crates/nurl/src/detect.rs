@@ -1,0 +1,210 @@
+//! Observer-side nURL detection.
+//!
+//! The weblog analyzer and the YourAdValue client both sift raw request
+//! URLs for winning-price notifications. [`NurlDetector`] holds the macro
+//! list (exchange domain, notification path, price-parameter name) and
+//! classifies each URL in one pass, without assuming the emitting side was
+//! well-behaved: the price parameter's *value shape* decides whether the
+//! observation is cleartext or encrypted, and echoed bid prices are
+//! ignored per §4.1.
+
+use crate::template;
+use crate::url::Url;
+use yav_crypto::EncryptedPrice;
+use yav_types::{Adx, Cpm};
+
+/// A charge price spotted in traffic, as the observer sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectedPrice {
+    /// Readable decimal CPM.
+    Cleartext(Cpm),
+    /// Opaque token — only its wire form is known.
+    Encrypted(EncryptedPrice),
+    /// The notification's price field existed but was unintelligible.
+    Garbled,
+}
+
+impl DetectedPrice {
+    /// The cleartext value, if readable.
+    pub fn cleartext(&self) -> Option<Cpm> {
+        match self {
+            DetectedPrice::Cleartext(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// True for the encrypted variant.
+    pub fn is_encrypted(&self) -> bool {
+        matches!(self, DetectedPrice::Encrypted(_))
+    }
+}
+
+/// A detected winning-price notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The exchange whose endpoint fired.
+    pub adx: Adx,
+    /// The price observation.
+    pub price: DetectedPrice,
+    /// The bidder's callback domain, when echoed.
+    pub bidder_domain: Option<String>,
+}
+
+/// Stateless detector around the built-in macro list.
+///
+/// Construction is cheap; hold one per analysis pass.
+#[derive(Debug, Clone, Default)]
+pub struct NurlDetector {
+    _private: (),
+}
+
+impl NurlDetector {
+    /// Creates a detector with the built-in macro list.
+    pub fn new() -> NurlDetector {
+        NurlDetector { _private: () }
+    }
+
+    /// Classifies one URL. Returns `None` for ordinary traffic.
+    pub fn detect(&self, url: &Url) -> Option<Detection> {
+        let adx = Adx::from_domain(url.host())?;
+        if url.path() != template::notification_path(adx) {
+            return None;
+        }
+        let price_param = template::price_macros()
+            .find(|(a, _)| *a == adx)
+            .map(|(_, p)| p)
+            .expect("macro list covers every Adx");
+
+        let raw = url.query(price_param)?;
+        let price = Self::classify_price(raw);
+        Some(Detection {
+            adx,
+            price,
+            bidder_domain: url.query("bidder").map(str::to_owned),
+        })
+    }
+
+    /// Shape-classifies a raw price value: decimal ⇒ cleartext; 28-byte
+    /// token (hex or base64url) ⇒ encrypted; anything else ⇒ garbled.
+    pub fn classify_price(raw: &str) -> DetectedPrice {
+        if raw.len() == 56 && raw.bytes().all(|b| b.is_ascii_hexdigit()) {
+            if let Ok(bytes) = yav_crypto::hex_decode(raw) {
+                if let Ok(tok) = EncryptedPrice::from_wire(&yav_crypto::base64url_encode(&bytes)) {
+                    return DetectedPrice::Encrypted(tok);
+                }
+            }
+            return DetectedPrice::Garbled;
+        }
+        if let Ok(p) = raw.parse::<Cpm>() {
+            return DetectedPrice::Cleartext(p);
+        }
+        match EncryptedPrice::from_wire(raw) {
+            Ok(tok) => DetectedPrice::Encrypted(tok),
+            Err(_) => DetectedPrice::Garbled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{NurlFields, PricePayload};
+    use crate::template::emit;
+    use yav_crypto::{PriceCrypter, PriceKeys};
+    use yav_types::{AuctionId, DspId, ImpressionId};
+
+    fn token() -> EncryptedPrice {
+        PriceCrypter::new(PriceKeys::derive("det")).encrypt(2_000_000, [5u8; 16])
+    }
+
+    #[test]
+    fn detects_cleartext_emission() {
+        let fields = NurlFields::minimal(
+            Adx::MoPub,
+            DspId(1),
+            PricePayload::Cleartext(Cpm::from_f64(0.95)),
+            ImpressionId(1),
+            AuctionId(1),
+        );
+        let det = NurlDetector::new().detect(&emit(&fields)).unwrap();
+        assert_eq!(det.adx, Adx::MoPub);
+        assert_eq!(det.price.cleartext(), Some(Cpm::from_f64(0.95)));
+        assert_eq!(det.bidder_domain.as_deref(), Some("bidder.criteo.com"));
+    }
+
+    #[test]
+    fn detects_encrypted_emission_any_codec() {
+        for adx in [Adx::DoubleClick, Adx::MathTag, Adx::OpenX] {
+            let fields = NurlFields::minimal(
+                adx,
+                DspId(0),
+                PricePayload::Encrypted(token()),
+                ImpressionId(2),
+                AuctionId(2),
+            );
+            let det = NurlDetector::new().detect(&emit(&fields)).unwrap();
+            assert!(det.price.is_encrypted(), "{adx}");
+        }
+    }
+
+    #[test]
+    fn ignores_ordinary_traffic() {
+        let d = NurlDetector::new();
+        for s in [
+            "http://www.elmundo.es/index.html",
+            "https://cdn.example.com/lib.js?v=3",
+            "http://cpp.imp.mpx.mopub.com/robots.txt",
+        ] {
+            assert_eq!(d.detect(&Url::parse(s).unwrap()), None, "{s}");
+        }
+    }
+
+    #[test]
+    fn off_style_exchange_still_classified_by_shape() {
+        // A cleartext-house exchange delivering an encrypted token (or the
+        // reverse) must still be classified correctly: §2.4's Figure 2 is
+        // exactly the drift of ADX-DSP pairs from one style to the other.
+        let enc_on_clear_house = NurlFields::minimal(
+            Adx::MoPub,
+            DspId(0),
+            PricePayload::Encrypted(token()),
+            ImpressionId(3),
+            AuctionId(3),
+        );
+        let det = NurlDetector::new().detect(&emit(&enc_on_clear_house)).unwrap();
+        assert!(det.price.is_encrypted());
+
+        let clear_on_enc_house = NurlFields::minimal(
+            Adx::DoubleClick,
+            DspId(0),
+            PricePayload::Cleartext(Cpm::ONE),
+            ImpressionId(4),
+            AuctionId(4),
+        );
+        let det = NurlDetector::new().detect(&emit(&clear_on_enc_house)).unwrap();
+        assert_eq!(det.price.cleartext(), Some(Cpm::ONE));
+    }
+
+    #[test]
+    fn garbled_prices_flagged() {
+        assert_eq!(NurlDetector::classify_price("%%%"), DetectedPrice::Garbled);
+        assert_eq!(NurlDetector::classify_price("abc"), DetectedPrice::Garbled);
+        // 56 hex chars that aren't a valid token length after decode can't
+        // happen (56 hex == 28 bytes), but odd-length hex-ish strings fall
+        // through to garbled.
+        assert_eq!(
+            NurlDetector::classify_price(&"a".repeat(55)),
+            DetectedPrice::Garbled
+        );
+    }
+
+    #[test]
+    fn classify_prefers_decimal() {
+        // "12" is both valid hex and a valid decimal; decimal must win
+        // (real cleartext prices are short decimals).
+        assert_eq!(
+            NurlDetector::classify_price("12"),
+            DetectedPrice::Cleartext(Cpm::from_whole(12))
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! RTB winning-price notification URLs (nURLs): wire formats.
+//!
+//! When an ad-exchange resolves an auction it piggybacks a *notification
+//! URL* in the ad response; the user's browser fires it as the impression
+//! renders, telling the winning DSP what it will be charged (§2.2 of the
+//! paper). Those URLs are the paper's entire measurement surface, so this
+//! crate treats them as a first-class wire format, smoltcp-style:
+//!
+//! * [`url`] — a strict, allocation-conscious URL parser/builder with
+//!   percent-encoding, sufficient for HTTP(S) query-string URLs;
+//! * [`fields`] — the typed payload of a notification
+//!   ([`fields::NurlFields`]) with its cleartext-or-encrypted price;
+//! * [`template`] — per-exchange emitters and parsers: every exchange has
+//!   a house format (parameter names, price encoding) modelled after the
+//!   Table-1 examples; emit ∘ parse is the identity on the typed payload;
+//! * [`detect`] — the analyzer-side detector that recognises nURLs in raw
+//!   traffic by domain/path/parameter *macros* (the paper's pattern list),
+//!   and disambiguates charge prices from co-occurring bid prices.
+//!
+//! Parsing never panics on untrusted input — malformed URLs yield typed
+//! errors, unknown hosts yield `None`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod detect;
+pub mod fields;
+pub mod template;
+pub mod url;
+
+pub use detect::{DetectedPrice, NurlDetector};
+pub use fields::{NurlFields, PricePayload};
+pub use template::{emit, parse, NurlParseError};
+pub use url::{Url, UrlParseError};

@@ -1,0 +1,573 @@
+//! Per-exchange notification-URL templates.
+//!
+//! Every exchange has a *house format*: its notification domain and path,
+//! its parameter vocabulary, and how it encodes the charge price. The
+//! formats below are modelled after the Table-1 examples and the public
+//! RTB macro documentation the paper's analyzer was built from — MoPub's
+//! verbose cleartext `imp` beacon, MathTag's hex-token `notify/js`,
+//! DoubleClick's base64 `price=` and so on. `emit` and `parse` are exact
+//! inverses on the typed payload, which the round-trip property tests pin
+//! down.
+//!
+//! One documented deviation from the real wire: every encrypted exchange
+//! here carries the full 28-byte token of [`yav_crypto::price`] (hex or
+//! base64url, per house style), whereas e.g. 2015 MathTag beacons carried
+//! shorter opaque blobs. The *observable property* — an opaque,
+//! undecryptable price field — is identical.
+
+use crate::fields::{NurlFields, PricePayload};
+use crate::url::Url;
+use std::fmt;
+use yav_crypto::{hex_decode, hex_encode, EncryptedPrice};
+use yav_types::{AdSlotSize, Adx, AuctionId, CampaignId, Cpm, DspId, ImpressionId};
+
+/// Errors from [`parse`]: the URL *looked like* a notification from a known
+/// exchange but its payload was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NurlParseError {
+    /// The price parameter was missing entirely.
+    MissingPrice,
+    /// A cleartext price failed to parse as a decimal CPM.
+    BadCleartextPrice,
+    /// An encrypted token failed shape validation.
+    BadToken,
+    /// A mandatory identifier was missing or malformed.
+    BadId(&'static str),
+}
+
+impl fmt::Display for NurlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NurlParseError::MissingPrice => write!(f, "notification carries no price parameter"),
+            NurlParseError::BadCleartextPrice => write!(f, "cleartext price is not a decimal CPM"),
+            NurlParseError::BadToken => write!(f, "encrypted price token is malformed"),
+            NurlParseError::BadId(which) => write!(f, "missing or malformed id field: {which}"),
+        }
+    }
+}
+
+impl std::error::Error for NurlParseError {}
+
+/// How a template encodes its opaque price token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokenCodec {
+    /// Unpadded URL-safe base64 (DoubleClick style).
+    Base64,
+    /// Uppercase hex (MathTag style).
+    Hex,
+}
+
+/// Static description of one exchange's house format.
+struct Template {
+    adx: Adx,
+    path: &'static str,
+    /// Parameter carrying the charge price.
+    price_param: &'static str,
+    /// Parameter carrying the echoed bid price, if the exchange echoes one.
+    bid_param: Option<&'static str>,
+    /// Token codec for encrypted exchanges; `None` means cleartext house
+    /// style.
+    token: Option<TokenCodec>,
+    /// Whether the exchange echoes slot sizes / publisher names / latency.
+    rich_metadata: bool,
+}
+
+/// The format table. Paths and parameter names follow each exchange's
+/// public macro documentation where available.
+const TEMPLATES: [Template; 17] = [
+    Template {
+        adx: Adx::MoPub,
+        path: "/imp",
+        price_param: "charge_price",
+        bid_param: Some("bid_price"),
+        token: None,
+        rich_metadata: true,
+    },
+    Template {
+        adx: Adx::OpenX,
+        path: "/w/1.0/win",
+        price_param: "p",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Rubicon,
+        path: "/beacon/t",
+        price_param: "price",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::DoubleClick,
+        path: "/pagead/adview",
+        price_param: "price",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::PulsePoint,
+        path: "/win",
+        price_param: "wp",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Adnxs,
+        path: "/it",
+        price_param: "auction_price",
+        bid_param: None,
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::MathTag,
+        path: "/notify/js",
+        price_param: "price",
+        bid_param: None,
+        token: Some(TokenCodec::Hex),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Smaato,
+        path: "/oapi/win",
+        price_param: "wp",
+        bid_param: None,
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Nexage,
+        path: "/win",
+        price_param: "wp",
+        bid_param: None,
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::InMobi,
+        path: "/win/notify",
+        price_param: "cp",
+        bid_param: Some("bp"),
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Flurry,
+        path: "/v19/winNotice",
+        price_param: "price",
+        bid_param: None,
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Millennial,
+        path: "/getAd/win",
+        price_param: "settlementPrice",
+        bid_param: None,
+        token: None,
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Turn,
+        path: "/r/notify",
+        price_param: "mcpm",
+        bid_param: None,
+        token: None,
+        rich_metadata: true,
+    },
+    Template {
+        adx: Adx::Criteo,
+        path: "/delivery/rtb/win",
+        price_param: "rtbwinprice",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Rtbhouse,
+        path: "/win-event",
+        price_param: "wp",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+    Template {
+        adx: Adx::Smartadserver,
+        path: "/imp/win",
+        price_param: "winprice",
+        bid_param: None,
+        token: None,
+        rich_metadata: true,
+    },
+    Template {
+        adx: Adx::Improve,
+        path: "/rtb/win",
+        price_param: "price",
+        bid_param: None,
+        token: Some(TokenCodec::Base64),
+        rich_metadata: false,
+    },
+];
+
+fn template_for(adx: Adx) -> &'static Template {
+    TEMPLATES.iter().find(|t| t.adx == adx).expect("every Adx has a template")
+}
+
+/// Every (exchange, price-parameter) pair — the macro list the detector is
+/// seeded with.
+pub fn price_macros() -> impl Iterator<Item = (Adx, &'static str)> {
+    TEMPLATES.iter().map(|t| (t.adx, t.price_param))
+}
+
+/// The notification path for an exchange (used by tests and the detector).
+pub fn notification_path(adx: Adx) -> &'static str {
+    template_for(adx).path
+}
+
+/// Emits the notification URL for a typed payload, in the exchange's house
+/// format. Whether the price rides cleartext or encrypted is decided by
+/// the payload, not the template — real integrations occasionally deviate
+/// from their house style and the parser must cope, so the emitter can
+/// produce both.
+pub fn emit(fields: &NurlFields) -> Url {
+    let t = template_for(fields.adx);
+    let mut b = Url::build(false, fields.adx.domain(), t.path);
+
+    // Identifier block first, like real beacons.
+    b = b
+        .param("imp", &fields.impression.wire())
+        .param("auc", &fields.auction.wire())
+        .param("bidder", &fields.dsp.domain());
+
+    if let Some(c) = fields.campaign {
+        b = b.param("cmpid", &c.wire());
+    }
+
+    // Price, in house encoding.
+    b = match &fields.price {
+        PricePayload::Cleartext(p) => b.param(t.price_param, &p.to_string()),
+        PricePayload::Encrypted(token) => {
+            let encoded = match t.token.unwrap_or(TokenCodec::Base64) {
+                TokenCodec::Base64 => token.to_wire(),
+                TokenCodec::Hex => hex_encode(token.as_bytes()).to_ascii_uppercase(),
+            };
+            b.param(t.price_param, &encoded)
+        }
+    };
+
+    if let (Some(bid_param), Some(bid)) = (t.bid_param, fields.bid_price) {
+        b = b.param(bid_param, &bid.to_string());
+    }
+
+    if t.rich_metadata {
+        if let Some(slot) = fields.slot {
+            b = b.param("size", &slot.wire());
+        }
+        b = b
+            .opt_param("pub_name", fields.publisher.as_deref())
+            .opt_param("country", fields.country.as_deref())
+            .opt_param("ad_domain", fields.ad_domain.as_deref());
+        if let Some(lat) = fields.latency_ms {
+            b = b.param("latency", &format!("{:.3}", lat as f64 / 1000.0));
+        }
+        b = b.param("currency", "USD");
+    }
+
+    b.finish()
+}
+
+/// Attempts to parse a URL as a winning-price notification.
+///
+/// * `Ok(None)` — not a notification URL (unknown host or path): ordinary
+///   traffic.
+/// * `Ok(Some(fields))` — a well-formed notification.
+/// * `Err(_)` — hosted on a known exchange's notification endpoint but the
+///   payload is malformed; the analyzer counts these separately.
+pub fn parse(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
+    let Some(adx) = Adx::from_domain(url.host()) else {
+        return Ok(None);
+    };
+    let t = template_for(adx);
+    if url.path() != t.path {
+        return Ok(None);
+    }
+
+    let raw_price = url.query(t.price_param).ok_or(NurlParseError::MissingPrice)?;
+    let price = decode_price(t, raw_price)?;
+
+    let impression = ImpressionId(wire_id(url.query("imp")).ok_or(NurlParseError::BadId("imp"))?);
+    let auction = AuctionId(wire_id(url.query("auc")).ok_or(NurlParseError::BadId("auc"))?);
+    let dsp = url
+        .query("bidder")
+        .and_then(dsp_from_domain)
+        .ok_or(NurlParseError::BadId("bidder"))?;
+
+    let bid_price = t
+        .bid_param
+        .and_then(|p| url.query(p))
+        .and_then(|v| v.parse::<Cpm>().ok());
+
+    Ok(Some(NurlFields {
+        adx,
+        dsp,
+        price,
+        bid_price,
+        impression,
+        auction,
+        campaign: wire_id(url.query("cmpid")).map(|v| CampaignId(v as u32)),
+        slot: url.query("size").and_then(|s| s.parse::<AdSlotSize>().ok()),
+        publisher: url.query("pub_name").map(str::to_owned),
+        country: url.query("country").map(str::to_owned),
+        latency_ms: url
+            .query("latency")
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|secs| (secs * 1000.0).round() as u32),
+        ad_domain: url.query("ad_domain").map(str::to_owned),
+    }))
+}
+
+/// Decodes the price parameter: decimal CPM, hex token or base64 token.
+/// The decision is made from the *value shape*, not the house style —
+/// the observer cannot trust exchanges to be consistent.
+fn decode_price(t: &Template, raw: &str) -> Result<PricePayload, NurlParseError> {
+    // A 56-hex-digit value is a hex-coded 28-byte token.
+    if raw.len() == 56 && raw.bytes().all(|b| b.is_ascii_hexdigit()) {
+        let bytes = hex_decode(raw).map_err(|_| NurlParseError::BadToken)?;
+        let token = EncryptedPrice::from_wire(&yav_crypto::base64url_encode(&bytes))
+            .map_err(|_| NurlParseError::BadToken)?;
+        return Ok(PricePayload::Encrypted(token));
+    }
+    // A decimal parses as cleartext CPM.
+    if let Ok(p) = raw.parse::<Cpm>() {
+        return Ok(PricePayload::Cleartext(p));
+    }
+    // Otherwise try the base64url token shape.
+    match EncryptedPrice::from_wire(raw) {
+        Ok(token) => Ok(PricePayload::Encrypted(token)),
+        Err(_) => {
+            // House-encrypted exchanges with an unparseable blob are
+            // malformed tokens; cleartext houses get the price error.
+            if t.token.is_some() {
+                Err(NurlParseError::BadToken)
+            } else {
+                Err(NurlParseError::BadCleartextPrice)
+            }
+        }
+    }
+}
+
+/// Reverses [`yav_types::ids`]' splitmix64 wire mixing.
+fn wire_id(s: Option<&str>) -> Option<u64> {
+    let s = s?;
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let z = u64::from_str_radix(s, 16).ok()?;
+    Some(splitmix64_inverse(z))
+}
+
+/// Inverse of the splitmix64 finaliser used by `yav_types::ids::*::wire`.
+fn splitmix64_inverse(mut z: u64) -> u64 {
+    // Invert z ^= z >> 31  (shift >= 32 would be self-inverse; 31 needs two steps)
+    z = z ^ (z >> 31) ^ (z >> 62);
+    z = z.wrapping_mul(0x319642b2d24d8ec3); // modular inverse of 0x94d049bb133111eb
+    z = z ^ (z >> 27) ^ (z >> 54);
+    z = z.wrapping_mul(0x96de1b173f119089); // modular inverse of 0xbf58476d1ce4e5b9
+    z = z ^ (z >> 30) ^ (z >> 60);
+    z.wrapping_sub(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Maps a bidder callback domain back to a [`DspId`].
+fn dsp_from_domain(domain: &str) -> Option<DspId> {
+    // Synthetic names encode their id directly.
+    if let Some(rest) = domain.strip_prefix("dsp") {
+        if let Some(num) = rest.strip_suffix(".bid.example.com") {
+            return num.parse().ok().map(DspId);
+        }
+    }
+    // Roster names: probe the first dozen ids.
+    (0..12u32).map(DspId).find(|id| id.domain() == domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use yav_crypto::{PriceCrypter, PriceKeys};
+
+    fn sample_token(seed: u8) -> EncryptedPrice {
+        PriceCrypter::new(PriceKeys::derive("test")).encrypt(1_234_000, [seed; 16])
+    }
+
+    fn rich_fields(adx: Adx, price: PricePayload) -> NurlFields {
+        NurlFields {
+            adx,
+            dsp: DspId(3),
+            price,
+            bid_price: Some(Cpm::from_f64(0.99)),
+            impression: ImpressionId(42),
+            auction: AuctionId(777),
+            campaign: Some(CampaignId(9)),
+            slot: Some(AdSlotSize::S300x250),
+            publisher: Some("elpais.es".to_owned()),
+            country: Some("ES".to_owned()),
+            latency_ms: Some(116),
+            ad_domain: Some("amazon.es".to_owned()),
+        }
+    }
+
+    #[test]
+    fn mopub_cleartext_round_trip() {
+        let fields = rich_fields(Adx::MoPub, PricePayload::Cleartext(Cpm::from_f64(0.95)));
+        let url = emit(&fields);
+        assert_eq!(url.host(), "cpp.imp.mpx.mopub.com");
+        assert_eq!(url.query("charge_price"), Some("0.95"));
+        assert_eq!(url.query("bid_price"), Some("0.99"));
+        assert_eq!(url.query("size"), Some("300x250"));
+        let parsed = parse(&url).unwrap().unwrap();
+        assert_eq!(parsed, fields);
+    }
+
+    #[test]
+    fn doubleclick_encrypted_round_trip() {
+        let token = sample_token(1);
+        let mut fields = rich_fields(Adx::DoubleClick, PricePayload::Encrypted(token));
+        // DoubleClick's template is metadata-poor: emit drops the rich
+        // fields, so the parse result won't echo them back.
+        fields.bid_price = None;
+        fields.slot = None;
+        fields.publisher = None;
+        fields.country = None;
+        fields.latency_ms = None;
+        fields.ad_domain = None;
+        let url = emit(&fields);
+        let raw = url.query("price").unwrap();
+        assert_eq!(raw.len(), 38, "base64url of 28 bytes");
+        let parsed = parse(&url).unwrap().unwrap();
+        assert_eq!(parsed, fields);
+        assert_eq!(parsed.price.encrypted(), Some(&token));
+    }
+
+    #[test]
+    fn mathtag_hex_token_round_trip() {
+        let token = sample_token(2);
+        let fields = NurlFields::minimal(
+            Adx::MathTag,
+            DspId(6),
+            PricePayload::Encrypted(token),
+            ImpressionId(1),
+            AuctionId(2),
+        );
+        let url = emit(&fields);
+        let raw = url.query("price").unwrap();
+        assert_eq!(raw.len(), 56, "hex of 28 bytes");
+        assert!(raw.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit()));
+        let parsed = parse(&url).unwrap().unwrap();
+        assert_eq!(parsed.price.encrypted(), Some(&token));
+    }
+
+    #[test]
+    fn every_adx_round_trips_both_visibilities() {
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(1.25)),
+                PricePayload::Encrypted(sample_token(3)),
+            ] {
+                let fields = NurlFields::minimal(
+                    adx,
+                    DspId(0),
+                    price.clone(),
+                    ImpressionId(10),
+                    AuctionId(20),
+                );
+                let parsed = parse(&emit(&fields)).unwrap().unwrap();
+                assert_eq!(parsed, fields, "round trip for {adx}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_nurl_traffic_is_none() {
+        let u = Url::parse("http://www.elpais.es/articles/page.html?id=5").unwrap();
+        assert_eq!(parse(&u).unwrap(), None);
+        // Right host, wrong path: also not a notification.
+        let u = Url::parse("http://cpp.imp.mpx.mopub.com/other/path?charge_price=1").unwrap();
+        assert_eq!(parse(&u).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_notifications_are_errors() {
+        let base = "http://cpp.imp.mpx.mopub.com/imp";
+        let missing_price = Url::parse(&format!("{base}?imp={}", ImpressionId(1).wire())).unwrap();
+        assert_eq!(parse(&missing_price), Err(NurlParseError::MissingPrice));
+
+        let bad_price = Url::parse(&format!(
+            "{base}?charge_price=notanumber&imp={}&auc={}&bidder=mediamath.com",
+            ImpressionId(1).wire(),
+            AuctionId(1).wire()
+        ))
+        .unwrap();
+        assert_eq!(parse(&bad_price), Err(NurlParseError::BadCleartextPrice));
+
+        let bad_imp = Url::parse(&format!(
+            "{base}?charge_price=1&imp=zzz&auc={}&bidder=mediamath.com",
+            AuctionId(1).wire()
+        ))
+        .unwrap();
+        assert_eq!(parse(&bad_imp), Err(NurlParseError::BadId("imp")));
+    }
+
+    #[test]
+    fn bid_price_is_not_the_charge_price() {
+        // §4.1: bidding prices co-existing in the nURL must be filtered out.
+        let fields = rich_fields(Adx::MoPub, PricePayload::Cleartext(Cpm::from_f64(0.80)));
+        let parsed = parse(&emit(&fields)).unwrap().unwrap();
+        assert_eq!(parsed.price.cleartext(), Some(Cpm::from_f64(0.80)));
+        assert_eq!(parsed.bid_price, Some(Cpm::from_f64(0.99)));
+        assert_ne!(parsed.price.cleartext(), parsed.bid_price);
+    }
+
+    #[test]
+    fn splitmix_inverse_is_exact() {
+        for id in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let wire = AuctionId(id).wire();
+            assert_eq!(wire_id(Some(&wire)), Some(id));
+        }
+        assert_eq!(wire_id(Some("nothex")), None);
+        assert_eq!(wire_id(None), None);
+    }
+
+    #[test]
+    fn macro_list_covers_all_exchanges() {
+        let macros: Vec<_> = price_macros().collect();
+        assert_eq!(macros.len(), Adx::ALL.len());
+        for adx in Adx::ALL {
+            assert!(macros.iter().any(|(a, _)| *a == adx));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_any_ids(
+            adx_idx in 0usize..17,
+            dsp in 0u32..200,
+            imp: u64,
+            auc: u64,
+            micros in 1i64..100_000_000,
+        ) {
+            let fields = NurlFields::minimal(
+                Adx::from_index(adx_idx),
+                DspId(dsp),
+                PricePayload::Cleartext(Cpm::from_micros(micros)),
+                ImpressionId(imp),
+                AuctionId(auc),
+            );
+            let reparsed = parse(&Url::parse(&emit(&fields).to_string()).unwrap()).unwrap().unwrap();
+            prop_assert_eq!(reparsed, fields);
+        }
+    }
+}

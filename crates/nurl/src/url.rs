@@ -1,0 +1,361 @@
+//! A strict URL parser/builder for HTTP(S) query-string URLs.
+//!
+//! The analyzer sees millions of raw request URLs; the exchanges emit
+//! notification URLs. Both sides need the same small subset of the URL
+//! grammar — scheme, host, path, `key=value` query pairs — with RFC-3986
+//! percent-encoding. Hand-rolled rather than pulling in the `url` crate:
+//! the subset is tiny, and we want total control over what counts as
+//! malformed (a mis-parsed price is a corrupted measurement).
+
+use std::fmt;
+
+/// Errors from [`Url::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlParseError {
+    /// Missing or unsupported scheme (only `http`/`https`).
+    Scheme,
+    /// Empty or syntactically invalid host.
+    Host,
+    /// A percent escape was truncated or non-hex.
+    Escape(usize),
+}
+
+impl fmt::Display for UrlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlParseError::Scheme => write!(f, "missing or unsupported scheme"),
+            UrlParseError::Host => write!(f, "invalid host"),
+            UrlParseError::Escape(pos) => write!(f, "bad percent-escape at byte {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for UrlParseError {}
+
+/// A parsed HTTP(S) URL: scheme, host, path and decoded query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    https: bool,
+    host: String,
+    path: String,
+    query: Vec<(String, String)>,
+}
+
+impl Url {
+    /// Parses a URL string. Query keys/values are percent-decoded; the
+    /// path is kept as-is (nURL detection matches on raw path segments).
+    pub fn parse(input: &str) -> Result<Url, UrlParseError> {
+        let (https, rest) = if let Some(r) = input.strip_prefix("https://") {
+            (true, r)
+        } else if let Some(r) = input.strip_prefix("http://") {
+            (false, r)
+        } else {
+            return Err(UrlParseError::Scheme);
+        };
+
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        // Strip an optional port; reject empty hosts and whitespace.
+        let host = authority.split(':').next().unwrap_or("");
+        if host.is_empty()
+            || !host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
+        {
+            return Err(UrlParseError::Host);
+        }
+
+        // Split off a fragment first (never used, but must not pollute the
+        // query), then the query.
+        let path_query = match path_query.find('#') {
+            Some(i) => &path_query[..i],
+            None => path_query,
+        };
+        let (path, query_str) = match path_query.find('?') {
+            Some(i) => (&path_query[..i], &path_query[i + 1..]),
+            None => (path_query, ""),
+        };
+
+        let mut query = Vec::new();
+        if !query_str.is_empty() {
+            for pair in query_str.split('&') {
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = match pair.find('=') {
+                    Some(i) => (&pair[..i], &pair[i + 1..]),
+                    None => (pair, ""),
+                };
+                query.push((percent_decode(k)?, percent_decode(v)?));
+            }
+        }
+
+        Ok(Url { https, host: host.to_ascii_lowercase(), path: path.to_owned(), query })
+    }
+
+    /// Starts building a URL.
+    pub fn build(https: bool, host: &str, path: &str) -> UrlBuilder {
+        UrlBuilder {
+            url: Url {
+                https,
+                host: host.to_ascii_lowercase(),
+                path: if path.starts_with('/') { path.to_owned() } else { format!("/{path}") },
+                query: Vec::new(),
+            },
+        }
+    }
+
+    /// `true` for `https`.
+    pub fn is_https(&self) -> bool {
+        self.https
+    }
+
+    /// Lower-cased host, without port.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Path, always starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// All query pairs in order (decoded).
+    pub fn query_pairs(&self) -> &[(String, String)] {
+        &self.query
+    }
+
+    /// First value of a query parameter, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// True if the host equals `domain` or is a subdomain of it.
+    pub fn host_within(&self, domain: &str) -> bool {
+        let domain = domain.to_ascii_lowercase();
+        self.host == domain || self.host.ends_with(&format!(".{domain}"))
+    }
+
+    /// The registrable-ish domain: last two labels of the host. Good
+    /// enough for blacklist matching over our synthetic universe (no
+    /// multi-label public suffixes there).
+    pub fn base_domain(&self) -> &str {
+        let mut dots = self.host.rmatch_indices('.');
+        match (dots.next(), dots.next()) {
+            (Some(_), Some((i, _))) => &self.host[i + 1..],
+            _ => &self.host,
+        }
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}://{}{}",
+            if self.https { "https" } else { "http" },
+            self.host,
+            self.path
+        )?;
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            write!(
+                f,
+                "{}{}={}",
+                if i == 0 { "?" } else { "&" },
+                percent_encode(k),
+                percent_encode(v)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for assembling URLs with typed query parameters.
+#[derive(Debug, Clone)]
+pub struct UrlBuilder {
+    url: Url,
+}
+
+impl UrlBuilder {
+    /// Appends one query pair (stored decoded; encoded on display).
+    pub fn param(mut self, key: &str, value: &str) -> UrlBuilder {
+        self.url.query.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Appends a pair only when the value is present.
+    pub fn opt_param(self, key: &str, value: Option<&str>) -> UrlBuilder {
+        match value {
+            Some(v) => self.param(key, v),
+            None => self,
+        }
+    }
+
+    /// Finishes the URL.
+    pub fn finish(self) -> Url {
+        self.url
+    }
+}
+
+/// Bytes that travel un-escaped inside query components (RFC 3986
+/// unreserved set).
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encodes a query component.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+            out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+        }
+    }
+    out
+}
+
+/// Percent-decodes a query component. `+` decodes to space (the
+/// `application/x-www-form-urlencoded` convention real trackers use).
+pub fn percent_decode(s: &str) -> Result<String, UrlParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 > bytes.len() {
+                    return Err(UrlParseError::Escape(i));
+                }
+                let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+                let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+                match (hi, lo) {
+                    (Some(h), Some(l)) => {
+                        out.push(((h << 4) | l) as u8);
+                        i += 3;
+                    }
+                    _ => return Err(UrlParseError::Escape(i)),
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|e| UrlParseError::Escape(e.utf8_error().valid_up_to()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_basic_url() {
+        let u = Url::parse("http://cpp.imp.mpx.mopub.com/imp?charge_price=0.95&currency=USD")
+            .unwrap();
+        assert!(!u.is_https());
+        assert_eq!(u.host(), "cpp.imp.mpx.mopub.com");
+        assert_eq!(u.path(), "/imp");
+        assert_eq!(u.query("charge_price"), Some("0.95"));
+        assert_eq!(u.query("currency"), Some("USD"));
+        assert_eq!(u.query("missing"), None);
+    }
+
+    #[test]
+    fn parses_hostonly_and_port() {
+        let u = Url::parse("https://example.com").unwrap();
+        assert_eq!(u.path(), "/");
+        let u = Url::parse("http://example.com:8080/x?a=1").unwrap();
+        assert_eq!(u.host(), "example.com");
+        assert_eq!(u.query("a"), Some("1"));
+    }
+
+    #[test]
+    fn decodes_escapes_and_plus() {
+        let u = Url::parse("http://t.co/n?cb=http%3A%2F%2Fbeacon.example%2Ft&q=a+b").unwrap();
+        assert_eq!(u.query("cb"), Some("http://beacon.example/t"));
+        assert_eq!(u.query("q"), Some("a b"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Url::parse("ftp://x.com/"), Err(UrlParseError::Scheme));
+        assert_eq!(Url::parse("not a url"), Err(UrlParseError::Scheme));
+        assert_eq!(Url::parse("http:///path"), Err(UrlParseError::Host));
+        assert_eq!(Url::parse("http://ex ample.com/"), Err(UrlParseError::Host));
+        assert!(matches!(
+            Url::parse("http://x.com/?a=%zz"),
+            Err(UrlParseError::Escape(_))
+        ));
+        assert!(matches!(Url::parse("http://x.com/?a=%f"), Err(UrlParseError::Escape(_))));
+    }
+
+    #[test]
+    fn fragment_is_dropped() {
+        let u = Url::parse("http://x.com/p?a=1#frag?b=2").unwrap();
+        assert_eq!(u.query("a"), Some("1"));
+        assert_eq!(u.query("b"), None);
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let u = Url::build(false, "Tags.MathTag.com", "notify/js")
+            .param("exch", "ruc")
+            .param("price", "B6A3F3C19F50C7FD")
+            .param("3pck", "http://beacon-eu2.rubiconproject.com/beacon/t/ce48")
+            .finish();
+        let s = u.to_string();
+        assert!(s.starts_with("http://tags.mathtag.com/notify/js?"));
+        let back = Url::parse(&s).unwrap();
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn host_matching() {
+        let u = Url::parse("http://cpp.imp.mpx.mopub.com/imp").unwrap();
+        assert!(u.host_within("mopub.com"));
+        assert!(u.host_within("mpx.mopub.com"));
+        assert!(!u.host_within("notmopub.com"));
+        assert_eq!(u.base_domain(), "mopub.com");
+        assert_eq!(Url::parse("http://localhost/").unwrap().base_domain(), "localhost");
+    }
+
+    #[test]
+    fn display_encodes_reserved() {
+        let u = Url::build(true, "x.com", "/cb").param("u", "a/b&c=d e").finish();
+        assert_eq!(u.to_string(), "https://x.com/cb?u=a%2Fb%26c%3Dd%20e");
+        assert_eq!(Url::parse(&u.to_string()).unwrap().query("u"), Some("a/b&c=d e"));
+    }
+
+    #[test]
+    fn empty_query_values() {
+        let u = Url::parse("http://x.com/p?flag&k=").unwrap();
+        assert_eq!(u.query("flag"), Some(""));
+        assert_eq!(u.query("k"), Some(""));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_query_value_round_trip(v in "\\PC*") {
+            let u = Url::build(false, "x.com", "/p").param("k", &v).finish();
+            let back = Url::parse(&u.to_string()).unwrap();
+            prop_assert_eq!(back.query("k"), Some(v.as_str()));
+        }
+
+        #[test]
+        fn prop_percent_codec_round_trip(s in "\\PC*") {
+            prop_assert_eq!(percent_decode(&percent_encode(&s)).unwrap(), s);
+        }
+    }
+}

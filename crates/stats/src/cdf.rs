@@ -1,0 +1,162 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 11, 16 and 17 are all empirical CDFs over charge prices on a
+//! logarithmic x-axis. [`Ecdf`] owns a sorted sample and answers
+//! `F(x)`-style queries, inverse quantiles and plot-ready series.
+
+use crate::summary::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF, sorting (a copy of) the sample. Non-finite values
+    /// are dropped — they have no place on a CDF axis.
+    pub fn new(values: &[f64]) -> Ecdf {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Ecdf { sorted }
+    }
+
+    /// Number of (finite) observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample was empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — the fraction of observations `<= x`. Returns 0 for an empty
+    /// sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF — the `q`-quantile of the sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The underlying sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// A plot-ready series of `(x, F(x))` points sampled at `points`
+    /// logarithmically spaced x positions between `lo` and `hi` — exactly
+    /// how the paper's log-x CDF figures are drawn.
+    ///
+    /// # Panics
+    /// Panics if `lo` or `hi` is non-positive or `lo >= hi`.
+    pub fn log_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo, "log axis needs 0 < lo < hi");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        (0..points)
+            .map(|i| {
+                let t = if points == 1 { 0.0 } else { i as f64 / (points - 1) as f64 };
+                let x = (llo + t * (lhi - llo)).exp();
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The full step-function series `(x_i, i/n)` — one point per distinct
+    /// observation, useful for exact plotting of small samples.
+    pub fn step_series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            // advance over ties
+            let mut j = i + 1;
+            while j < n && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new(&[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.eval(1.5), 0.5);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(e.median(), 2.5);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn log_series_monotone() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64 / 100.0).collect();
+        let e = Ecdf::new(&xs);
+        let series = e.log_series(0.01, 100.0, 50);
+        assert_eq!(series.len(), 50);
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0, "x must increase");
+            assert!(w[0].1 <= w[1].1, "F must be monotone");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn step_series_dedupes_ties() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]);
+        assert_eq!(e.step_series(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert!(e.median().is_nan());
+        assert!(e.step_series().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "log axis")]
+    fn log_series_rejects_bad_bounds() {
+        Ecdf::new(&[1.0]).log_series(0.0, 1.0, 10);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-bin histograms and share series.
+//!
+//! The per-month share plots (Figures 2, 8, 9, 12) and the revenue-share
+//! bars (Figures 3, 14) are all "count things into named buckets, then
+//! normalise" — [`Histogram`] does the counting; [`share`] the normalising.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins. Out-of-range values
+/// clamp into the first/last bin so totals are preserved (prices above the
+/// axis still belong on the plot's edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "need lo < hi");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let idx = self.bin_of(x);
+        self.counts[idx] += 1;
+    }
+
+    /// The bin index an observation falls into (clamped to the edges).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if !x.is_finite() || x < self.lo {
+            return 0;
+        }
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        idx.min(bins - 1)
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Per-bin fractions summing to 1 (all-zero if the histogram is empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+/// Normalises a count vector to shares that sum to 1.0 (an all-zero vector
+/// stays all-zero). This is the common kernel of every stacked-share figure.
+pub fn share(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Cumulative sums of a share vector: `out[i] = sum(shares[..=i])` — the
+/// y-axis of Figure 3 (*cumulative* portion of cleartext prices).
+pub fn cumulative(shares: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    shares
+        .iter()
+        .map(|&s| {
+            acc += s;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        h.add(f64::NAN);
+        assert_eq!(h.counts(), &[2, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn centers_and_fractions() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(3.0);
+        h.add(3.9);
+        assert_eq!(h.fractions(), vec![0.5, 0.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn share_and_cumulative() {
+        assert_eq!(share(&[1, 1, 2]), vec![0.25, 0.25, 0.5]);
+        assert_eq!(share(&[0, 0]), vec![0.0, 0.0]);
+        let cum = cumulative(&[0.25, 0.25, 0.5]);
+        assert!((cum[2] - 1.0).abs() < 1e-12);
+        assert_eq!(cum[0], 0.25);
+        assert_eq!(cum[1], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

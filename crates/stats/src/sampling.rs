@@ -1,0 +1,202 @@
+//! Sample-size planning (§5.2).
+//!
+//! The paper sizes its probing ad-campaigns with the classic normal
+//! approximation: the margin of error on a mean is `d = z_{α/2}·σ/√n`,
+//! ignoring the finite-population correction for a conservative `n`. With
+//! the 280 MoPub campaigns of dataset *D* (mean 1.84 CPM, std 2.15 CPM),
+//! 144 setups give d ≈ 0.35 CPM at 95 % confidence, and 185 impressions
+//! per campaign give d ≈ 0.1 CPM against the largest observed campaign.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided z-score for a confidence level, via inverse-normal on
+/// `1 − α/2`. E.g. `z(0.95) ≈ 1.96`.
+///
+/// # Panics
+/// Panics unless `0 < confidence < 1`.
+pub fn z_score_two_sided(confidence: f64) -> f64 {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    inverse_normal_cdf(1.0 - (1.0 - confidence) / 2.0)
+}
+
+/// Margin of error `d = z·σ/√n` for estimating a mean from `n` samples.
+pub fn margin_of_error(confidence: f64, std: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    z_score_two_sided(confidence) * std / (n as f64).sqrt()
+}
+
+/// Minimum `n` so that the margin of error is at most `d`:
+/// `n = ceil((z·σ/d)²)`.
+pub fn required_sample_size(confidence: f64, std: f64, d: f64) -> usize {
+    assert!(d > 0.0, "margin must be positive");
+    let z = z_score_two_sided(confidence);
+    ((z * std / d).powi(2)).ceil() as usize
+}
+
+/// Acklam's rational approximation to the inverse standard-normal CDF
+/// (max absolute error ≈ 1.15e-9 — far below anything campaign planning
+/// needs).
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A §5.2-style campaign plan: how many setups and impressions are needed
+/// for target error bounds, given the observed price moments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSizePlan {
+    /// Confidence level used (e.g. 0.95).
+    pub confidence: f64,
+    /// Observed mean CPM of historical campaigns.
+    pub mean: f64,
+    /// Observed std CPM of historical campaigns.
+    pub std: f64,
+    /// Number of experimental setups planned.
+    pub setups: usize,
+    /// Expected margin of error on the mean campaign price with that many
+    /// setups.
+    pub setup_margin: f64,
+    /// Impressions per campaign needed for the per-campaign margin target.
+    pub impressions_per_campaign: usize,
+    /// The per-campaign margin target those impressions achieve.
+    pub impression_margin: f64,
+}
+
+impl SampleSizePlan {
+    /// Reproduces the §5.2 computation: given historical campaign price
+    /// moments, the planned setup count and a per-campaign price std and
+    /// margin target, derive both error bounds.
+    pub fn derive(
+        confidence: f64,
+        mean: f64,
+        std: f64,
+        setups: usize,
+        per_campaign_std: f64,
+        impression_margin: f64,
+    ) -> SampleSizePlan {
+        SampleSizePlan {
+            confidence,
+            mean,
+            std,
+            setups,
+            setup_margin: margin_of_error(confidence, std, setups),
+            impressions_per_campaign: required_sample_size(
+                confidence,
+                per_campaign_std,
+                impression_margin,
+            ),
+            impression_margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_scores_match_tables() {
+        assert!((z_score_two_sided(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_score_two_sided(0.99) - 2.575829).abs() < 1e-4);
+        assert!((z_score_two_sided(0.90) - 1.644854).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_normal_symmetry() {
+        for p in [0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let z = inverse_normal_cdf(p);
+            let z_mirror = inverse_normal_cdf(1.0 - p);
+            assert!((z + z_mirror).abs() < 1e-7, "symmetry at {p}");
+        }
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_setup_margin() {
+        // §5.2: m=1.84, std=2.15 CPM, 144 setups ⇒ error ≈ 0.35 CPM @95 % CI.
+        let d = margin_of_error(0.95, 2.15, 144);
+        assert!((d - 0.351).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn paper_impressions_per_campaign() {
+        // §5.2: error 0.1 CPM needs ≥185 impressions for the largest MoPub
+        // campaign. Back out the std that yields exactly 185 and confirm
+        // the plan is in the stated ballpark for a std near 0.69.
+        let n = required_sample_size(0.95, 0.694, 0.1);
+        assert!((180..=190).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn margin_and_size_are_inverse() {
+        let std = 2.15;
+        for d in [0.05, 0.1, 0.35, 1.0] {
+            let n = required_sample_size(0.95, std, d);
+            assert!(margin_of_error(0.95, std, n) <= d + 1e-9);
+            if n > 1 {
+                assert!(margin_of_error(0.95, std, n - 1) > d);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_derivation() {
+        let plan = SampleSizePlan::derive(0.95, 1.84, 2.15, 144, 0.694, 0.1);
+        assert_eq!(plan.setups, 144);
+        assert!((plan.setup_margin - 0.351).abs() < 0.01);
+        assert!((180..=190).contains(&plan.impressions_per_campaign));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0,1)")]
+    fn bad_confidence_panics() {
+        z_score_two_sided(1.0);
+    }
+}

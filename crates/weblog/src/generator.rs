@@ -1,0 +1,422 @@
+//! The browsing/session model: turning the panel into an HTTP stream.
+//!
+//! For every user-day the generator draws sessions (diurnal and weekly
+//! rhythms), pages per session, publisher choices (interest-biased Zipf),
+//! auxiliary asset/tracker/beacon requests, occasional cookie syncs, and
+//! RTB ad slots that are auctioned live through a [`yav_auction::Market`].
+//! Sold slots emit the exchange's ad response plus the notification URL —
+//! the thing the whole pipeline exists to observe.
+//!
+//! Events are streamed to a visitor in strict time order *within each
+//! user-day* (global order is user-major, which is what a proxy log
+//! sorted by subscriber looks like; consumers needing global time order
+//! sort downstream).
+
+use crate::config::WeblogConfig;
+use crate::domains;
+use crate::event::{GroundTruth, HttpRequest};
+use crate::population::{Panel, PanelUser};
+use crate::publisher::{sample_slot, Publisher, PublisherUniverse};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yav_auction::{AdRequest, AuctionResult, Market};
+use yav_types::{City, InteractionType, SimTime};
+
+/// One standard-normal draw (Box–Muller). Shared with the population
+/// model.
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Relative browsing intensity per hour of day (sums to 24; the morning
+/// and evening humps of mobile usage).
+const HOURLY: [f64; 24] = [
+    0.25, 0.15, 0.10, 0.08, 0.10, 0.20, 0.55, 0.95, 1.30, 1.45, 1.40, 1.30, //
+    1.25, 1.20, 1.15, 1.20, 1.30, 1.45, 1.60, 1.75, 1.80, 1.60, 1.15, 0.72,
+];
+
+/// Weekly modulation (weekends browse a bit more, workdays a bit less).
+const DAILY: [f64; 7] = [0.95, 0.95, 0.95, 0.97, 1.00, 1.12, 1.06];
+
+/// A fully collected weblog (use only at test scales).
+#[derive(Debug, Clone, Default)]
+pub struct Weblog {
+    /// The HTTP event stream.
+    pub requests: Vec<HttpRequest>,
+    /// Ground-truth impression records (validation only).
+    pub truth: Vec<GroundTruth>,
+}
+
+/// The streaming generator.
+pub struct WeblogGenerator {
+    config: WeblogConfig,
+    panel: Panel,
+    universe: PublisherUniverse,
+}
+
+impl WeblogGenerator {
+    /// Builds the generator (panel and publisher universe are derived
+    /// deterministically from the config seed).
+    pub fn new(config: WeblogConfig) -> WeblogGenerator {
+        let panel = Panel::build(config.seed, config.users);
+        let universe =
+            PublisherUniverse::build(config.seed, config.web_publishers, config.app_publishers);
+        WeblogGenerator { config, panel, universe }
+    }
+
+    /// The panel (for experiment harnesses that need user metadata).
+    pub fn panel(&self) -> &Panel {
+        &self.panel
+    }
+
+    /// The publisher universe.
+    pub fn universe(&self) -> &PublisherUniverse {
+        &self.universe
+    }
+
+    /// Runs the full simulation, streaming every HTTP request to `on_req`
+    /// and every ground-truth impression record to `on_truth`.
+    pub fn run(
+        &self,
+        market: &mut Market,
+        mut on_req: impl FnMut(HttpRequest),
+        mut on_truth: impl FnMut(GroundTruth),
+    ) {
+        for user in self.panel.users() {
+            // Per-user RNG: users are independent streams, so panel size
+            // changes don't reshuffle existing users' behaviour.
+            let mut rng =
+                StdRng::seed_from_u64(self.config.seed ^ 0x6E6E_0000_0000_0006 ^ user.id.0 as u64);
+            for day in 0..self.config.days {
+                let midnight = self.config.start.plus_days(day as i64);
+                self.run_user_day(market, user, midnight, &mut rng, &mut on_req, &mut on_truth);
+            }
+        }
+    }
+
+    /// Convenience: collect everything into memory (test scales only).
+    pub fn collect(&self, market: &mut Market) -> Weblog {
+        let mut log = Weblog::default();
+        self.run(market, |r| log.requests.push(r), |t| log.truth.push(t));
+        log
+    }
+
+    fn run_user_day(
+        &self,
+        market: &mut Market,
+        user: &PanelUser,
+        midnight: SimTime,
+        rng: &mut StdRng,
+        on_req: &mut impl FnMut(HttpRequest),
+        on_truth: &mut impl FnMut(GroundTruth),
+    ) {
+        let dow = midnight.day_of_week().index();
+        let mean_views = self.config.views_per_user_day * user.activity * DAILY[dow];
+        let views = poisson(rng, mean_views);
+        if views == 0 {
+            return;
+        }
+        // A "session city": travellers browse from elsewhere all day.
+        let city = if rng.gen::<f64>() < user.mobility {
+            City::ALL[rng.gen_range(0..City::ALL.len())]
+        } else {
+            user.home
+        };
+
+        for _ in 0..views {
+            let hour = sample_hour(rng);
+            let minute = rng.gen_range(0..60i64);
+            let time = midnight.plus_minutes(hour as i64 * 60 + minute);
+            let in_app = rng.gen::<f64>() < user.app_propensity;
+            let publisher =
+                self.universe.sample(rng, in_app, &user.interest_categories(), 0.55);
+            self.emit_view(market, user, city, time, in_app, publisher, rng, on_req, on_truth);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_view(
+        &self,
+        market: &mut Market,
+        user: &PanelUser,
+        city: City,
+        time: SimTime,
+        in_app: bool,
+        publisher: &Publisher,
+        rng: &mut StdRng,
+        on_req: &mut impl FnMut(HttpRequest),
+        on_truth: &mut impl FnMut(GroundTruth),
+    ) {
+        let ua = if in_app { user.app_user_agent() } else { user.web_user_agent() };
+        let client_ip = city_ip(city, user.id, rng.gen::<u8>());
+        let mk = |time: SimTime, url: String, bytes: u32, duration_ms: u32| HttpRequest {
+            time,
+            user: user.id,
+            url,
+            client_ip,
+            user_agent: ua.clone(),
+            bytes,
+            duration_ms,
+        };
+
+        // 1. The content request itself (page or app API call).
+        let content_url = if in_app {
+            format!("http://api.{}/v2/feed?sess={}", publisher.name, rng.gen::<u32>())
+        } else {
+            format!("http://www.{}/articulo/{}.html", publisher.name, rng.gen_range(1..5000))
+        };
+        on_req(mk(time, content_url, rng.gen_range(8_000..160_000), rng.gen_range(80..900)));
+
+        // 2. Auxiliary requests: assets, analytics, social, trackers.
+        let aux = poisson(rng, self.config.aux_requests_per_view);
+        for i in 0..aux {
+            let t = time.plus_minutes(0).plus_minutes((i as i64) / 12); // bursts within a minute
+            let roll: f64 = rng.gen();
+            let url = if roll < 0.45 {
+                let host = domains::THIRD_PARTY[rng.gen_range(0..domains::THIRD_PARTY.len())];
+                format!("http://{host}/assets/{}.js", rng.gen_range(1..400))
+            } else if roll < 0.62 {
+                let host = domains::ANALYTICS[rng.gen_range(0..domains::ANALYTICS.len())];
+                format!("http://{host}/collect?pid={}&ev=pageview", publisher.id.0)
+            } else if roll < 0.74 {
+                let host = domains::SOCIAL[rng.gen_range(0..domains::SOCIAL.len())];
+                format!("http://{host}/widget.js?ref={}", publisher.name)
+            } else if roll < 0.90 {
+                let host = domains::BEACON_HOSTS[rng.gen_range(0..domains::BEACON_HOSTS.len())];
+                format!("http://{host}/b.gif?u={}&r={}", user.id.wire(), rng.gen::<u32>())
+            } else {
+                format!("http://www.{}/static/img{}.jpg", publisher.name, rng.gen_range(1..900))
+            };
+            on_req(mk(t, url, rng.gen_range(200..40_000), rng.gen_range(15..400)));
+        }
+
+        // 3. Cookie synchronisation (SSP ↔ DSP identity bridging).
+        if rng.gen::<f64>() < self.config.cookie_sync_prob {
+            let host = domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
+            let partner =
+                domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
+            on_req(mk(
+                time,
+                format!(
+                    "http://{host}/getuid?uid={}&redir=http%3A%2F%2F{partner}%2Fsetuid",
+                    user.id.wire()
+                ),
+                rng.gen_range(100..600),
+                rng.gen_range(20..200),
+            ));
+            market.dmp_mut().record_cookie_sync(user.id);
+        }
+
+        // 4. The RTB slot, if this view carries one.
+        if rng.gen::<f64>() >= self.config.rtb_slot_prob {
+            return;
+        }
+        let slot = sample_slot(rng, time);
+        let adx = yav_auction::config::sample_adx(rng.gen());
+        let req = AdRequest {
+            time,
+            user: user.id,
+            city,
+            os: user.os,
+            device: user.device,
+            interaction: if in_app { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+            publisher: publisher.id,
+            publisher_name: publisher.name.clone(),
+            iab: publisher.iab,
+            slot,
+            adx,
+            interest_match: user.interest_weight(publisher.iab),
+        };
+
+        // The ad request toward the exchange (step 2–3 of Figure 1).
+        on_req(mk(
+            time,
+            format!(
+                "http://{}/ad?pub={}&size={}&cat=IAB{}",
+                adx.domain(),
+                publisher.id.0,
+                slot.wire(),
+                publisher.iab.code()
+            ),
+            rng.gen_range(300..2_000),
+            rng.gen_range(30..150),
+        ));
+
+        if let AuctionResult::Sale(outcome) = market.run_auction(&req) {
+            // The notification URL fires through the browser as the
+            // impression renders (steps 6–7).
+            on_req(mk(
+                time,
+                outcome.nurl.to_string(),
+                rng.gen_range(40..400),
+                rng.gen_range(10..120),
+            ));
+            on_truth(GroundTruth {
+                impression: outcome.fields.impression,
+                user: user.id,
+                time,
+                adx,
+                charge: outcome.charge,
+                visibility: outcome.visibility,
+            });
+        }
+    }
+}
+
+/// Allocates a carrier IP for one user's day in a city: each city owns the
+/// `10.(40+index).0.0/16` pool (the synthetic MaxMind table in
+/// `yav-analyzer::geoip` mirrors this layout), with the host part derived
+/// from the subscriber id plus daily churn.
+pub fn city_ip(city: City, user: yav_types::UserId, churn: u8) -> u32 {
+    let octet2 = 40 + city.index() as u32;
+    let host = (user.id_hash() ^ churn as u32) & 0xFFFF;
+    (10 << 24) | (octet2 << 16) | host
+}
+
+/// Small extension trait giving `UserId` a stable 16-bit-ish hash for IP
+/// host parts.
+trait UserIdHash {
+    fn id_hash(&self) -> u32;
+}
+
+impl UserIdHash for yav_types::UserId {
+    fn id_hash(&self) -> u32 {
+        let x = self.0.wrapping_mul(0x9E37_79B9);
+        x ^ (x >> 16)
+    }
+}
+
+/// Samples an hour of day from the diurnal intensity profile.
+fn sample_hour<R: Rng>(rng: &mut R) -> u32 {
+    let total: f64 = HOURLY.iter().sum();
+    let x = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    for (h, w) in HOURLY.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return h as u32;
+        }
+    }
+    23
+}
+
+/// Knuth Poisson sampler (means here are small; fine without log-space).
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // absurd mean guard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_auction::MarketConfig;
+    use yav_types::UserId;
+    use yav_types::PriceVisibility;
+
+    fn generate() -> Weblog {
+        let gen = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        gen.collect(&mut market)
+    }
+
+    #[test]
+    fn generates_events_and_truth() {
+        let log = generate();
+        assert!(log.requests.len() > 1000, "requests {}", log.requests.len());
+        assert!(log.truth.len() > 50, "impressions {}", log.truth.len());
+        // Every truth record corresponds to a notification URL in the log.
+        let nurl_count = log
+            .requests
+            .iter()
+            .filter(|r| {
+                yav_nurl::Url::parse(&r.url)
+                    .ok()
+                    .and_then(|u| yav_nurl::NurlDetector::new().detect(&u))
+                    .is_some()
+            })
+            .count();
+        assert_eq!(nurl_count, log.truth.len());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = generate();
+        let b = generate();
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.requests[..50], b.requests[..50]);
+    }
+
+    #[test]
+    fn both_visibilities_present() {
+        let log = generate();
+        let enc = log.truth.iter().filter(|t| t.visibility == PriceVisibility::Encrypted).count();
+        let clear = log.truth.len() - enc;
+        assert!(enc > 0, "no encrypted impressions");
+        assert!(clear > enc, "cleartext should dominate 2015 mobile RTB");
+        let share = enc as f64 / log.truth.len() as f64;
+        assert!((0.15..=0.45).contains(&share), "encrypted share {share}");
+    }
+
+    #[test]
+    fn urls_all_parse() {
+        let log = generate();
+        for r in log.requests.iter().take(5000) {
+            assert!(yav_nurl::Url::parse(&r.url).is_ok(), "unparseable URL {}", r.url);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 3.5) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn hours_follow_diurnal_profile() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 24];
+        for _ in 0..50_000 {
+            counts[sample_hour(&mut rng) as usize] += 1;
+        }
+        // Evenings beat small hours decisively.
+        assert!(counts[20] > counts[3] * 4);
+    }
+
+    #[test]
+    fn truth_is_time_ordered_per_user() {
+        let log = generate();
+        use std::collections::HashMap;
+        let mut last: HashMap<UserId, SimTime> = HashMap::new();
+        for t in &log.truth {
+            if let Some(prev) = last.get(&t.user) {
+                // Within a user, days advance monotonically (intra-day
+                // view order is random, so compare day granularity).
+                assert!(
+                    t.time.minutes() / yav_types::MINUTES_PER_DAY
+                        >= prev.minutes() / yav_types::MINUTES_PER_DAY
+                );
+            }
+            last.insert(t.user, t.time);
+        }
+    }
+}

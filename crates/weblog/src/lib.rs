@@ -1,0 +1,38 @@
+//! Dataset-D generator: a year of mobile browsing for a 1 594-user panel.
+//!
+//! The paper bootstraps its Price Modeling Engine from a 2015-long weblog
+//! of 1 594 volunteering mobile users in Spain (373 M HTTP requests,
+//! 78 560 RTB impressions — Table 3). That trace cannot be obtained, so
+//! this crate *generates* one: a population model ([`population`]), a
+//! publisher universe ([`publisher`]), a session/browsing model
+//! ([`generator`]) and the supporting domain universe ([`domains`]) emit a
+//! deterministic HTTP event stream whose ad slots are auctioned through
+//! `yav-auction`'s market. Everything downstream (the analyzer, PME,
+//! YourAdValue) consumes only the stream's wire surface — raw URLs,
+//! user-agent strings, byte counts — exactly like the paper's proxy logs.
+//!
+//! Events are **streamed** to a visitor callback rather than materialised:
+//! the paper-scale configuration produces millions of requests, and the
+//! analyzer is an online consumer anyway. `collect`-style helpers exist
+//! for test-sized configurations.
+//!
+//! Simulator-side ground truth (true charge prices per impression, even
+//! encrypted ones) is reported alongside the stream but segregated in
+//! [`event::GroundTruth`] records, which honest consumers must not read —
+//! they exist to *validate* estimation quality in EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod domains;
+pub mod event;
+pub mod generator;
+pub mod population;
+pub mod publisher;
+
+pub use config::WeblogConfig;
+pub use event::{GroundTruth, HttpRequest};
+pub use generator::{Weblog, WeblogGenerator};
+pub use population::{Panel, PanelUser};
+pub use publisher::{Publisher, PublisherUniverse};

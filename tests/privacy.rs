@@ -1,0 +1,90 @@
+//! Privacy and information-flow invariants.
+//!
+//! The system's design promises: (a) the observer side can never read an
+//! encrypted price; (b) the client estimates locally and only uploads
+//! anonymised contexts on explicit opt-in; (c) honest pipeline stages
+//! never touch simulator ground truth. These tests pin those properties
+//! at the API boundary.
+
+use your_ad_value::crypto::{EncryptedPrice, PriceCrypter, PriceKeys};
+use your_ad_value::prelude::*;
+
+#[test]
+fn encrypted_tokens_are_opaque_to_observers() {
+    // Everything a detection exposes about an encrypted price is the
+    // token's wire form; decoding it without the integration keys fails
+    // closed.
+    let generator = WeblogGenerator::new(WeblogConfig::tiny());
+    let mut market = Market::new(MarketConfig::default());
+    let mut analyzer = WeblogAnalyzer::new();
+    generator.run(&mut market, |req| { analyzer.ingest(&req); }, |_| {});
+    let report = analyzer.finish();
+
+    let wrong_keys = PriceCrypter::new(PriceKeys::derive("attacker guess"));
+    let mut tokens = 0;
+    for det in &report.detections {
+        if let Some(wire) = &det.encrypted_token_wire {
+            tokens += 1;
+            assert!(det.cleartext_cpm.is_none(), "encrypted detections carry no price");
+            let token = EncryptedPrice::from_wire(wire).expect("token shape is public");
+            assert!(
+                wrong_keys.decrypt(&token).is_err(),
+                "wrong keys must never decrypt a real token"
+            );
+        }
+    }
+    assert!(tokens > 0, "the trace should contain encrypted notifications");
+}
+
+#[test]
+fn identical_prices_produce_unlinkable_tokens() {
+    // Token unlinkability: an observer cannot even tell whether two
+    // encrypted notifications carried the same price.
+    let c = PriceCrypter::new(PriceKeys::derive("some integration"));
+    let t1 = c.encrypt(1_000_000, [1u8; 16]);
+    let t2 = c.encrypt(1_000_000, [2u8; 16]);
+    assert_ne!(t1.to_wire(), t2.to_wire());
+    // And the price field bytes share nothing recognisable.
+    let p1 = &t1.as_bytes()[16..24];
+    let p2 = &t2.as_bytes()[16..24];
+    assert_ne!(p1, p2);
+}
+
+#[test]
+fn contributions_carry_no_user_identifier() {
+    // Serialise a contribution batch and assert no user-id field exists
+    // in the payload (the anonymity property of §3.3).
+    let mut market = Market::new(MarketConfig::default());
+    let generator = WeblogGenerator::new(WeblogConfig::tiny());
+    let mut yav = YourAdValue::new(Some(City::Madrid));
+    generator.run(&mut market, |req| { yav.observe(&req); }, |_| {});
+
+    let batch = yav.take_contributions();
+    assert!(!batch.is_empty());
+    let json = serde_json::to_string(&batch).unwrap();
+    assert!(!json.contains("\"user\""), "contribution payload must not name users");
+    assert!(!json.contains("user_id"), "contribution payload must not name users");
+}
+
+#[test]
+fn estimation_happens_client_side() {
+    // With a model installed, estimating requires no further PME calls:
+    // the engine can be dropped before any traffic is observed.
+    let mut market = Market::new(MarketConfig::default());
+    let generator = WeblogGenerator::new(WeblogConfig::tiny());
+    let universe = generator.universe().clone();
+    let a1 = campaign::execute(&mut market, &universe, &Campaign::a1().scaled(8));
+
+    let model = {
+        let pme = Pme::new();
+        pme.train_from_campaign(&a1.rows, &TrainConfig::quick());
+        pme.current_model().unwrap()
+        // `pme` dropped here.
+    };
+
+    let mut yav = YourAdValue::new(None);
+    yav.install_model(model);
+    generator.run(&mut market, |req| { yav.observe(&req); }, |_| {});
+    let s = yav.ledger().summary();
+    assert!(s.encrypted_count > 0, "estimates flowed without a live PME");
+}

@@ -1,0 +1,116 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary inputs, checked with proptest through the public facade.
+
+use proptest::prelude::*;
+use your_ad_value::crypto::{EncryptedPrice, PriceCrypter, PriceKeys};
+use your_ad_value::nurl::fields::{NurlFields, PricePayload};
+use your_ad_value::nurl::{template, NurlDetector, Url};
+use your_ad_value::types::{AuctionId, Cpm, DspId, ImpressionId};
+
+proptest! {
+    /// Any price emitted by any exchange template is re-detected with the
+    /// same visibility and (when cleartext) the same value.
+    #[test]
+    fn emit_detect_agrees(
+        adx_idx in 0usize..17,
+        dsp in 0u32..100,
+        micros in 1i64..50_000_000,
+        encrypted in proptest::bool::ANY,
+        iv: [u8; 16],
+    ) {
+        let adx = your_ad_value::types::Adx::from_index(adx_idx);
+        let price = if encrypted {
+            let c = PriceCrypter::new(PriceKeys::derive("prop"));
+            PricePayload::Encrypted(c.encrypt(micros as u64, iv))
+        } else {
+            PricePayload::Cleartext(Cpm::from_micros(micros))
+        };
+        let fields = NurlFields::minimal(adx, DspId(dsp), price, ImpressionId(1), AuctionId(2));
+        let url = template::emit(&fields);
+        let det = NurlDetector::new().detect(&url).expect("own emission must detect");
+        prop_assert_eq!(det.adx, adx);
+        prop_assert_eq!(det.price.is_encrypted(), encrypted);
+        if !encrypted {
+            prop_assert_eq!(det.price.cleartext(), Some(Cpm::from_micros(micros)));
+        }
+    }
+
+    /// URL round-trip: display ∘ parse is the identity on parsed URLs.
+    #[test]
+    fn url_display_parse_identity(
+        host_label in "[a-z][a-z0-9]{0,10}",
+        path_seg in "[a-zA-Z0-9._-]{0,12}",
+        key in "[a-zA-Z0-9_]{1,8}",
+        value in "\\PC{0,30}",
+    ) {
+        let url = Url::build(false, &format!("{host_label}.example"), &format!("/{path_seg}"))
+            .param(&key, &value)
+            .finish();
+        let reparsed = Url::parse(&url.to_string()).unwrap();
+        prop_assert_eq!(reparsed, url);
+    }
+
+    /// Price tokens survive arbitrary wire transport (their base64url
+    /// form is URL-safe by construction, even percent-encoded).
+    #[test]
+    fn token_survives_query_embedding(micros in 0u64..u64::MAX / 2, iv: [u8; 16]) {
+        let c = PriceCrypter::new(PriceKeys::derive("transport"));
+        let token = c.encrypt(micros, iv);
+        let url = Url::build(true, "x.example", "/cb").param("p", &token.to_wire()).finish();
+        let back = Url::parse(&url.to_string()).unwrap();
+        let recovered = EncryptedPrice::from_wire(back.query("p").unwrap()).unwrap();
+        prop_assert_eq!(c.decrypt(&recovered).unwrap(), micros);
+    }
+
+    /// CPM string form round-trips for any micro value.
+    #[test]
+    fn cpm_wire_round_trip(micros in -1_000_000_000_000i64..1_000_000_000_000) {
+        let p = Cpm::from_micros(micros);
+        let parsed: Cpm = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// The discretiser's class assignment is monotone in price and its
+    /// representative prices invert it.
+    #[test]
+    fn discretizer_monotone(seed in 1u64..5000) {
+        // A deterministic two-cluster sample parameterised by the seed.
+        let prices: Vec<f64> = (0..200)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.1 } else { 2.0 };
+                base * (1.0 + ((i as u64 * seed) % 97) as f64 / 97.0)
+            })
+            .collect();
+        let d = your_ad_value::ml::Discretizer::fit(&prices, 4);
+        let mut last = 0usize;
+        for i in 0..100 {
+            let x = 0.01 * 1.12f64.powi(i);
+            let c = d.assign(x);
+            prop_assert!(c >= last);
+            last = c;
+        }
+        for c in 0..4 {
+            prop_assert_eq!(d.assign(d.class_price(c)), c);
+        }
+    }
+}
+
+// Ecdf invariants under arbitrary samples.
+proptest! {
+    #[test]
+    fn ecdf_is_a_cdf(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = your_ad_value::stats::Ecdf::new(&values);
+        // Monotone and bounded.
+        let mut last = 0.0;
+        for i in -10..=10 {
+            let x = i as f64 * 1e5;
+            let f = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last);
+            last = f;
+        }
+        // Everything ≤ max is everything.
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(e.eval(max), 1.0);
+    }
+}
