@@ -166,7 +166,10 @@ impl WeblogAnalyzer {
         fp: crate::ua::UaFingerprint,
         city: Option<City>,
     ) -> Option<ImpressionRecord> {
-        let user = self.users.get_mut(&req.user).expect("state created in ingest");
+        let user = self
+            .users
+            .get_mut(&req.user)
+            .expect("state created in ingest");
         if url.path().ends_with("/b.gif") {
             user.record_beacon();
             return None;
@@ -220,18 +223,27 @@ impl WeblogAnalyzer {
             https: url.is_https(),
             host_len: url.host().len() as u32,
             path_depth: url.path().split('/').filter(|s| !s.is_empty()).count() as u32,
-            query_len: url.query_pairs().iter().map(|(k, v)| k.len() + v.len() + 1).sum::<usize>()
-                as u32,
+            query_len: url
+                .query_pairs()
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 1)
+                .sum::<usize>() as u32,
             has_bid_price: fields.bid_price.is_some(),
             has_size: fields.slot.is_some(),
             has_publisher: meta.publisher.is_some(),
-            token_len: meta.encrypted_token_wire.as_ref().map(|t| t.len()).unwrap_or(0) as u32,
+            token_len: meta
+                .encrypted_token_wire
+                .as_ref()
+                .map(|t| t.len())
+                .unwrap_or(0) as u32,
         };
         let row = features::extract(&meta, &transport, user, &self.global);
 
         // Fold the impression into every state store.
         user.record_impression(meta.adx, meta.cleartext_cpm.map(|p| p.as_f64()));
-        self.report.pairs.record(req.time, meta.adx, meta.dsp_domain.as_deref(), visibility);
+        self.report
+            .pairs
+            .record(req.time, meta.adx, meta.dsp_domain.as_deref(), visibility);
         if let Some(slot) = meta.slot {
             let m = GlobalState::month_bucket(req.time);
             self.global.monthly_slots[m][features::slot_index(slot)] += 1;
@@ -254,7 +266,10 @@ impl WeblogAnalyzer {
         }
 
         self.report.detections.push(meta.clone());
-        Some(ImpressionRecord { meta, features: row })
+        Some(ImpressionRecord {
+            meta,
+            features: row,
+        })
     }
 
     /// Finishes the pass and returns the report.
@@ -360,7 +375,9 @@ mod tests {
             );
         }
         // Rest (content) should dominate raw request counts.
-        assert!(report.class_counts[&TrafficClass::Rest] > report.class_counts[&TrafficClass::Social]);
+        assert!(
+            report.class_counts[&TrafficClass::Rest] > report.class_counts[&TrafficClass::Social]
+        );
     }
 
     #[test]
@@ -375,14 +392,20 @@ mod tests {
     fn enrichment_recovers_context() {
         let (report, _, _) = run_tiny();
         // Cities resolve for essentially all detections.
-        let with_city = report.detections.iter().filter(|d| d.city.is_some()).count();
+        let with_city = report
+            .detections
+            .iter()
+            .filter(|d| d.city.is_some())
+            .count();
         assert_eq!(with_city, report.detections.len());
         // Both channels and at least two OSes appear.
-        let apps =
-            report.detections.iter().filter(|d| d.interaction == InteractionType::MobileApp).count();
+        let apps = report
+            .detections
+            .iter()
+            .filter(|d| d.interaction == InteractionType::MobileApp)
+            .count();
         assert!(apps > 0 && apps < report.detections.len());
-        let oses: std::collections::HashSet<Os> =
-            report.detections.iter().map(|d| d.os).collect();
+        let oses: std::collections::HashSet<Os> = report.detections.iter().map(|d| d.os).collect();
         assert!(oses.len() >= 2);
         // Publisher-rich exchanges yield IAB categories.
         assert!(report.detections.iter().any(|d| d.iab.is_some()));
@@ -393,7 +416,10 @@ mod tests {
         let (report, _, log) = run_tiny();
         assert_eq!(report.total_requests, log.requests.len() as u64);
         assert!(report.users_seen > 0);
-        assert_eq!(report.malformed_nurls, 0, "simulator emits well-formed nURLs");
+        assert_eq!(
+            report.malformed_nurls, 0,
+            "simulator emits well-formed nURLs"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ const THIRD_PARTY: [&str; 7] = [
 
 /// True if `host` equals `entry` or is one of its subdomains.
 fn matches(host: &str, entry: &str) -> bool {
-    host == entry || (host.len() > entry.len() && host.ends_with(entry) && host.as_bytes()[host.len() - entry.len() - 1] == b'.')
+    host == entry
+        || (host.len() > entry.len()
+            && host.ends_with(entry)
+            && host.as_bytes()[host.len() - entry.len() - 1] == b'.')
 }
 
 /// Classifies a host into its traffic group.
@@ -160,16 +163,28 @@ mod tests {
 
     #[test]
     fn suffix_matching_is_label_safe() {
-        assert_eq!(classify_domain("cpp.imp.mpx.mopub.com"), TrafficClass::Advertising);
+        assert_eq!(
+            classify_domain("cpp.imp.mpx.mopub.com"),
+            TrafficClass::Advertising
+        );
         assert_eq!(classify_domain("MOPUB.COM"), TrafficClass::Advertising);
         // "notmopub.com" must NOT match "mopub.com".
         assert_eq!(classify_domain("notmopub.com"), TrafficClass::Rest);
-        assert_eq!(classify_domain("mopub.com.evil.example"), TrafficClass::Rest);
+        assert_eq!(
+            classify_domain("mopub.com.evil.example"),
+            TrafficClass::Rest
+        );
     }
 
     #[test]
     fn publishers_are_rest() {
-        assert_eq!(classify_domain("www.dailynoticias7.example"), TrafficClass::Rest);
-        assert_eq!(classify_domain("api.com.superdeporte.app3"), TrafficClass::Rest);
+        assert_eq!(
+            classify_domain("www.dailynoticias7.example"),
+            TrafficClass::Rest
+        );
+        assert_eq!(
+            classify_domain("api.com.superdeporte.app3"),
+            TrafficClass::Rest
+        );
     }
 }

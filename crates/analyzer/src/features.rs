@@ -62,7 +62,10 @@ const SLOT_INDEX: [AdSlotSize; 19] = [
 
 /// Index of a slot in [`SLOT_INDEX`].
 pub fn slot_index(slot: AdSlotSize) -> usize {
-    SLOT_INDEX.iter().position(|&s| s == slot).expect("all sizes indexed")
+    SLOT_INDEX
+        .iter()
+        .position(|&s| s == slot)
+        .expect("all sizes indexed")
 }
 
 /// Number of roster DSP domains given dedicated one-hot slots; everything
@@ -83,7 +86,8 @@ impl FeatureSchema {
 
     fn build() -> FeatureSchema {
         use FeatureGroup::*;
-        let mut names: Vec<(&'static str, FeatureGroup, String)> = Vec::with_capacity(FEATURE_COUNT);
+        let mut names: Vec<(&'static str, FeatureGroup, String)> =
+            Vec::with_capacity(FEATURE_COUNT);
         let mut push = |grp: FeatureGroup, name: String| names.push(("", grp, name));
 
         // A — time (52).
@@ -215,7 +219,11 @@ impl FeatureSchema {
         push(UserLocations, "city_log_population".into());
         push(UserLocations, "city_rank".into());
 
-        assert_eq!(names.len(), FEATURE_COUNT, "schema must have exactly 288 features");
+        assert_eq!(
+            names.len(),
+            FEATURE_COUNT,
+            "schema must have exactly 288 features"
+        );
         FeatureSchema { names }
     }
 
@@ -246,7 +254,9 @@ impl FeatureSchema {
 
     /// Column indices belonging to one group.
     pub fn group_indices(&self, group: FeatureGroup) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.group_of(i) == group).collect()
+        (0..self.len())
+            .filter(|&i| self.group_of(i) == group)
+            .collect()
     }
 }
 
@@ -349,10 +359,13 @@ pub fn extract(
 
     // D — DSP.
     let dsp_domain = meta.dsp_domain.as_deref().unwrap_or("");
-    let roster_idx = (0..DSP_ROSTER as u32)
-        .find(|&i| yav_types::DspId(i).domain() == dsp_domain);
+    let roster_idx = (0..DSP_ROSTER as u32).find(|&i| yav_types::DspId(i).domain() == dsp_domain);
     for i in 0..DSP_ROSTER {
-        f.push(if roster_idx == Some(i as u32) { 1.0 } else { 0.0 });
+        f.push(if roster_idx == Some(i as u32) {
+            1.0
+        } else {
+            0.0
+        });
     }
     f.push(if roster_idx.is_none() { 1.0 } else { 0.0 });
     let dsp_stats = global.dsps.get(dsp_domain);
@@ -360,14 +373,26 @@ pub fn extract(
     f.push(dsp_stats.map(|s| s.bytes as f64).unwrap_or(0.0));
     f.push(
         dsp_stats
-            .map(|s| if s.requests > 0 { s.duration_ms as f64 / s.requests as f64 } else { 0.0 })
+            .map(|s| {
+                if s.requests > 0 {
+                    s.duration_ms as f64 / s.requests as f64
+                } else {
+                    0.0
+                }
+            })
             .unwrap_or(0.0),
     );
     f.push(global.dsp_avg_reqs_per_user(dsp_domain));
     f.push(dsp_stats.map(|s| s.users.len() as f64).unwrap_or(0.0));
     f.push(
         dsp_stats
-            .map(|s| if s.requests > 0 { s.encrypted as f64 / s.requests as f64 } else { 0.0 })
+            .map(|s| {
+                if s.requests > 0 {
+                    s.encrypted as f64 / s.requests as f64
+                } else {
+                    0.0
+                }
+            })
             .unwrap_or(0.0),
     );
 
@@ -379,7 +404,11 @@ pub fn extract(
     let pub_name = meta.publisher.as_deref().unwrap_or("");
     f.push(global.publisher_views.get(pub_name).copied().unwrap_or(0) as f64);
     f.push(global.publisher_imps.get(pub_name).copied().unwrap_or(0) as f64);
-    f.push(if pub_name.starts_with("com.") { 1.0 } else { 0.0 });
+    f.push(if pub_name.starts_with("com.") {
+        1.0
+    } else {
+        0.0
+    });
     let hash = fxhash(pub_name) % 16;
     for b in 0..16u64 {
         f.push(if hash == b { 1.0 } else { 0.0 });
@@ -404,7 +433,11 @@ pub fn extract(
     f.push(user.clear_prices.0 as f64);
     f.push(user.encrypted_seen as f64);
     let mean_price = user.mean_clear_price();
-    f.push(if mean_price.is_finite() { mean_price } else { 0.0 });
+    f.push(if mean_price.is_finite() {
+        mean_price
+    } else {
+        0.0
+    });
     f.push(user.std_clear_price());
     for h in 0..24 {
         f.push(user.hourly[h] as f64 / reqs);
@@ -446,7 +479,11 @@ pub fn extract(
         });
     }
     f.push(user.cities.len() as f64);
-    f.push(meta.city.map(|c| (c.population() as f64).ln()).unwrap_or(0.0));
+    f.push(
+        meta.city
+            .map(|c| (c.population() as f64).ln())
+            .unwrap_or(0.0),
+    );
     f.push(meta.city.map(|c| c.index() as f64).unwrap_or(10.0));
 
     debug_assert_eq!(f.len(), FEATURE_COUNT);
@@ -508,10 +545,19 @@ mod tests {
     fn groups_partition_the_schema() {
         use FeatureGroup::*;
         let s = FeatureSchema::get();
-        let total: usize = [Time, Http, Ad, Dsp, Publisher, UserHttp, UserInterests, UserLocations]
-            .iter()
-            .map(|&g| s.group_indices(g).len())
-            .sum();
+        let total: usize = [
+            Time,
+            Http,
+            Ad,
+            Dsp,
+            Publisher,
+            UserHttp,
+            UserInterests,
+            UserLocations,
+        ]
+        .iter()
+        .map(|&g| s.group_indices(g).len())
+        .sum();
         assert_eq!(total, 288);
         assert_eq!(s.group_indices(Time).len(), 52);
         assert_eq!(s.group_indices(Http).len(), 12);
@@ -538,7 +584,9 @@ mod tests {
         let row = extract(&meta(), &NurlTransport::default(), &user, &global);
         let s = FeatureSchema::get();
         let by_name = |n: &str| {
-            let i = (0..s.len()).find(|&i| s.name_of(i) == n).unwrap_or_else(|| panic!("{n}"));
+            let i = (0..s.len())
+                .find(|&i| s.name_of(i) == n)
+                .unwrap_or_else(|| panic!("{n}"));
             row[i]
         };
         assert_eq!(by_name("hour_10"), 1.0);
@@ -587,7 +635,12 @@ mod tests {
         m.city = None;
         m.dsp_domain = None;
         m.latency_ms = None;
-        let row = extract(&m, &NurlTransport::default(), &UserState::new(), &GlobalState::default());
+        let row = extract(
+            &m,
+            &NurlTransport::default(),
+            &UserState::new(),
+            &GlobalState::default(),
+        );
         assert!(validate_row(&row));
         let s = FeatureSchema::get();
         let by_name = |n: &str| {

@@ -69,7 +69,11 @@ impl PairTracker {
         dsp_domain: Option<&str>,
         visibility: PriceVisibility,
     ) {
-        let bucket = if time.year() <= 2015 { time.month().index() } else { 11 };
+        let bucket = if time.year() <= 2015 {
+            time.month().index()
+        } else {
+            11
+        };
         if let Some(dsp) = dsp_domain {
             self.monthly_pairs[bucket].insert((adx, dsp.to_owned(), visibility));
         }
@@ -88,7 +92,11 @@ impl PairTracker {
                     .filter(|(_, _, v)| *v == PriceVisibility::Encrypted)
                     .count();
                 let clear = self.monthly_pairs[m].len() - enc;
-                PairShare { month: m as u32 + 1, encrypted_pairs: enc, cleartext_pairs: clear }
+                PairShare {
+                    month: m as u32 + 1,
+                    encrypted_pairs: enc,
+                    cleartext_pairs: clear,
+                }
             })
             .collect()
     }
@@ -103,7 +111,11 @@ impl PairTracker {
             .iter()
             .map(|(&adx, &n)| EntityShare {
                 name: adx.name().to_owned(),
-                rtb_share: if total_rtb > 0 { n as f64 / total_rtb as f64 } else { 0.0 },
+                rtb_share: if total_rtb > 0 {
+                    n as f64 / total_rtb as f64
+                } else {
+                    0.0
+                },
                 cleartext_share: if total_clear > 0 {
                     self.adx_cleartext.get(&adx).copied().unwrap_or(0) as f64 / total_clear as f64
                 } else {
@@ -128,10 +140,25 @@ mod tests {
     fn pairs_deduplicate_within_month() {
         let mut p = PairTracker::new();
         for _ in 0..5 {
-            p.record(t(1), Adx::MoPub, Some("mediamath.com"), PriceVisibility::Cleartext);
+            p.record(
+                t(1),
+                Adx::MoPub,
+                Some("mediamath.com"),
+                PriceVisibility::Cleartext,
+            );
         }
-        p.record(t(1), Adx::MoPub, Some("appnexus.com"), PriceVisibility::Cleartext);
-        p.record(t(1), Adx::DoubleClick, Some("mediamath.com"), PriceVisibility::Encrypted);
+        p.record(
+            t(1),
+            Adx::MoPub,
+            Some("appnexus.com"),
+            PriceVisibility::Cleartext,
+        );
+        p.record(
+            t(1),
+            Adx::DoubleClick,
+            Some("mediamath.com"),
+            PriceVisibility::Encrypted,
+        );
         let f2 = p.figure2();
         assert_eq!(f2[0].cleartext_pairs, 2);
         assert_eq!(f2[0].encrypted_pairs, 1);
@@ -147,7 +174,12 @@ mod tests {
             p.record(t(2), Adx::MoPub, Some("x.com"), PriceVisibility::Cleartext);
         }
         for _ in 0..30 {
-            p.record(t(2), Adx::DoubleClick, Some("x.com"), PriceVisibility::Encrypted);
+            p.record(
+                t(2),
+                Adx::DoubleClick,
+                Some("x.com"),
+                PriceVisibility::Encrypted,
+            );
         }
         let f3 = p.figure3();
         let rtb_total: f64 = f3.iter().map(|e| e.rtb_share).sum();

@@ -64,7 +64,13 @@ mod tests {
 
     #[test]
     fn subdomains_and_case() {
-        assert_eq!(categorize("WWW.ELDEPORTE5.EXAMPLE"), Some(IabCategory::Sports));
-        assert_eq!(categorize("api.com.minoticias.app3"), Some(IabCategory::News));
+        assert_eq!(
+            categorize("WWW.ELDEPORTE5.EXAMPLE"),
+            Some(IabCategory::Sports)
+        );
+        assert_eq!(
+            categorize("api.com.minoticias.app3"),
+            Some(IabCategory::News)
+        );
     }
 }

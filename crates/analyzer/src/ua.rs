@@ -58,7 +58,11 @@ pub fn parse_user_agent(ua: &str) -> UaFingerprint {
     UaFingerprint {
         os,
         device,
-        interaction: if in_app { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+        interaction: if in_app {
+            InteractionType::MobileApp
+        } else {
+            InteractionType::MobileWeb
+        },
     }
 }
 

@@ -68,7 +68,8 @@ impl UserState {
         self.duration_ms += duration_ms as u64;
         self.hourly[time.hour() as usize] += 1;
         self.daily[time.day_of_week().index()] += 1;
-        self.active_days.insert(time.minutes() / yav_types::MINUTES_PER_DAY);
+        self.active_days
+            .insert(time.minutes() / yav_types::MINUTES_PER_DAY);
         if in_app {
             self.app_requests += 1;
         }

@@ -124,7 +124,10 @@ mod tests {
             .map(|&a| adx_share(a))
             .sum();
         let mopub_frac = adx_share(Adx::MoPub) / clear;
-        assert!((0.42..=0.50).contains(&mopub_frac), "mopub cleartext share {mopub_frac}");
+        assert!(
+            (0.42..=0.50).contains(&mopub_frac),
+            "mopub cleartext share {mopub_frac}"
+        );
     }
 
     #[test]

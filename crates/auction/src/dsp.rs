@@ -122,7 +122,10 @@ mod tests {
         };
         assert!(avg(DspStrategy::Retargeter) > avg(DspStrategy::Brand));
         for d in &roster {
-            assert_eq!(d.prefers_encryption(), d.strategy == DspStrategy::Retargeter);
+            assert_eq!(
+                d.prefers_encryption(),
+                d.strategy == DspStrategy::Retargeter
+            );
             assert!(d.participation > 0.0 && d.participation <= 1.0);
         }
     }

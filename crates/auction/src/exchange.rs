@@ -102,7 +102,11 @@ impl IntegrationMatrix {
                             migration_rate_minor
                         };
                         // Retargeters push for encryption: raised odds.
-                        let rate = if dsp.prefers_encryption() { (rate * 1.5).min(1.0) } else { rate };
+                        let rate = if dsp.prefers_encryption() {
+                            (rate * 1.5).min(1.0)
+                        } else {
+                            rate
+                        };
                         if rng.gen::<f64>() < rate {
                             Some(rng.gen_range(0..HORIZON_DAYS))
                         } else {
@@ -262,7 +266,11 @@ mod tests {
                 .count() as f64
                 / 200.0
         };
-        assert!(migrated(Adx::MoPub) < 0.20, "mopub {}", migrated(Adx::MoPub));
+        assert!(
+            migrated(Adx::MoPub) < 0.20,
+            "mopub {}",
+            migrated(Adx::MoPub)
+        );
         assert!(migrated(Adx::Turn) > 0.25, "turn {}", migrated(Adx::Turn));
     }
 }

@@ -108,7 +108,15 @@ impl Market {
         );
         let dmp = Dmp::new(config.seed, config.whale_fraction, config.user_value_sigma);
         let rng = StdRng::seed_from_u64(config.seed ^ 0x3A2B_0000_0000_0003);
-        Market { config, dsps, dmp, integrations, rng, next_auction: 0, next_impression: 0 }
+        Market {
+            config,
+            dsps,
+            dmp,
+            integrations,
+            rng,
+            next_auction: 0,
+            next_impression: 0,
+        }
     }
 
     /// The valuation model in force.
@@ -149,6 +157,8 @@ impl Market {
         req: &AdRequest,
         probe: Option<&ProbeBid>,
     ) -> (AuctionResult, Option<ProbeWin>) {
+        let _span = yav_telemetry::span!("auction.market.run");
+        yav_telemetry::counter("auction.market.runs").inc();
         let user_value = self.dmp.user_value(req.user).factor;
         let mu_base = self.config.valuation.mu(req, user_value);
 
@@ -157,10 +167,16 @@ impl Market {
         // propensity. Real exchanges solicit a fairly constant set of
         // integrated bidders per request; a Binomial turnout would inject
         // artificial second-price variance through the order statistic.
+        // A DSP executing a probing campaign routes the campaign's bid
+        // instead of its organic demand: one DSP, one bid per auction.
+        // Without this, the probe's DSP could "win" with an uncapped
+        // organic bid and the impression would book against the campaign
+        // at a charge above its max-bid safeguard.
+        let excluded = probe.map(|p| p.dsp);
+        let eligible = self.dsps.len() - usize::from(excluded.is_some());
         let turnout = {
             let jitter = (self.rng.gen_range(0..3) as i64 - 1).max(-1);
-            ((self.config.mean_bidders.round() as i64 + jitter).max(2) as usize)
-                .min(self.dsps.len())
+            ((self.config.mean_bidders.round() as i64 + jitter).max(2) as usize).min(eligible)
         };
         let mut participants: Vec<usize> = Vec::with_capacity(turnout);
         let total_weight: f64 = self.dsps.iter().map(|d| d.participation).sum();
@@ -173,6 +189,9 @@ impl Market {
                     pick = i;
                     break;
                 }
+            }
+            if Some(self.dsps[pick].id) == excluded {
+                continue;
             }
             if !participants.contains(&pick) {
                 participants.push(pick);
@@ -199,7 +218,11 @@ impl Market {
                     .get(req.adx, dsp.id)
                     .map(|i| i.visibility(req.time) == PriceVisibility::Encrypted)
                     .unwrap_or(false);
-                if migrated { 1.15f64.ln() } else { 0.0 }
+                if migrated {
+                    1.15f64.ln()
+                } else {
+                    0.0
+                }
             };
             let mu = mu_base + dsp.mu_offset + dsp.match_premium * req.interest_match + premium;
             let sigma = self.config.valuation.sigma(req);
@@ -218,6 +241,7 @@ impl Market {
             // exchanges need competition or a deal floor; probing
             // campaigns however buy remnant inventory at the floor.
             if probe.is_none() {
+                yav_telemetry::counter("auction.market.no_sale").inc();
                 return (AuctionResult::NoSale, None);
             }
         }
@@ -238,6 +262,16 @@ impl Market {
             .get_mut(req.adx, winner)
             .expect("winner always has an integration on its exchange");
         let visibility = integration.visibility(req.time);
+        yav_telemetry::histogram(&format!(
+            "auction.market.charge_cpm.{}",
+            req.adx.name().to_ascii_lowercase()
+        ))
+        .observe(charge.as_f64());
+        yav_telemetry::counter(match visibility {
+            PriceVisibility::Encrypted => "auction.market.sold_encrypted",
+            PriceVisibility::Cleartext => "auction.market.sold_cleartext",
+        })
+        .inc();
         let fields = notification(
             integration,
             charge,
@@ -366,7 +400,10 @@ mod tests {
                 assert_eq!(w.fields.campaign, Some(CampaignId(7)));
             }
         }
-        assert!(wins >= 48, "a 500-CPM cap should nearly always win, got {wins}");
+        assert!(
+            wins >= 48,
+            "a 500-CPM cap should nearly always win, got {wins}"
+        );
     }
 
     #[test]
@@ -395,7 +432,9 @@ mod tests {
             let t = SimTime::from_ymd_hm(2015, 4, 4, 16, 0);
             (0..50)
                 .filter_map(|i| {
-                    m.run_auction(&request(Adx::MoPub, t.plus_minutes(i))).sale().map(|o| o.charge)
+                    m.run_auction(&request(Adx::MoPub, t.plus_minutes(i)))
+                        .sale()
+                        .map(|o| o.charge)
                 })
                 .collect::<Vec<_>>()
         };
@@ -429,7 +468,10 @@ mod tests {
             v[v.len() / 2]
         };
         let (mw, ma) = (median(&mut web), median(&mut app));
-        assert!(ma > 1.8 * mw, "app {ma:.3} should clear well above web {mw:.3}");
+        assert!(
+            ma > 1.8 * mw,
+            "app {ma:.3} should clear well above web {mw:.3}"
+        );
     }
 
     #[test]
@@ -443,7 +485,11 @@ mod tests {
         let mut enc = Vec::new();
         for i in 0..3000 {
             let mut req = request(
-                if i % 2 == 0 { Adx::MoPub } else { Adx::DoubleClick },
+                if i % 2 == 0 {
+                    Adx::MoPub
+                } else {
+                    Adx::DoubleClick
+                },
                 t.plus_minutes(i % 500),
             );
             req.user = UserId(i as u32 % 100);

@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn whale_fraction_respected() {
         let mut dmp = Dmp::new(42, 0.02, 0.6);
-        let whales = (0..20_000u32).filter(|&i| dmp.user_value(UserId(i)).whale).count();
+        let whales = (0..20_000u32)
+            .filter(|&i| dmp.user_value(UserId(i)).whale)
+            .count();
         let frac = whales as f64 / 20_000.0;
         assert!((0.012..=0.028).contains(&frac), "whale fraction {frac}");
     }
@@ -143,8 +145,9 @@ mod tests {
     #[test]
     fn ordinary_values_center_on_one() {
         let mut dmp = Dmp::new(9, 0.0, 0.6);
-        let mut vals: Vec<f64> =
-            (0..10_000u32).map(|i| dmp.user_value(UserId(i)).factor).collect();
+        let mut vals: Vec<f64> = (0..10_000u32)
+            .map(|i| dmp.user_value(UserId(i)).factor)
+            .collect();
         vals.sort_by(|a, b| a.total_cmp(b));
         let median = vals[vals.len() / 2];
         assert!((0.9..=1.1).contains(&median), "median {median}");

@@ -24,7 +24,9 @@
 
 use crate::request::AdRequest;
 use serde::{Deserialize, Serialize};
-use yav_types::{AdSlotSize, City, DayOfWeek, IabCategory, InteractionType, Os, SimTime, TimeOfDay};
+use yav_types::{
+    AdSlotSize, City, DayOfWeek, IabCategory, InteractionType, Os, SimTime, TimeOfDay,
+};
 
 /// Multiplicative feature-effect tables feeding bid valuations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,7 +79,11 @@ impl ValuationModel {
 
     /// Log-scale dispersion for a request.
     pub fn sigma(&self, req: &AdRequest) -> f64 {
-        let weekday = if req.time.is_weekend() { 0.0 } else { self.weekday_sigma_bonus };
+        let weekday = if req.time.is_weekend() {
+            0.0
+        } else {
+            self.weekday_sigma_bonus
+        };
         self.sigma + city_sigma_bonus(req.city) + weekday
     }
 
@@ -199,7 +205,9 @@ pub fn publisher_effect(name: &str) -> f64 {
     // Irwin-Hall: sum of 12 uniforms, minus 6, is ~N(0,1).
     let mut z = -6.0f64;
     for _ in 0..12 {
-        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        h = h
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         z += (h >> 11) as f64 / (1u64 << 53) as f64;
     }
     (SIGMA * z).exp()

@@ -16,9 +16,17 @@ fn request(i: u64) -> AdRequest {
         time: SimTime::from_ymd_hm(2015, 6, 15, 12, 0).plus_minutes((i % 600) as i64),
         user: UserId((i % 500) as u32),
         city: City::from_index((i % 10) as usize),
-        os: if i.is_multiple_of(3) { Os::Ios } else { Os::Android },
+        os: if i.is_multiple_of(3) {
+            Os::Ios
+        } else {
+            Os::Android
+        },
         device: DeviceType::Smartphone,
-        interaction: if i.is_multiple_of(2) { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+        interaction: if i.is_multiple_of(2) {
+            InteractionType::MobileApp
+        } else {
+            InteractionType::MobileWeb
+        },
         publisher: PublisherId((i % 200) as u32),
         publisher_name: format!("dailynoticias{}.example", i % 200),
         iab: IabCategory::ALL[(i % 18) as usize],
@@ -30,7 +38,9 @@ fn request(i: u64) -> AdRequest {
 
 fn bench_market(c: &mut Criterion) {
     let mut g = c.benchmark_group("market");
-    g.bench_function("construction", |b| b.iter(|| Market::new(MarketConfig::default())));
+    g.bench_function("construction", |b| {
+        b.iter(|| Market::new(MarketConfig::default()))
+    });
 
     let mut market = Market::new(MarketConfig::default());
     let mut i = 0u64;
@@ -42,8 +52,11 @@ fn bench_market(c: &mut Criterion) {
         })
     });
 
-    let probe =
-        ProbeBid { dsp: DspId(0), max_bid: Cpm::from_whole(30), campaign: CampaignId(1) };
+    let probe = ProbeBid {
+        dsp: DspId(0),
+        max_bid: Cpm::from_whole(30),
+        campaign: CampaignId(1),
+    };
     g.bench_function("probe_auction", |b| {
         b.iter(|| {
             i += 1;

@@ -33,7 +33,10 @@ fn dataset(n: usize) -> Dataset {
         rows,
         labels,
         3,
-        ["city", "tod", "iab", "app", "noise"].iter().map(|s| s.to_string()).collect(),
+        ["city", "tod", "iab", "app", "noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     )
 }
 
@@ -45,27 +48,36 @@ fn bench_discretizer(c: &mut Criterion) {
         b.iter(|| Discretizer::fit(black_box(&prices), 4))
     });
     let d = Discretizer::fit(&prices, 4);
-    c.bench_function("ml/discretizer_assign", |b| b.iter(|| d.assign(black_box(1.3))));
+    c.bench_function("ml/discretizer_assign", |b| {
+        b.iter(|| d.assign(black_box(1.3)))
+    });
 }
 
 fn bench_forest(c: &mut Criterion) {
     let data = dataset(4000);
     let cfg = RandomForestConfig {
         n_trees: 15,
-        tree: TreeConfig { max_depth: 12, ..TreeConfig::default() },
+        tree: TreeConfig {
+            max_depth: 12,
+            ..TreeConfig::default()
+        },
         seed: 1,
         threads: 4,
     };
     let mut g = c.benchmark_group("ml");
     g.sample_size(10);
-    g.bench_function("forest_fit_4k_rows", |b| b.iter(|| RandomForest::fit(&data, &cfg)));
+    g.bench_function("forest_fit_4k_rows", |b| {
+        b.iter(|| RandomForest::fit(&data, &cfg))
+    });
     g.finish();
 
     let forest = RandomForest::fit(&data, &cfg);
     let row = data.row(17).to_vec();
     let mut g = c.benchmark_group("ml_predict");
     g.throughput(Throughput::Elements(1));
-    g.bench_function("forest_predict", |b| b.iter(|| forest.predict(black_box(&row))));
+    g.bench_function("forest_predict", |b| {
+        b.iter(|| forest.predict(black_box(&row)))
+    });
     let tree = forest.representative_tree(&data);
     g.bench_function("tree_predict", |b| b.iter(|| tree.predict(black_box(&row))));
     g.finish();

@@ -62,9 +62,12 @@ fn bench_client(c: &mut Criterion) {
     // Train a model once so encrypted estimation is exercised.
     let mut market = Market::new(MarketConfig::default());
     let universe = PublisherUniverse::build(0xD474, 300, 120);
-    let rows =
-        yav_campaign::execute(&mut market, &universe, &yav_campaign::Campaign::a1().scaled(8))
-            .rows;
+    let rows = yav_campaign::execute(
+        &mut market,
+        &universe,
+        &yav_campaign::Campaign::a1().scaled(8),
+    )
+    .rows;
     let pme = Pme::new();
     pme.train_from_campaign(&rows, &TrainConfig::quick());
     let model = pme.current_model().unwrap();
@@ -96,5 +99,11 @@ fn bench_generator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyzer, bench_features, bench_client, bench_generator);
+criterion_group!(
+    benches,
+    bench_analyzer,
+    bench_features,
+    bench_client,
+    bench_generator
+);
 criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Instrumentation overhead: `run_auction` with telemetry recording
+//! versus with the global switch off.
+//!
+//! The acceptance bar for the observability work is < 5 % added cost on
+//! the market hot path; comparing the two medians printed here checks
+//! it (and the `enabled=false` row doubles as the no-op-path bench).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use yav_auction::{AdRequest, Market, MarketConfig};
+use yav_types::{
+    AdSlotSize, City, DeviceType, IabCategory, InteractionType, Os, PublisherId, SimTime, UserId,
+};
+
+fn request(i: u64) -> AdRequest {
+    AdRequest {
+        time: SimTime::from_ymd_hm(2015, 6, 15, 12, 0).plus_minutes((i % 600) as i64),
+        user: UserId((i % 500) as u32),
+        city: City::from_index((i % 10) as usize),
+        os: if i.is_multiple_of(3) {
+            Os::Ios
+        } else {
+            Os::Android
+        },
+        device: DeviceType::Smartphone,
+        interaction: if i.is_multiple_of(2) {
+            InteractionType::MobileApp
+        } else {
+            InteractionType::MobileWeb
+        },
+        publisher: PublisherId((i % 200) as u32),
+        publisher_name: format!("dailynoticias{}.example", i % 200),
+        iab: IabCategory::ALL[(i % 18) as usize],
+        slot: AdSlotSize::S300x250,
+        adx: yav_auction::config::sample_adx((i % 1000) as f64 / 1000.0),
+        interest_match: 0.2,
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(1));
+
+    let mut market = Market::new(MarketConfig::default());
+    let mut i = 0u64;
+    yav_telemetry::set_enabled(true);
+    g.bench_function("run_auction_instrumented", |b| {
+        b.iter(|| {
+            i += 1;
+            market.run_auction(black_box(&request(i)))
+        })
+    });
+
+    yav_telemetry::set_enabled(false);
+    g.bench_function("run_auction_uninstrumented", |b| {
+        b.iter(|| {
+            i += 1;
+            market.run_auction(black_box(&request(i)))
+        })
+    });
+    yav_telemetry::set_enabled(true);
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

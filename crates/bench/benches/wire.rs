@@ -17,8 +17,7 @@ fn sample_nurl(adx: Adx, encrypted: bool) -> String {
     } else {
         PricePayload::Cleartext(Cpm::from_f64(1.25))
     };
-    let mut fields =
-        NurlFields::minimal(adx, DspId(3), price, ImpressionId(42), AuctionId(77));
+    let mut fields = NurlFields::minimal(adx, DspId(3), price, ImpressionId(42), AuctionId(77));
     fields.slot = Some(yav_types::AdSlotSize::S300x250);
     fields.publisher = Some("dailynoticias7.example".into());
     template::emit(&fields).to_string()
@@ -33,7 +32,9 @@ fn bench_url(c: &mut Criterion) {
     });
     let nurl = sample_nurl(Adx::MoPub, false);
     g.throughput(Throughput::Bytes(nurl.len() as u64));
-    g.bench_function("parse_nurl", |b| b.iter(|| Url::parse(black_box(&nurl)).unwrap()));
+    g.bench_function("parse_nurl", |b| {
+        b.iter(|| Url::parse(black_box(&nurl)).unwrap())
+    });
     g.finish();
 }
 
@@ -41,8 +42,7 @@ fn bench_nurl(c: &mut Criterion) {
     let mut g = c.benchmark_group("nurl");
     let clear = Url::parse(&sample_nurl(Adx::MoPub, false)).unwrap();
     let enc = Url::parse(&sample_nurl(Adx::DoubleClick, true)).unwrap();
-    let ordinary =
-        Url::parse("http://cdn.fastassets.example/assets/17.js").unwrap();
+    let ordinary = Url::parse("http://cdn.fastassets.example/assets/17.js").unwrap();
     let det = NurlDetector::new();
     g.bench_function("detect_cleartext", |b| {
         b.iter(|| det.detect(black_box(&clear)).unwrap())
@@ -50,7 +50,9 @@ fn bench_nurl(c: &mut Criterion) {
     g.bench_function("detect_encrypted", |b| {
         b.iter(|| det.detect(black_box(&enc)).unwrap())
     });
-    g.bench_function("detect_miss", |b| b.iter(|| det.detect(black_box(&ordinary))));
+    g.bench_function("detect_miss", |b| {
+        b.iter(|| det.detect(black_box(&ordinary)))
+    });
     g.bench_function("parse_full_fields", |b| {
         b.iter(|| template::parse(black_box(&clear)).unwrap().unwrap())
     });
@@ -72,7 +74,9 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| crypter.encrypt(black_box(950_000), [9u8; 16]))
     });
     let token = crypter.encrypt(950_000, [9u8; 16]);
-    g.bench_function("price_decrypt", |b| b.iter(|| crypter.decrypt(black_box(&token)).unwrap()));
+    g.bench_function("price_decrypt", |b| {
+        b.iter(|| crypter.decrypt(black_box(&token)).unwrap())
+    });
     let data = vec![0xA5u8; 4096];
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("sha256_4k", |b| b.iter(|| sha256(black_box(&data))));

@@ -12,10 +12,33 @@
 use yav_bench::{figs_dataset as fd, figs_model as fm, figs_user as fu, Scale, World};
 
 const ALL: &[&str] = &[
-    "table3", "fig2", "fig3", "encshare", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "table4", "dimred", "table5", "samplesize", "fig15", "fig16",
-    "model", "fig17", "fig18", "fig19", "arpu", "truth",
-    "ablate-classes", "ablate-features",
+    "table3",
+    "fig2",
+    "fig3",
+    "encshare",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table4",
+    "dimred",
+    "table5",
+    "samplesize",
+    "fig15",
+    "fig16",
+    "model",
+    "fig17",
+    "fig18",
+    "fig19",
+    "arpu",
+    "truth",
+    "ablate-classes",
+    "ablate-features",
 ];
 
 fn run(world: &World, id: &str) -> Option<String> {
@@ -80,9 +103,7 @@ fn main() {
     }
     ids.dedup();
     if ids.is_empty() {
-        eprintln!(
-            "usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--out DIR]"
-        );
+        eprintln!("usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--out DIR]");
         eprintln!("experiments: {}", ALL.join(" "));
         std::process::exit(2);
     }

@@ -34,7 +34,10 @@ pub fn fig2(w: &World) -> String {
     }
     let f = w.report.pairs.figure2();
     let first = f.iter().find(|m| m.encrypted_pairs + m.cleartext_pairs > 0);
-    let last = f.iter().rev().find(|m| m.encrypted_pairs + m.cleartext_pairs > 0);
+    let last = f
+        .iter()
+        .rev()
+        .find(|m| m.encrypted_pairs + m.cleartext_pairs > 0);
     if let (Some(a), Some(b)) = (first, last) {
         out += &format!(
             "trend: {:.1}% -> {:.1}% (paper: steadily increasing)\n",
@@ -71,7 +74,10 @@ pub fn table3(w: &World) -> String {
     let mut monthly_pubs: BTreeMap<usize, HashSet<&str>> = BTreeMap::new();
     for d in &w.report.detections {
         if let Some(p) = &d.publisher {
-            monthly_pubs.entry(d.time.month().index()).or_default().insert(p);
+            monthly_pubs
+                .entry(d.time.month().index())
+                .or_default()
+                .insert(p);
         }
     }
     let avg_pubs = if monthly_pubs.is_empty() {
@@ -81,10 +87,7 @@ pub fn table3(w: &World) -> String {
     };
     let d_iabs: HashSet<_> = w.report.detections.iter().filter_map(|d| d.iab).collect();
     let mut out = String::from("Table 3: dataset and ad-campaign summary\n");
-    out += &format!(
-        "{:<22} {:>12} {:>12} {:>12}\n",
-        "metric", "D", "A1", "A2"
-    );
+    out += &format!("{:<22} {:>12} {:>12} {:>12}\n", "metric", "D", "A1", "A2");
     out += &format!(
         "{:<22} {:>12} {:>12} {:>12}\n",
         "time period", "12 months", "13 days", "8 days"
@@ -110,7 +113,10 @@ pub fn table3(w: &World) -> String {
         w.a1.distinct_iabs(),
         w.a2.distinct_iabs()
     );
-    out += &format!("{:<22} {:>12} {:>12} {:>12}\n", "users", w.report.users_seen, "-", "-");
+    out += &format!(
+        "{:<22} {:>12} {:>12} {:>12}\n",
+        "users", w.report.users_seen, "-", "-"
+    );
     out += "(paper: D 78 560 imps / ~5.6k pubs/month / 18 IABs / 1 594 users; A1 632 667; A2 318 964)\n";
     out
 }
@@ -172,7 +178,10 @@ pub fn fig7(w: &World) -> String {
         }
     }
     for day in DayOfWeek::PAPER_ORDER {
-        out += &box_row(&day.to_string(), &PercentileSummary::of(&by_day[day.index()]));
+        out += &box_row(
+            &day.to_string(),
+            &PercentileSummary::of(&by_day[day.index()]),
+        );
         out.push('\n');
     }
     let weekday: Vec<f64> = DayOfWeek::ALL[..5]
@@ -198,7 +207,11 @@ pub fn fig8_9(w: &World) -> String {
     out += "month  Android      iOS  WinMob   Other\n";
     let mut monthly: Vec<[u64; 4]> = vec![[0; 4]; 12];
     for d in &w.report.detections {
-        let m = if d.time.year() <= 2015 { d.time.month().index() } else { 11 };
+        let m = if d.time.year() <= 2015 {
+            d.time.month().index()
+        } else {
+            11
+        };
         monthly[m][yav_analyzer::analyzer::os_index(d.os)] += 1;
     }
     for (m, counts) in monthly.iter().enumerate() {
@@ -285,12 +298,20 @@ pub fn fig11(w: &World) -> String {
 /// Figure 12 — ad-slot popularity per month (size-carrying detections).
 pub fn fig12(w: &World) -> String {
     let mut out = String::from("Figure 12: ad-slot size share per month (size-carrying nURLs)\n");
-    let tracked = [AdSlotSize::S320x50, AdSlotSize::S300x250, AdSlotSize::S728x90];
+    let tracked = [
+        AdSlotSize::S320x50,
+        AdSlotSize::S300x250,
+        AdSlotSize::S728x90,
+    ];
     out += "month  320x50  300x250  728x90  (other sizes omitted)\n";
     let mut monthly: BTreeMap<usize, BTreeMap<AdSlotSize, u64>> = BTreeMap::new();
     for d in &w.report.detections {
         if let Some(slot) = d.slot {
-            let m = if d.time.year() <= 2015 { d.time.month().index() } else { 11 };
+            let m = if d.time.year() <= 2015 {
+                d.time.month().index()
+            } else {
+                11
+            };
             *monthly.entry(m).or_default().entry(slot).or_insert(0) += 1;
         }
     }
@@ -300,9 +321,8 @@ pub fn fig12(w: &World) -> String {
         if total == 0 {
             continue;
         }
-        let share = |s: AdSlotSize| {
-            counts.get(&s).copied().unwrap_or(0) as f64 / total as f64 * 100.0
-        };
+        let share =
+            |s: AdSlotSize| counts.get(&s).copied().unwrap_or(0) as f64 / total as f64 * 100.0;
         out += &format!(
             "{:>5}  {:>5.1}%  {:>6.1}%  {:>5.1}%\n",
             m + 1,
@@ -384,7 +404,11 @@ pub fn table4(_w: &World) -> String {
     ] {
         let idx = schema.group_indices(group);
         let sample: Vec<&str> = idx.iter().take(4).map(|&i| schema.name_of(i)).collect();
-        out += &format!("{label:<24} {:>3} features  e.g. {}\n", idx.len(), sample.join(", "));
+        out += &format!(
+            "{label:<24} {:>3} features  e.g. {}\n",
+            idx.len(),
+            sample.join(", ")
+        );
     }
     out += &format!("total: {} features\n", schema.len());
     out

@@ -100,7 +100,10 @@ pub fn samplesize(w: &World) -> String {
         "±0.1 CPM per campaign needs ≥{} impressions (paper: 185)\n",
         plan.impressions_per_setup
     );
-    out += &format!("paper-reference plan check: ±{:.3} CPM\n", CampaignPlan::paper_reference().setup_margin);
+    out += &format!(
+        "paper-reference plan check: ±{:.3} CPM\n",
+        CampaignPlan::paper_reference().setup_margin
+    );
     out
 }
 
@@ -123,20 +126,18 @@ pub fn fig15(w: &World) -> String {
             })
             .filter_map(|x| x.cleartext_cpm.map(|p| p.as_f64()))
             .collect();
-        let a2: Vec<f64> = w
-            .a2
-            .rows
-            .iter()
-            .filter(|r| r.iab == iab)
-            .map(|r| r.charge.as_f64())
-            .collect();
-        let a1: Vec<f64> = w
-            .a1
-            .rows
-            .iter()
-            .filter(|r| r.iab == iab)
-            .map(|r| r.charge.as_f64())
-            .collect();
+        let a2: Vec<f64> =
+            w.a2.rows
+                .iter()
+                .filter(|r| r.iab == iab)
+                .map(|r| r.charge.as_f64())
+                .collect();
+        let a1: Vec<f64> =
+            w.a1.rows
+                .iter()
+                .filter(|r| r.iab == iab)
+                .map(|r| r.charge.as_f64())
+                .collect();
         if a1.is_empty() && a2.is_empty() {
             continue;
         }
@@ -147,7 +148,13 @@ pub fn fig15(w: &World) -> String {
                 format!("{:.3} ({})", PercentileSummary::of(v).p50, v.len())
             }
         };
-        out += &format!("{:<7} {:>24} {:>24} {:>24}\n", iab.label(), cell(&d), cell(&a2), cell(&a1));
+        out += &format!(
+            "{:<7} {:>24} {:>24} {:>24}\n",
+            iab.label(),
+            cell(&d),
+            cell(&a2),
+            cell(&a1)
+        );
     }
     out += "(paper: encrypted medians always above the cleartext ones)\n";
     out
@@ -220,8 +227,10 @@ pub fn model(w: &World) -> String {
         cv.auc_roc
     );
     out += "(paper: TP 82.9%, FP 6.8%, precision 83.5%, recall 82.9%, AUCROC 0.964)\n";
-    out += &format!("worst class recall gap: {:.1}% (paper: no class >5% below average)\n",
-        cv.worst_class_gap() * 100.0);
+    out += &format!(
+        "worst class recall gap: {:.1}% (paper: no class >5% below average)\n",
+        cv.worst_class_gap() * 100.0
+    );
     out += &format!("OOB error: {:.3}\n", trained.forest.oob_error());
     let (rmse, r2) = trained.regression_baseline;
     out += &format!(
@@ -232,7 +241,10 @@ pub fn model(w: &World) -> String {
     // The overfitting variant with publisher identity.
     let with_pub = yav_pme::model::train(
         &w.a1.rows,
-        &TrainConfig { with_publisher: true, ..w.scale.train_config() },
+        &TrainConfig {
+            with_publisher: true,
+            ..w.scale.train_config()
+        },
     );
     out += &format!(
         "with exact publisher: acc {:.1}%, AUCROC {:.3} (paper: ~95%/0.99 — overfitting, rejected)\n",
@@ -257,7 +269,10 @@ pub fn ablate_classes(w: &World) -> String {
     quick.cv_runs = 1;
     quick.cv_folds = 5;
     for k in [4usize, 5, 6, 8, 10] {
-        let cfg = TrainConfig { classes: k, ..quick.clone() };
+        let cfg = TrainConfig {
+            classes: k,
+            ..quick.clone()
+        };
         let trained = yav_pme::model::train(&w.a1.rows, &cfg);
         let chance = 1.0 / k as f64;
         let skill = (trained.cv.accuracy - chance) / (1.0 - chance);
@@ -289,22 +304,31 @@ pub fn ablate_features(w: &World) -> String {
     let rows = &w.a1.rows;
     let take: Vec<&yav_campaign::ProbeImpression> = if rows.len() > quick.max_rows {
         let stride = rows.len() as f64 / quick.max_rows as f64;
-        (0..quick.max_rows).map(|i| &rows[(i as f64 * stride) as usize]).collect()
+        (0..quick.max_rows)
+            .map(|i| &rows[(i as f64 * stride) as usize])
+            .collect()
     } else {
         rows.iter().collect()
     };
     let prices: Vec<f64> = take.iter().map(|r| r.charge.as_f64()).collect();
     let disc = yav_ml::Discretizer::fit(&prices, 4);
     let labels: Vec<usize> = prices.iter().map(|&p| disc.assign(p)).collect();
-    let feats: Vec<Vec<f64>> =
-        take.iter().map(|r| encode(&CoreContext::from(*r), false)).collect();
+    let feats: Vec<Vec<f64>> = take
+        .iter()
+        .map(|r| encode(&CoreContext::from(*r), false))
+        .collect();
     let names = feature_names(false);
     let full = Dataset::new(feats, labels, 4, names.clone());
     let baseline = cross_validate(&full, &quick.forest, quick.cv_folds, 1, 7);
 
     let mut out = String::from("Ablation: leave-one-feature-out accuracy (4 classes)\n");
     out += &format!("{:<16} {:>9} {:>8}\n", "dropped", "accuracy", "delta");
-    out += &format!("{:<16} {:>8.1}% {:>8}\n", "(none)", baseline.accuracy * 100.0, "-");
+    out += &format!(
+        "{:<16} {:>8.1}% {:>8}\n",
+        "(none)",
+        baseline.accuracy * 100.0,
+        "-"
+    );
     for drop in 0..names.len() {
         let cols: Vec<usize> = (0..names.len()).filter(|&i| i != drop).collect();
         let reduced = full.select_features(&cols);

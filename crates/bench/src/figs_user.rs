@@ -17,16 +17,28 @@ pub fn costs(w: &World) -> Vec<UserCost> {
 pub fn fig17(w: &World) -> String {
     let costs = costs(w);
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("cleartext", costs.iter().map(|c| c.cleartext.as_f64()).collect()),
+        (
+            "cleartext",
+            costs.iter().map(|c| c.cleartext.as_f64()).collect(),
+        ),
         (
             "cleartext (time corr.)",
-            costs.iter().map(|c| c.cleartext_corrected.as_f64()).collect(),
+            costs
+                .iter()
+                .map(|c| c.cleartext_corrected.as_f64())
+                .collect(),
         ),
         (
             "est. encrypted",
-            costs.iter().map(|c| c.encrypted_estimated.as_f64()).collect(),
+            costs
+                .iter()
+                .map(|c| c.encrypted_estimated.as_f64())
+                .collect(),
         ),
-        ("total", costs.iter().map(|c| c.total_corrected().as_f64()).collect()),
+        (
+            "total",
+            costs.iter().map(|c| c.total_corrected().as_f64()).collect(),
+        ),
     ];
     let mut out = String::from("Figure 17: cumulative cost per user (CPM over the trace)\n");
     out += &format!(
@@ -51,7 +63,10 @@ pub fn fig17(w: &World) -> String {
     }
     let s = PopulationSummary::of(&costs);
     out += &format!("\nusers: {}\n", s.users);
-    out += &format!("median total user cost: {:.1} CPM (paper: ~25 CPM)\n", s.median_total);
+    out += &format!(
+        "median total user cost: {:.1} CPM (paper: ~25 CPM)\n",
+        s.median_total
+    );
     out += &format!(
         "users under 100 CPM: {:.0}% (paper: ~73%)\n",
         s.under_100_cpm * 100.0
@@ -74,7 +89,8 @@ pub fn fig18(w: &World) -> String {
         .iter()
         .filter(|c| c.cleartext.is_positive() && c.encrypted_estimated.is_positive())
         .collect();
-    let mut out = String::from("Figure 18: total cleartext vs total est. encrypted cost per user\n");
+    let mut out =
+        String::from("Figure 18: total cleartext vs total est. encrypted cost per user\n");
     if both.is_empty() {
         return out + "no users with both price kinds\n";
     }
@@ -101,7 +117,10 @@ pub fn fig18(w: &World) -> String {
         enc_2x * 100.0
     );
     let xs: Vec<f64> = both.iter().map(|c| c.cleartext.as_f64().ln()).collect();
-    let ys: Vec<f64> = both.iter().map(|c| c.encrypted_estimated.as_f64().ln()).collect();
+    let ys: Vec<f64> = both
+        .iter()
+        .map(|c| c.encrypted_estimated.as_f64().ln())
+        .collect();
     if let Some(r) = pearson(&xs, &ys) {
         out += &format!("log-log correlation of the two totals: {r:.2}\n");
     }
@@ -120,8 +139,10 @@ pub fn fig19(w: &World) -> String {
     if both.is_empty() {
         return out + "no users with both price kinds\n";
     }
-    let avg_ratios: Vec<f64> =
-        both.iter().map(|c| c.avg_encrypted() / c.avg_cleartext()).collect();
+    let avg_ratios: Vec<f64> = both
+        .iter()
+        .map(|c| c.avg_encrypted() / c.avg_cleartext())
+        .collect();
     let e = Ecdf::new(&avg_ratios);
     out += &format!("users with both kinds: {}\n", both.len());
     out += &format!(
@@ -130,14 +151,17 @@ pub fn fig19(w: &World) -> String {
         e.median(),
         e.quantile(0.90)
     );
-    let enc_above = avg_ratios.iter().filter(|&&r| r > 1.0).count() as f64
-        / avg_ratios.len() as f64;
+    let enc_above =
+        avg_ratios.iter().filter(|&&r| r > 1.0).count() as f64 / avg_ratios.len() as f64;
     out += &format!(
         "users whose encrypted impressions average dearer: {:.0}%\n",
         enc_above * 100.0
     );
     let big = avg_ratios.iter().filter(|&&r| r >= 5.0).count() as f64 / avg_ratios.len() as f64;
-    out += &format!("5x+ dearer encrypted: {:.1}% (paper: ~2% up to 5x)\n", big * 100.0);
+    out += &format!(
+        "5x+ dearer encrypted: {:.1}% (paper: ~2% up to 5x)\n",
+        big * 100.0
+    );
     out
 }
 
@@ -188,7 +212,10 @@ pub fn truth_check(w: &World) -> String {
     let mut out = String::from("Ground-truth check (simulator-only validation)\n");
     out += &format!("true encrypted total:      {true_total:.1} CPM\n");
     out += &format!("estimated encrypted total: {est_total:.1} CPM\n");
-    out += &format!("aggregate estimation error: {:+.1}%\n", (est_total / true_total - 1.0) * 100.0);
+    out += &format!(
+        "aggregate estimation error: {:+.1}%\n",
+        (est_total / true_total - 1.0) * 100.0
+    );
 
     // Decompose: the probing campaign bids with a 12-CPM cap, so the
     // training data never contains the whale tail. Compare against the

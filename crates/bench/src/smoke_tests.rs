@@ -92,7 +92,11 @@ fn headline_bands_hold_at_small_scale() {
 
     // Classifier quality (quick config, small data — generous band).
     let trained = w.pme.trained_model().unwrap();
-    assert!(trained.cv.accuracy > 0.62, "accuracy {}", trained.cv.accuracy);
+    assert!(
+        trained.cv.accuracy > 0.62,
+        "accuracy {}",
+        trained.cv.accuracy
+    );
     assert!(trained.cv.auc_roc > 0.85, "auc {}", trained.cv.auc_roc);
 
     // The §5.4 negative result.

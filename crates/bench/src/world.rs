@@ -146,10 +146,8 @@ impl World {
 
         let (a1_imps, a2_imps) = scale.campaign_impressions();
         let universe = generator.universe().clone();
-        let a1 =
-            yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(a1_imps));
-        let a2 =
-            yav_campaign::execute(&mut market, &universe, &Campaign::a2().scaled(a2_imps));
+        let a1 = yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(a1_imps));
+        let a2 = yav_campaign::execute(&mut market, &universe, &Campaign::a2().scaled(a2_imps));
 
         let pme = Pme::new();
         pme.train_from_campaign(&a1.rows, &scale.train_config());
@@ -177,7 +175,17 @@ impl World {
         let shift = TimeShift::fit_stratified(&strata, 30);
         pme.set_time_shift(shift);
 
-        World { scale, report, truth, a1, a2, pme, shift, http_requests, feature_sample }
+        World {
+            scale,
+            report,
+            truth,
+            a1,
+            a2,
+            pme,
+            shift,
+            http_requests,
+            feature_sample,
+        }
     }
 
     /// Cleartext prices (CPM) in D.
@@ -205,7 +213,13 @@ impl World {
         self.report
             .detections
             .iter()
-            .map(|d| if d.time.year() <= 2015 { d.time.month().index() } else { 11 })
+            .map(|d| {
+                if d.time.year() <= 2015 {
+                    d.time.month().index()
+                } else {
+                    11
+                }
+            })
             .max()
             .unwrap_or(11)
             .saturating_sub(1)

@@ -90,7 +90,10 @@ impl Campaign {
 
     /// A scaled copy for tests and quick runs.
     pub fn scaled(&self, impressions_per_setup: u32) -> Campaign {
-        Campaign { impressions_per_setup, ..self.clone() }
+        Campaign {
+            impressions_per_setup,
+            ..self.clone()
+        }
     }
 }
 
@@ -150,8 +153,7 @@ impl CampaignReport {
 
     /// Distinct IAB categories reached.
     pub fn distinct_iabs(&self) -> usize {
-        let set: std::collections::HashSet<IabCategory> =
-            self.rows.iter().map(|r| r.iab).collect();
+        let set: std::collections::HashSet<IabCategory> = self.rows.iter().map(|r| r.iab).collect();
         set.len()
     }
 
@@ -167,6 +169,10 @@ pub fn execute(
     universe: &PublisherUniverse,
     campaign: &Campaign,
 ) -> CampaignReport {
+    let _span = yav_telemetry::span!("campaign.executor.execute");
+    let setups_counter = yav_telemetry::counter("campaign.executor.setups_completed");
+    let auctions_counter = yav_telemetry::counter("campaign.executor.auctions_entered");
+    let bought_counter = yav_telemetry::counter("campaign.executor.impressions_bought");
     let setups = crate::setups::table5(&campaign.adxs);
     let mut rng = StdRng::seed_from_u64(campaign.seed ^ 0xCA4B_0000_0000_0007);
     let mut report = CampaignReport {
@@ -188,7 +194,10 @@ pub fn execute(
         .collect();
     eligible.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     eligible.truncate(campaign.publisher_cap.max(1));
-    assert!(!eligible.is_empty(), "universe has no publishers in the target categories");
+    assert!(
+        !eligible.is_empty(),
+        "universe has no publishers in the target categories"
+    );
 
     'sweep: for setup in &setups {
         let mut bought = 0u32;
@@ -199,12 +208,17 @@ pub fn execute(
         while bought < campaign.impressions_per_setup && attempts < max_attempts {
             attempts += 1;
             report.auctions_entered += 1;
+            auctions_counter.inc();
             let req = synthesize_request(&mut rng, setup, campaign, &eligible);
-            let probe =
-                ProbeBid { dsp: campaign.dsp, max_bid: campaign.max_bid, campaign: campaign.id };
+            let probe = ProbeBid {
+                dsp: campaign.dsp,
+                max_bid: campaign.max_bid,
+                campaign: campaign.id,
+            };
             let (_result, win) = market.run_auction_with_probe(&req, &probe);
             let Some(win) = win else { continue };
             bought += 1;
+            bought_counter.inc();
             report.spent = report.spent.saturating_add(win.charge.per_impression());
             report.rows.push(ProbeImpression {
                 setup_id: setup.id,
@@ -227,6 +241,7 @@ pub fn execute(
         }
         if bought == campaign.impressions_per_setup {
             report.setups_completed += 1;
+            setups_counter.inc();
         }
     }
     report
@@ -336,7 +351,10 @@ mod tests {
             v[v.len() / 2]
         };
         let ratio = median(a1.prices_cpm()) / median(a2.prices_cpm());
-        assert!((1.25..=2.4).contains(&ratio), "A1/A2 median ratio {ratio:.2}");
+        assert!(
+            (1.25..=2.4).contains(&ratio),
+            "A1/A2 median ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn paper_reference_margin() {
         let p = CampaignPlan::paper_reference();
-        assert!((p.setup_margin - 0.35).abs() < 0.01, "margin {}", p.setup_margin);
+        assert!(
+            (p.setup_margin - 0.35).abs() < 0.01,
+            "margin {}",
+            p.setup_margin
+        );
         assert_eq!(p.setups, 144);
         assert_eq!(p.impressions_per_setup, 185);
     }

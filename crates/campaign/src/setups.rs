@@ -28,7 +28,10 @@ impl DayType {
 
     /// True if a weekend flag matches this type.
     pub fn matches(self, is_weekend: bool) -> bool {
-        matches!((self, is_weekend), (DayType::Weekend, true) | (DayType::Weekday, false))
+        matches!(
+            (self, is_weekend),
+            (DayType::Weekend, true) | (DayType::Weekday, false)
+        )
     }
 }
 
@@ -81,7 +84,17 @@ pub fn table5(adxs: &[Adx]) -> Vec<Setup> {
             _ => AdSlotSize::SMARTPHONE_FORMATS[(i / 3 + r) % 4],
         };
         let adx = adxs[(i + r) % adxs.len()];
-        out.push(Setup { id, city, interaction, shift, day_type, device, os, format, adx });
+        out.push(Setup {
+            id,
+            city,
+            interaction,
+            shift,
+            day_type,
+            device,
+            os,
+            format,
+            adx,
+        });
     }
     out
 }
@@ -95,8 +108,21 @@ mod tests {
     fn exactly_144_unique_setups() {
         let setups = table5(&Adx::ENCRYPTED_TARGETS);
         assert_eq!(setups.len(), 144);
-        let unique: HashSet<_> =
-            setups.iter().map(|s| (s.city, s.interaction, s.shift, s.day_type, s.device, s.os, s.format, s.adx)).collect();
+        let unique: HashSet<_> = setups
+            .iter()
+            .map(|s| {
+                (
+                    s.city,
+                    s.interaction,
+                    s.shift,
+                    s.day_type,
+                    s.device,
+                    s.os,
+                    s.format,
+                    s.adx,
+                )
+            })
+            .collect();
         assert_eq!(unique.len(), 144, "setups must be distinct");
     }
 
@@ -144,7 +170,9 @@ mod tests {
         let setups = table5(&[Adx::MoPub]);
         let mut counts = std::collections::HashMap::new();
         for s in &setups {
-            *counts.entry((s.city, s.interaction, s.shift, s.day_type)).or_insert(0u32) += 1;
+            *counts
+                .entry((s.city, s.interaction, s.shift, s.day_type))
+                .or_insert(0u32) += 1;
         }
         assert_eq!(counts.len(), 48);
         assert!(counts.values().all(|&c| c == 3), "each base combo 3×");

@@ -83,7 +83,10 @@ impl Ledger {
 
     /// Summary over the whole history.
     pub fn summary(&self) -> CostSummary {
-        self.summary_between(SimTime::from_minutes(i64::MIN), SimTime::from_minutes(i64::MAX))
+        self.summary_between(
+            SimTime::from_minutes(i64::MIN),
+            SimTime::from_minutes(i64::MAX),
+        )
     }
 
     /// Summary over `[from, to)`.

@@ -31,12 +31,29 @@ pub struct YourAdValue {
     pending: ContributionBatch,
     /// Encrypted notifications skipped because no model was installed.
     skipped_no_model: u64,
+    /// Observed URLs dropped, by reason.
+    drops: DropStats,
+}
+
+/// Why observed requests were silently discarded — the monitor's own
+/// loss accounting (every non-notification or malformed URL used to
+/// vanish without a trace).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// URLs that failed to parse, or notification endpoints with a
+    /// malformed payload.
+    pub parse_error: u64,
+    /// Well-formed URLs that are ordinary traffic, not notifications.
+    pub not_notification: u64,
 }
 
 impl YourAdValue {
     /// A fresh installation with no model.
     pub fn new(home_city: Option<City>) -> YourAdValue {
-        YourAdValue { home_city, ..YourAdValue::default() }
+        YourAdValue {
+            home_city,
+            ..YourAdValue::default()
+        }
     }
 
     /// Installs (or replaces) the estimation model — the result of the
@@ -65,8 +82,24 @@ impl YourAdValue {
     /// Observes one HTTP request. Returns the stored event if it was a
     /// winning-price notification.
     pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
-        let url = Url::parse(&req.url).ok()?;
-        let fields = template::parse(&url).ok()??;
+        let Ok(url) = Url::parse(&req.url) else {
+            self.drops.parse_error += 1;
+            yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
+            return None;
+        };
+        let fields = match template::parse(&url) {
+            Ok(Some(fields)) => fields,
+            Ok(None) => {
+                self.drops.not_notification += 1;
+                yav_telemetry::counter("core.monitor.nurl.not_notification").inc();
+                return None;
+            }
+            Err(_) => {
+                self.drops.parse_error += 1;
+                yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
+                return None;
+            }
+        };
 
         let fp = parse_user_agent(&req.user_agent);
         let ctx = CoreContext {
@@ -97,6 +130,7 @@ impl YourAdValue {
                     // No model yet: the price is counted as an encrypted
                     // sighting but cannot be valued.
                     self.skipped_no_model += 1;
+                    yav_telemetry::counter("core.monitor.skipped_no_model").inc();
                     self.pending.encrypted.push(ctx);
                     return None;
                 };
@@ -112,20 +146,20 @@ impl YourAdValue {
             }
         };
         self.ledger.push(event.clone());
+        yav_telemetry::counter("core.monitor.events").inc();
+        // Running ledger totals, split the way the paper splits them.
+        yav_telemetry::gauge(if event.estimated {
+            "core.monitor.ledger_estimated_cpm"
+        } else {
+            "core.monitor.ledger_cleartext_cpm"
+        })
+        .add(event.amount.as_f64());
         Some(event)
     }
 
     /// Convenience for URL-only observation (no headers available).
     pub fn observe_url(&mut self, time: SimTime, url: &str) -> Option<PriceEvent> {
-        self.observe(&HttpRequest {
-            time,
-            user: yav_types::UserId(0),
-            url: url.to_owned(),
-            client_ip: 0,
-            user_agent: String::new(),
-            bytes: 0,
-            duration_ms: 0,
-        })
+        self.observe(&HttpRequest::bare(time, url))
     }
 
     /// The local ledger.
@@ -136,6 +170,11 @@ impl YourAdValue {
     /// Encrypted notifications that could not be valued (no model).
     pub fn skipped_no_model(&self) -> u64 {
         self.skipped_no_model
+    }
+
+    /// How many observed URLs were discarded, by reason.
+    pub fn drop_stats(&self) -> DropStats {
+        self.drops
     }
 
     /// Drains and returns the pending anonymous-contribution batch (what
@@ -167,8 +206,7 @@ mod tests {
     fn trained_pme() -> Pme {
         let mut market = Market::new(MarketConfig::default());
         let universe = PublisherUniverse::build(0xD474, 300, 120);
-        let rows =
-            yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(10)).rows;
+        let rows = yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(10)).rows;
         let pme = Pme::new();
         pme.train_from_campaign(&rows, &TrainConfig::quick());
         pme
@@ -195,6 +233,38 @@ mod tests {
         // Without a model every encrypted sighting is skipped.
         assert_eq!(s.encrypted_count, 0);
         assert!(yav.skipped_no_model() > 0);
+    }
+
+    #[test]
+    fn drop_stats_account_for_every_discarded_url() {
+        let mut yav = YourAdValue::new(None);
+        let mut observed = 0u64;
+        let requests = traffic();
+        for req in &requests {
+            if yav.observe(req).is_some() {
+                observed += 1;
+            }
+        }
+        let drops = yav.drop_stats();
+        // The weblog is overwhelmingly ordinary traffic: every request is
+        // either an event, an unvalued encrypted sighting, or a counted
+        // drop — nothing vanishes silently.
+        assert!(drops.not_notification > 0);
+        assert_eq!(
+            observed + yav.skipped_no_model() + drops.not_notification + drops.parse_error,
+            requests.len() as u64
+        );
+
+        // A scheme-less string cannot even be parsed as a URL.
+        let t = SimTime::from_ymd_hm(2015, 10, 1, 12, 0);
+        assert!(yav.observe_url(t, "definitely not a url").is_none());
+        // A known notification endpoint with the price stripped is
+        // malformed payload, not ordinary traffic.
+        assert!(yav
+            .observe_url(t, "http://cpp.imp.mpx.mopub.com/imp?currency=USD")
+            .is_none());
+        let drops = yav.drop_stats();
+        assert_eq!(drops.parse_error, 2);
     }
 
     #[test]
@@ -237,7 +307,9 @@ mod tests {
         assert!(yav
             .observe_url(SimTime::EPOCH, "http://www.example.com/page.html")
             .is_none());
-        assert!(yav.observe_url(SimTime::EPOCH, "not a url at all").is_none());
+        assert!(yav
+            .observe_url(SimTime::EPOCH, "not a url at all")
+            .is_none());
         assert!(yav.ledger().is_empty());
     }
 

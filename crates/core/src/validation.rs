@@ -95,7 +95,11 @@ mod tests {
     fn paper_factor_chain() {
         let f = MarketFactors::paper();
         // 0.83·0.51·0.40·0.45·0.20 ≈ 0.01524 ⇒ multiplier ≈ 65.6.
-        assert!((f.multiplier() - 65.6).abs() < 1.0, "multiplier {}", f.multiplier());
+        assert!(
+            (f.multiplier() - 65.6).abs() < 1.0,
+            "multiplier {}",
+            f.multiplier()
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn base64url_rejects() {
-        assert!(matches!(base64url_decode("Zm9v+"), Err(CodecError::InvalidLength(_))));
+        assert!(matches!(
+            base64url_decode("Zm9v+"),
+            Err(CodecError::InvalidLength(_))
+        ));
         assert_eq!(base64url_decode("Zm+v"), Err(CodecError::InvalidByte(2)));
         assert_eq!(base64url_decode("Zm/v"), Err(CodecError::InvalidByte(2)));
     }

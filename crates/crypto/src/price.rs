@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn malformed_wire_rejected() {
-        assert_eq!(EncryptedPrice::from_wire("!!!"), Err(PriceTokenError::Encoding));
+        assert_eq!(
+            EncryptedPrice::from_wire("!!!"),
+            Err(PriceTokenError::Encoding)
+        );
         assert_eq!(
             EncryptedPrice::from_wire("Zm9v"), // 3 bytes
             Err(PriceTokenError::Length(3))
@@ -233,7 +236,11 @@ mod tests {
             let mut iv = [0u8; IV_LEN];
             iv[0] = i;
             let t = c.encrypt(123_456, iv);
-            let u = c.encrypt(123_456, { let mut v = iv; v[1] = 1; v });
+            let u = c.encrypt(123_456, {
+                let mut v = iv;
+                v[1] = 1;
+                v
+            });
             matches += t.as_bytes()[IV_LEN..IV_LEN + PRICE_LEN]
                 .iter()
                 .zip(&u.as_bytes()[IV_LEN..IV_LEN + PRICE_LEN])

@@ -50,8 +50,9 @@ impl CvReport {
 pub fn stratified_folds(data: &Dataset, folds: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut assignment = vec![0usize; data.len()];
     for class in 0..data.n_classes() {
-        let mut rows: Vec<usize> =
-            (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        let mut rows: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         rows.shuffle(rng);
         for (j, &row) in rows.iter().enumerate() {
             assignment[row] = j % folds;
@@ -82,10 +83,8 @@ pub fn cross_validate(
         let mut rng = StdRng::seed_from_u64(seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
         let assignment = stratified_folds(data, folds, &mut rng);
         for fold in 0..folds {
-            let train: Vec<usize> =
-                (0..data.len()).filter(|&i| assignment[i] != fold).collect();
-            let test: Vec<usize> =
-                (0..data.len()).filter(|&i| assignment[i] == fold).collect();
+            let train: Vec<usize> = (0..data.len()).filter(|&i| assignment[i] != fold).collect();
+            let test: Vec<usize> = (0..data.len()).filter(|&i| assignment[i] == fold).collect();
             if train.is_empty() || test.is_empty() {
                 continue;
             }
@@ -155,7 +154,13 @@ mod tests {
         for i in 0..450usize {
             let x = (i % 45) as f64 / 45.0;
             let y = ((i * 11) % 45) as f64 / 45.0;
-            let mut label = if x < 0.33 { 0 } else if y < 0.5 { 1 } else { 2 };
+            let mut label = if x < 0.33 {
+                0
+            } else if y < 0.5 {
+                1
+            } else {
+                2
+            };
             if i % 29 == 0 {
                 label = (label + 1) % 3; // noise
             }
@@ -168,7 +173,10 @@ mod tests {
     fn quick_config() -> RandomForestConfig {
         RandomForestConfig {
             n_trees: 10,
-            tree: TreeConfig { max_depth: 8, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 8,
+                ..TreeConfig::default()
+            },
             seed: 3,
             threads: 2,
         }
@@ -219,7 +227,11 @@ mod tests {
         let labels: Vec<usize> = (0..300).map(|i| (i * 7 + i / 13) % 3).collect();
         let data = Dataset::new(rows, labels, 3, vec!["junk".into()]);
         let report = cross_validate(&data, &quick_config(), 5, 1, 2);
-        assert!(report.accuracy < 0.55, "accuracy {} should be near 1/3", report.accuracy);
+        assert!(
+            report.accuracy < 0.55,
+            "accuracy {} should be near 1/3",
+            report.accuracy
+        );
         assert!((report.auc_roc - 0.5).abs() < 0.2, "auc {}", report.auc_roc);
     }
 }

@@ -38,9 +38,18 @@ impl Dataset {
             data.extend_from_slice(r);
         }
         for &l in &labels {
-            assert!(l < n_classes, "label {l} out of range (n_classes {n_classes})");
+            assert!(
+                l < n_classes,
+                "label {l} out of range (n_classes {n_classes})"
+            );
         }
-        Dataset { data, labels, n_features, n_classes, feature_names }
+        Dataset {
+            data,
+            labels,
+            n_features,
+            n_classes,
+            feature_names,
+        }
     }
 
     /// Number of rows.
@@ -114,7 +123,10 @@ impl Dataset {
             labels: self.labels.clone(),
             n_features: cols.len(),
             n_classes: self.n_classes,
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
         }
     }
 

@@ -41,8 +41,9 @@ impl Discretizer {
             .map(|i| quantile(&logs, i as f64 / 100.0))
             .collect();
 
-        let mut cuts: Vec<f64> =
-            (1..k).map(|i| quantile(&logs, i as f64 / k as f64)).collect();
+        let mut cuts: Vec<f64> = (1..k)
+            .map(|i| quantile(&logs, i as f64 / k as f64))
+            .collect();
         let mut best = loo_entropy(&logs, &cuts);
         let mut improved = true;
         while improved {
@@ -50,8 +51,16 @@ impl Discretizer {
             for ci in 0..cuts.len() {
                 for &cand in &grid {
                     // Keep cuts strictly ordered.
-                    let lo = if ci == 0 { f64::NEG_INFINITY } else { cuts[ci - 1] };
-                    let hi = if ci + 1 == cuts.len() { f64::INFINITY } else { cuts[ci + 1] };
+                    let lo = if ci == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        cuts[ci - 1]
+                    };
+                    let hi = if ci + 1 == cuts.len() {
+                        f64::INFINITY
+                    } else {
+                        cuts[ci + 1]
+                    };
                     if cand <= lo || cand >= hi || cand == cuts[ci] {
                         continue;
                     }

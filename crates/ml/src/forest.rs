@@ -31,7 +31,10 @@ impl Default for RandomForestConfig {
     fn default() -> RandomForestConfig {
         RandomForestConfig {
             n_trees: 40,
-            tree: TreeConfig { max_depth: 14, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 14,
+                ..TreeConfig::default()
+            },
             seed: 0xF05E,
             threads: 4,
         }
@@ -96,7 +99,10 @@ impl RandomForest {
                             .iter()
                             .map(|&t| {
                                 let mut trng = StdRng::seed_from_u64(seeds[t]);
-                                (t, DecisionTree::fit(data, &boots[t], tree_config, &mut trng))
+                                (
+                                    t,
+                                    DecisionTree::fit(data, &boots[t], tree_config, &mut trng),
+                                )
                             })
                             .collect::<Vec<_>>()
                     }));
@@ -137,7 +143,11 @@ impl RandomForest {
                 }
             }
         }
-        let oob_error = if oob_total > 0 { oob_wrong as f64 / oob_total as f64 } else { f64::NAN };
+        let oob_error = if oob_total > 0 {
+            oob_wrong as f64 / oob_total as f64
+        } else {
+            f64::NAN
+        };
 
         // Aggregate and normalise importances.
         let mut importances = vec![0.0f64; d];
@@ -151,7 +161,12 @@ impl RandomForest {
             importances.iter_mut().for_each(|v| *v /= total);
         }
 
-        RandomForest { trees, n_classes: data.n_classes(), oob_error, importances }
+        RandomForest {
+            trees,
+            n_classes: data.n_classes(),
+            oob_error,
+            importances,
+        }
     }
 
     /// Averaged class probabilities for one row.
@@ -228,7 +243,12 @@ mod tests {
             rows.push(vec![x, y, noise]);
             labels.push(label);
         }
-        Dataset::new(rows, labels, 3, vec!["x".into(), "y".into(), "noise".into()])
+        Dataset::new(
+            rows,
+            labels,
+            3,
+            vec!["x".into(), "y".into(), "noise".into()],
+        )
     }
 
     #[test]
@@ -254,7 +274,10 @@ mod tests {
     #[test]
     fn parallel_equals_serial() {
         let data = dataset(300);
-        let mut cfg = RandomForestConfig { n_trees: 9, ..RandomForestConfig::default() };
+        let mut cfg = RandomForestConfig {
+            n_trees: 9,
+            ..RandomForestConfig::default()
+        };
         cfg.threads = 1;
         let serial = RandomForest::fit(&data, &cfg);
         cfg.threads = 4;
@@ -292,13 +315,20 @@ mod tests {
         let agree = (0..data.len())
             .filter(|&i| tree.predict(data.row(i)) == forest.predict(data.row(i)))
             .count();
-        assert!(agree as f64 / data.len() as f64 > 0.9, "agreement {agree}/{}", data.len());
+        assert!(
+            agree as f64 / data.len() as f64 > 0.9,
+            "agreement {agree}/{}",
+            data.len()
+        );
     }
 
     #[test]
     fn serde_round_trip() {
         let data = dataset(200);
-        let cfg = RandomForestConfig { n_trees: 5, ..RandomForestConfig::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 5,
+            ..RandomForestConfig::default()
+        };
         let forest = RandomForest::fit(&data, &cfg);
         let json = serde_json::to_string(&forest).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();

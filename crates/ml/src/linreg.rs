@@ -54,7 +54,10 @@ impl LinearRegression {
         }
 
         let w = solve(a, b);
-        LinearRegression { weights: w[..d].to_vec(), intercept: w[d] }
+        LinearRegression {
+            weights: w[..d].to_vec(),
+            intercept: w[d],
+        }
     }
 
     /// Predicts one row.
@@ -71,7 +74,8 @@ impl LinearRegression {
     /// Root-mean-square error over a test set.
     pub fn rmse(&self, rows: &[Vec<f64>], targets: &[f64]) -> f64 {
         let n = rows.len().max(1) as f64;
-        (rows.iter()
+        (rows
+            .iter()
             .zip(targets)
             .map(|(r, &y)| {
                 let e = self.predict(r) - y;
@@ -97,7 +101,11 @@ impl LinearRegression {
             .sum();
         if ss_tot == 0.0 {
             // Constant target: perfect if residuals are numerically zero.
-            return if ss_res < 1e-9 * n.max(1.0) { 1.0 } else { f64::NEG_INFINITY };
+            return if ss_res < 1e-9 * n.max(1.0) {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         1.0 - ss_res / ss_tot
     }
@@ -134,7 +142,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for k in (col + 1)..n {
             acc -= a[col][k] * x[k];
         }
-        x[col] = if a[col][col].abs() < 1e-12 { 0.0 } else { acc / a[col][col] };
+        x[col] = if a[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
     }
     x
 }
@@ -145,8 +157,9 @@ mod tests {
 
     #[test]
     fn recovers_exact_linear_relation() {
-        let rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
         let m = LinearRegression::fit(&rows, &targets);
         assert!((m.weights[0] - 3.0).abs() < 1e-6);

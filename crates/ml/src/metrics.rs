@@ -69,13 +69,17 @@ impl ConfusionMatrix {
     /// Per-class false-positive rate: of everything *not* in `class`, the
     /// fraction predicted as `class`.
     pub fn fp_rate(&self, class: usize) -> f64 {
-        let negatives: usize =
-            (0..self.n_classes()).filter(|&a| a != class).map(|a| self.support(a)).sum();
+        let negatives: usize = (0..self.n_classes())
+            .filter(|&a| a != class)
+            .map(|a| self.support(a))
+            .sum();
         if negatives == 0 {
             return f64::NAN;
         }
-        let fp: usize =
-            (0..self.n_classes()).filter(|&a| a != class).map(|a| self.counts[a][class]).sum();
+        let fp: usize = (0..self.n_classes())
+            .filter(|&a| a != class)
+            .map(|a| self.counts[a][class])
+            .sum();
         fp as f64 / negatives as f64
     }
 

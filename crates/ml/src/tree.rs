@@ -73,7 +73,12 @@ impl DecisionTree {
     /// Fits a tree on (a subset of) a dataset. `indices` selects the
     /// training rows (bootstrap samples pass duplicates freely); `rng`
     /// drives feature subsampling only.
-    pub fn fit(data: &Dataset, indices: &[usize], config: &TreeConfig, rng: &mut StdRng) -> DecisionTree {
+    pub fn fit(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> DecisionTree {
         assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
         let mut tree = DecisionTree {
             nodes: Vec::new(),
@@ -100,10 +105,7 @@ impl DecisionTree {
         let node_impurity = gini(&counts, indices.len());
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
 
-        if pure
-            || depth >= config.max_depth
-            || indices.len() < config.min_samples_split
-        {
+        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
             return self.push_leaf(&counts, indices.len());
         }
 
@@ -126,7 +128,12 @@ impl DecisionTree {
         debug_assert!(mid > 0 && mid < indices.len());
 
         let node_idx = self.nodes.len();
-        self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
         let (l, r) = {
             let (left_idx, right_idx) = indices.split_at_mut(mid);
             let l = self.build(data, left_idx, depth + 1, config, rng);
@@ -233,8 +240,17 @@ impl DecisionTree {
         let mut idx = 0usize;
         loop {
             match &self.nodes[idx] {
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 Node::Leaf { probs } => return probs,
             }
@@ -366,7 +382,13 @@ mod tests {
     #[test]
     fn max_depth_zero_is_majority_vote() {
         let data = xor_dataset();
-        let tree = fit(&data, TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        let tree = fit(
+            &data,
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
         assert_eq!(tree.n_nodes(), 1);
         // The AND dataset is 75 % class 0 / 25 % class 1.
         let p = tree.predict_proba(&[0.0, 0.0]);
@@ -378,7 +400,10 @@ mod tests {
         let data = xor_dataset();
         let tree = fit(
             &data,
-            TreeConfig { min_samples_leaf: 60, ..TreeConfig::default() },
+            TreeConfig {
+                min_samples_leaf: 60,
+                ..TreeConfig::default()
+            },
         );
         // With 200 rows and 60-sample leaves the tree can split at most
         // a couple of times.
@@ -390,11 +415,15 @@ mod tests {
         let data = xor_dataset();
         let tree = fit(&data, TreeConfig::default());
         let imp = tree.importances();
-        assert!(imp[0] > 0.0 && imp[1] > 0.0, "xor needs both features: {imp:?}");
+        assert!(
+            imp[0] > 0.0 && imp[1] > 0.0,
+            "xor needs both features: {imp:?}"
+        );
 
         // A dataset where only feature 0 matters.
-        let rows: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![(i % 2) as f64, (i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 2) as f64, (i % 7) as f64])
+            .collect();
         let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
         let d2 = Dataset::new(rows, labels, 2, vec!["sig".into(), "noise".into()]);
         let t2 = fit(&d2, TreeConfig::default());
@@ -419,7 +448,10 @@ mod tests {
         let tree = DecisionTree::fit(
             &data,
             &idx,
-            &TreeConfig { features_per_split: Some(1), ..TreeConfig::default() },
+            &TreeConfig {
+                features_per_split: Some(1),
+                ..TreeConfig::default()
+            },
             &mut rng,
         );
         let correct = (0..data.len())

@@ -171,7 +171,9 @@ mod tests {
             ImpressionId(3),
             AuctionId(3),
         );
-        let det = NurlDetector::new().detect(&emit(&enc_on_clear_house)).unwrap();
+        let det = NurlDetector::new()
+            .detect(&emit(&enc_on_clear_house))
+            .unwrap();
         assert!(det.price.is_encrypted());
 
         let clear_on_enc_house = NurlFields::minimal(
@@ -181,7 +183,9 @@ mod tests {
             ImpressionId(4),
             AuctionId(4),
         );
-        let det = NurlDetector::new().detect(&emit(&clear_on_enc_house)).unwrap();
+        let det = NurlDetector::new()
+            .detect(&emit(&clear_on_enc_house))
+            .unwrap();
         assert_eq!(det.price.cleartext(), Some(Cpm::ONE));
     }
 

@@ -214,7 +214,10 @@ const TEMPLATES: [Template; 17] = [
 ];
 
 fn template_for(adx: Adx) -> &'static Template {
-    TEMPLATES.iter().find(|t| t.adx == adx).expect("every Adx has a template")
+    TEMPLATES
+        .iter()
+        .find(|t| t.adx == adx)
+        .expect("every Adx has a template")
 }
 
 /// Every (exchange, price-parameter) pair — the macro list the detector is
@@ -288,6 +291,18 @@ pub fn emit(fields: &NurlFields) -> Url {
 /// * `Err(_)` — hosted on a known exchange's notification endpoint but the
 ///   payload is malformed; the analyzer counts these separately.
 pub fn parse(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
+    yav_telemetry::counter("nurl.template.urls_seen").inc();
+    let result = parse_inner(url);
+    yav_telemetry::counter(match &result {
+        Ok(Some(_)) => "nurl.template.matched",
+        Ok(None) => "nurl.template.not_notification",
+        Err(_) => "nurl.template.malformed_dropped",
+    })
+    .inc();
+    result
+}
+
+fn parse_inner(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
     let Some(adx) = Adx::from_domain(url.host()) else {
         return Ok(None);
     };
@@ -296,7 +311,9 @@ pub fn parse(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
         return Ok(None);
     }
 
-    let raw_price = url.query(t.price_param).ok_or(NurlParseError::MissingPrice)?;
+    let raw_price = url
+        .query(t.price_param)
+        .ok_or(NurlParseError::MissingPrice)?;
     let price = decode_price(t, raw_price)?;
 
     let impression = ImpressionId(wire_id(url.query("imp")).ok_or(NurlParseError::BadId("imp"))?);
@@ -465,7 +482,9 @@ mod tests {
         let url = emit(&fields);
         let raw = url.query("price").unwrap();
         assert_eq!(raw.len(), 56, "hex of 28 bytes");
-        assert!(raw.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit()));
+        assert!(raw
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit()));
         let parsed = parse(&url).unwrap().unwrap();
         assert_eq!(parsed.price.encrypted(), Some(&token));
     }

@@ -92,7 +92,12 @@ impl Url {
             }
         }
 
-        Ok(Url { https, host: host.to_ascii_lowercase(), path: path.to_owned(), query })
+        Ok(Url {
+            https,
+            host: host.to_ascii_lowercase(),
+            path: path.to_owned(),
+            query,
+        })
     }
 
     /// Starts building a URL.
@@ -101,7 +106,11 @@ impl Url {
             url: Url {
                 https,
                 host: host.to_ascii_lowercase(),
-                path: if path.starts_with('/') { path.to_owned() } else { format!("/{path}") },
+                path: if path.starts_with('/') {
+                    path.to_owned()
+                } else {
+                    format!("/{path}")
+                },
                 query: Vec::new(),
             },
         }
@@ -129,7 +138,10 @@ impl Url {
 
     /// First value of a query parameter, if present.
     pub fn query(&self, key: &str) -> Option<&str> {
-        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// True if the host equals `domain` or is a subdomain of it.
@@ -213,8 +225,16 @@ pub fn percent_encode(s: &str) -> String {
             out.push(b as char);
         } else {
             out.push('%');
-            out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
-            out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+            out.push(
+                char::from_digit((b >> 4) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+            out.push(
+                char::from_digit((b & 0xf) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
         }
     }
     out
@@ -262,8 +282,8 @@ mod tests {
 
     #[test]
     fn parses_basic_url() {
-        let u = Url::parse("http://cpp.imp.mpx.mopub.com/imp?charge_price=0.95&currency=USD")
-            .unwrap();
+        let u =
+            Url::parse("http://cpp.imp.mpx.mopub.com/imp?charge_price=0.95&currency=USD").unwrap();
         assert!(!u.is_https());
         assert_eq!(u.host(), "cpp.imp.mpx.mopub.com");
         assert_eq!(u.path(), "/imp");
@@ -298,7 +318,10 @@ mod tests {
             Url::parse("http://x.com/?a=%zz"),
             Err(UrlParseError::Escape(_))
         ));
-        assert!(matches!(Url::parse("http://x.com/?a=%f"), Err(UrlParseError::Escape(_))));
+        assert!(matches!(
+            Url::parse("http://x.com/?a=%f"),
+            Err(UrlParseError::Escape(_))
+        ));
     }
 
     #[test]
@@ -328,14 +351,22 @@ mod tests {
         assert!(u.host_within("mpx.mopub.com"));
         assert!(!u.host_within("notmopub.com"));
         assert_eq!(u.base_domain(), "mopub.com");
-        assert_eq!(Url::parse("http://localhost/").unwrap().base_domain(), "localhost");
+        assert_eq!(
+            Url::parse("http://localhost/").unwrap().base_domain(),
+            "localhost"
+        );
     }
 
     #[test]
     fn display_encodes_reserved() {
-        let u = Url::build(true, "x.com", "/cb").param("u", "a/b&c=d e").finish();
+        let u = Url::build(true, "x.com", "/cb")
+            .param("u", "a/b&c=d e")
+            .finish();
         assert_eq!(u.to_string(), "https://x.com/cb?u=a%2Fb%26c%3Dd%20e");
-        assert_eq!(Url::parse(&u.to_string()).unwrap().query("u"), Some("a/b&c=d e"));
+        assert_eq!(
+            Url::parse(&u.to_string()).unwrap().query("u"),
+            Some("a/b&c=d e")
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct ContributionBatch {
 impl ContributionBatch {
     /// An empty batch.
     pub fn new() -> ContributionBatch {
-        ContributionBatch { cleartext: Vec::new(), encrypted: Vec::new() }
+        ContributionBatch {
+            cleartext: Vec::new(),
+            encrypted: Vec::new(),
+        }
     }
 
     /// Total observations in the batch.
@@ -74,13 +77,30 @@ impl Pme {
     /// Trains (or retrains) from campaign ground truth, bumping the model
     /// version. Returns the new version.
     pub fn train_from_campaign(&self, rows: &[ProbeImpression], config: &TrainConfig) -> u32 {
+        let _span = yav_telemetry::span!("pme.engine.train");
         let trained = model::train(rows, config);
+        Self::record_training_metrics(&trained);
         let mut state = self.state.write();
         state.version += 1;
         let mut client = trained.client.clone();
         client.version = state.version;
         state.model = Some(TrainedModel { client, ..trained });
         state.version
+    }
+
+    /// Telemetry common to both training entry points: rows used and the
+    /// drift of the tree estimator against the §5.4 regression baseline
+    /// (class-median RMSE would be a modeling question; the gauge tracks
+    /// the readily available CV accuracy instead of re-deriving it).
+    fn record_training_metrics(trained: &TrainedModel) {
+        yav_telemetry::counter("pme.engine.trainings").inc();
+        yav_telemetry::counter("pme.engine.rows_trained").add(trained.trained_rows as u64);
+        yav_telemetry::gauge("pme.engine.cv_accuracy").set(trained.cv.accuracy);
+        // Estimate-vs-baseline drift: how far the forest's CV accuracy
+        // sits above the linear-regression baseline's R² (both in [0,1];
+        // positive = the model is earning its keep).
+        yav_telemetry::gauge("pme.engine.estimate_vs_baseline_drift")
+            .set(trained.cv.accuracy - trained.regression_baseline.1.max(0.0));
     }
 
     /// Fits the §6.2 time-shift correction from historical vs recent
@@ -122,6 +142,7 @@ impl Pme {
 
     /// Accepts an anonymous contribution batch.
     pub fn contribute(&self, batch: ContributionBatch) {
+        yav_telemetry::counter("pme.engine.rows_contributed").add(batch.len() as u64);
         let mut state = self.state.write();
         state.contributed_cleartext.extend(batch.cleartext);
         state.contributed_encrypted.extend(batch.encrypted);
@@ -130,12 +151,20 @@ impl Pme {
     /// Number of contributed observations held.
     pub fn contribution_count(&self) -> (usize, usize) {
         let state = self.state.read();
-        (state.contributed_cleartext.len(), state.contributed_encrypted.len())
+        (
+            state.contributed_cleartext.len(),
+            state.contributed_encrypted.len(),
+        )
     }
 
     /// Contributed cleartext prices (CPM) — retraining inputs.
     pub fn contributed_prices(&self) -> Vec<f64> {
-        self.state.read().contributed_cleartext.iter().map(|(_, p)| p.as_f64()).collect()
+        self.state
+            .read()
+            .contributed_cleartext
+            .iter()
+            .map(|(_, p)| p.as_f64())
+            .collect()
     }
 
     /// Records the cleartext price distribution observed at calibration
@@ -153,7 +182,9 @@ impl Pme {
     pub fn recalibration_due(&self, recent_cleartext: &[f64], alpha: f64) -> Option<KsResult> {
         let state = self.state.read();
         let ks = ks_two_sample(&state.baseline_cleartext, recent_cleartext)?;
+        yav_telemetry::gauge("pme.engine.baseline_ks_statistic").set(ks.statistic);
         if ks.rejects_at(alpha) {
+            yav_telemetry::counter("pme.engine.recalibrations_triggered").inc();
             Some(ks)
         } else {
             None
@@ -168,8 +199,10 @@ impl Pme {
         rows: &[ProbeImpression],
         config: &TrainConfig,
     ) -> u32 {
-        let mut pairs: Vec<(CoreContext, f64)> =
-            rows.iter().map(|r| (CoreContext::from(r), r.charge.as_f64())).collect();
+        let mut pairs: Vec<(CoreContext, f64)> = rows
+            .iter()
+            .map(|r| (CoreContext::from(r), r.charge.as_f64()))
+            .collect();
         {
             let state = self.state.read();
             pairs.extend(
@@ -179,7 +212,9 @@ impl Pme {
                     .map(|(ctx, p)| (ctx.clone(), p.as_f64())),
             );
         }
+        let _span = yav_telemetry::span!("pme.engine.train");
         let trained = model::train_pairs(&pairs, config);
+        Self::record_training_metrics(&trained);
         let mut state = self.state.write();
         state.version += 1;
         let mut client = trained.client.clone();
@@ -312,7 +347,9 @@ mod extension_tests {
         assert!(pme.recalibration_due(&baseline, 0.01).is_none());
         // Prices shifted up 60%: recalibration due.
         let shifted: Vec<f64> = baseline.iter().map(|p| p * 1.6).collect();
-        let ks = pme.recalibration_due(&shifted, 0.01).expect("drift must trigger");
+        let ks = pme
+            .recalibration_due(&shifted, 0.01)
+            .expect("drift must trigger");
         assert!(ks.p_value < 0.01);
     }
 

@@ -93,7 +93,11 @@ pub fn encode(ctx: &CoreContext, with_publisher: bool) -> Vec<f64> {
         if ctx.time.is_weekend() { 1.0 } else { 0.0 },
         ctx.device as usize as f64,
         ctx.os as usize as f64,
-        if ctx.interaction == InteractionType::MobileApp { 1.0 } else { 0.0 },
+        if ctx.interaction == InteractionType::MobileApp {
+            1.0
+        } else {
+            0.0
+        },
         // Ad format as geometry, not as an ordinal id: the probing
         // campaigns only buy 8 of the ~17 formats seen in the wild, and
         // geometric features let the tree interpolate over unseen sizes
@@ -175,7 +179,10 @@ impl Default for TrainConfig {
             with_publisher: false,
             forest: RandomForestConfig {
                 n_trees: 40,
-                tree: yav_ml::TreeConfig { max_depth: 20, ..yav_ml::TreeConfig::default() },
+                tree: yav_ml::TreeConfig {
+                    max_depth: 20,
+                    ..yav_ml::TreeConfig::default()
+                },
                 ..RandomForestConfig::default()
             },
             cv_folds: 10,
@@ -190,7 +197,10 @@ impl TrainConfig {
     /// A fast configuration for tests: fewer trees, folds and runs.
     pub fn quick() -> TrainConfig {
         TrainConfig {
-            forest: RandomForestConfig { n_trees: 15, ..RandomForestConfig::default() },
+            forest: RandomForestConfig {
+                n_trees: 15,
+                ..RandomForestConfig::default()
+            },
             cv_folds: 5,
             cv_runs: 1,
             max_rows: 6_000,
@@ -248,8 +258,10 @@ impl ClientModel {
 /// # Panics
 /// Panics if `rows` has fewer than `classes` entries.
 pub fn train(rows: &[ProbeImpression], config: &TrainConfig) -> TrainedModel {
-    let pairs: Vec<(CoreContext, f64)> =
-        rows.iter().map(|r| (CoreContext::from(r), r.charge.as_f64())).collect();
+    let pairs: Vec<(CoreContext, f64)> = rows
+        .iter()
+        .map(|r| (CoreContext::from(r), r.charge.as_f64()))
+        .collect();
     train_pairs(&pairs, config)
 }
 
@@ -286,7 +298,13 @@ pub fn train_pairs(pairs: &[(CoreContext, f64)], config: &TrainConfig) -> Traine
         feature_names(config.with_publisher),
     );
 
-    let cv = cross_validate(&data, &config.forest, config.cv_folds, config.cv_runs, config.seed);
+    let cv = cross_validate(
+        &data,
+        &config.forest,
+        config.cv_folds,
+        config.cv_runs,
+        config.seed,
+    );
     let forest = RandomForest::fit(&data, &config.forest);
     let tree = forest.representative_tree(&data).clone();
 
@@ -355,7 +373,11 @@ mod tests {
         let model = train(&rows, &TrainConfig::quick());
         // The §5.4 ballpark: strong multi-class performance on 4 balanced
         // classes (chance = 25 %).
-        assert!(model.cv.accuracy > 0.55, "cv accuracy {}", model.cv.accuracy);
+        assert!(
+            model.cv.accuracy > 0.55,
+            "cv accuracy {}",
+            model.cv.accuracy
+        );
         assert!(model.cv.auc_roc > 0.80, "auc {}", model.cv.auc_roc);
         assert!(model.forest.oob_error() < 0.45);
         assert_eq!(model.client.class_prices.len(), 4);
@@ -382,7 +404,10 @@ mod tests {
         // The estimate lands within the observed price range.
         let min = rows.iter().map(|r| r.charge).min().unwrap();
         let max = rows.iter().map(|r| r.charge).max().unwrap();
-        assert!(est >= min && est <= max, "estimate {est} outside [{min}, {max}]");
+        assert!(
+            est >= min && est <= max,
+            "estimate {est} outside [{min}, {max}]"
+        );
     }
 
     #[test]
@@ -407,7 +432,10 @@ mod tests {
         let base = train(&rows, &TrainConfig::quick());
         let with_pub = train(
             &rows,
-            &TrainConfig { with_publisher: true, ..TrainConfig::quick() },
+            &TrainConfig {
+                with_publisher: true,
+                ..TrainConfig::quick()
+            },
         );
         // Publisher identity can only add apparent skill on the campaign's
         // own publishers (the §5.4 overfitting caution).
@@ -458,7 +486,10 @@ mod tests {
         let rows = ground_truth(30);
         let model = train(
             &rows,
-            &TrainConfig { max_rows: 500, ..TrainConfig::quick() },
+            &TrainConfig {
+                max_rows: 500,
+                ..TrainConfig::quick()
+            },
         );
         assert_eq!(model.trained_rows, 500);
     }

@@ -50,7 +50,10 @@ impl Default for ReductionConfig {
             variance_percentile: 0.99,
             forest: RandomForestConfig {
                 n_trees: 30,
-                tree: yav_ml::TreeConfig { max_depth: 16, ..yav_ml::TreeConfig::default() },
+                tree: yav_ml::TreeConfig {
+                    max_depth: 16,
+                    ..yav_ml::TreeConfig::default()
+                },
                 ..RandomForestConfig::default()
             },
             target_size: 24,
@@ -88,7 +91,10 @@ impl Reduction {
     /// Names of the selected features.
     pub fn selected_names(&self) -> Vec<String> {
         let schema = FeatureSchema::get();
-        self.selected.iter().map(|&i| schema.name_of(i).to_owned()).collect()
+        self.selected
+            .iter()
+            .map(|&i| schema.name_of(i).to_owned())
+            .collect()
     }
 }
 
@@ -138,8 +144,10 @@ pub fn reduce(rows: &[Vec<f64>], prices_cpm: &[f64], config: &ReductionConfig) -
         .iter()
         .map(|r| kept_after_filters.iter().map(|&f| r[f]).collect())
         .collect();
-    let full_names: Vec<String> =
-        kept_after_filters.iter().map(|&f| schema.name_of(f).to_owned()).collect();
+    let full_names: Vec<String> = kept_after_filters
+        .iter()
+        .map(|&f| schema.name_of(f).to_owned())
+        .collect();
     let full_data = Dataset::new(full_rows, labels.clone(), config.classes, full_names);
 
     // Per-group importance ranking (the paper's grouped RF models).
@@ -189,17 +197,30 @@ pub fn reduce(rows: &[Vec<f64>], prices_cpm: &[f64], config: &ReductionConfig) -
     }
 
     // Verification: CV on full vs reduced.
-    let full_report =
-        cross_validate(&full_data, &config.forest, config.cv_folds, 1, config.seed);
-    let reduced_rows: Vec<Vec<f64>> =
-        rows.iter().map(|r| selected.iter().map(|&f| r[f]).collect()).collect();
-    let reduced_names: Vec<String> =
-        selected.iter().map(|&f| schema.name_of(f).to_owned()).collect();
+    let full_report = cross_validate(&full_data, &config.forest, config.cv_folds, 1, config.seed);
+    let reduced_rows: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| selected.iter().map(|&f| r[f]).collect())
+        .collect();
+    let reduced_names: Vec<String> = selected
+        .iter()
+        .map(|&f| schema.name_of(f).to_owned())
+        .collect();
     let reduced_data = Dataset::new(reduced_rows, labels, config.classes, reduced_names);
-    let reduced_report =
-        cross_validate(&reduced_data, &config.forest, config.cv_folds, 1, config.seed);
+    let reduced_report = cross_validate(
+        &reduced_data,
+        &config.forest,
+        config.cv_folds,
+        1,
+        config.seed,
+    );
 
-    Reduction { kept_after_filters, selected, full_report, reduced_report }
+    Reduction {
+        kept_after_filters,
+        selected,
+        full_report,
+        reduced_report,
+    }
 }
 
 /// The target-free fallback: greedily keeps features, dropping any whose
@@ -220,7 +241,9 @@ pub fn correlation_filter(rows: &[Vec<f64>], threshold: f64) -> Vec<usize> {
             continue;
         }
         let redundant = kept.iter().any(|&k| {
-            pearson(&columns[f], &columns[k]).map(|r| r.abs() > threshold).unwrap_or(false)
+            pearson(&columns[f], &columns[k])
+                .map(|r| r.abs() > threshold)
+                .unwrap_or(false)
         });
         if !redundant {
             kept.push(f);
@@ -260,7 +283,10 @@ mod tests {
 
     fn quick_config() -> ReductionConfig {
         ReductionConfig {
-            forest: RandomForestConfig { n_trees: 12, ..RandomForestConfig::default() },
+            forest: RandomForestConfig {
+                n_trees: 12,
+                ..RandomForestConfig::default()
+            },
             cv_folds: 3,
             max_rows: 2_000,
             ..ReductionConfig::default()
@@ -270,14 +296,22 @@ mod tests {
     #[test]
     fn reduction_selects_small_informative_subset() {
         let (rows, prices) = analyzer_data();
-        assert!(rows.len() > 100, "need some cleartext impressions, got {}", rows.len());
+        assert!(
+            rows.len() > 100,
+            "need some cleartext impressions, got {}",
+            rows.len()
+        );
         let r = reduce(&rows, &prices, &quick_config());
         assert_eq!(r.selected.len(), 24);
         assert!(r.kept_after_filters.len() < 288);
         assert!(r.kept_after_filters.len() > 50);
         // The verification must show modest loss (paper: <2 % precision,
         // <6 % recall; we allow a wider band at tiny scale).
-        assert!(r.precision_loss() < 0.15, "precision loss {}", r.precision_loss());
+        assert!(
+            r.precision_loss() < 0.15,
+            "precision loss {}",
+            r.precision_loss()
+        );
         assert!(r.recall_loss() < 0.15, "recall loss {}", r.recall_loss());
     }
 
@@ -286,9 +320,15 @@ mod tests {
         let (rows, prices) = analyzer_data();
         let r = reduce(&rows, &prices, &quick_config());
         let schema = FeatureSchema::get();
-        let groups: std::collections::HashSet<_> =
-            r.selected.iter().map(|&i| format!("{:?}", schema.group_of(i))).collect();
-        assert!(groups.len() >= 5, "core set should span groups, got {groups:?}");
+        let groups: std::collections::HashSet<_> = r
+            .selected
+            .iter()
+            .map(|&i| format!("{:?}", schema.group_of(i)))
+            .collect();
+        assert!(
+            groups.len() >= 5,
+            "core set should span groups, got {groups:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl TimeShift {
         let h = median(historical_cpm);
         let r = median(recent_cpm);
         let coefficient = if h > 0.0 && r > 0.0 { r / h } else { 1.0 };
-        TimeShift { historical_median: h, recent_median: r, coefficient }
+        TimeShift {
+            historical_median: h,
+            recent_median: r,
+            coefficient,
+        }
     }
 
     /// Applies the correction to one historical price.

@@ -69,7 +69,11 @@ impl Ecdf {
         let (llo, lhi) = (lo.ln(), hi.ln());
         (0..points)
             .map(|i| {
-                let t = if points == 1 { 0.0 } else { i as f64 / (points - 1) as f64 };
+                let t = if points == 1 {
+                    0.0
+                } else {
+                    i as f64 / (points - 1) as f64
+                };
                 let x = (llo + t * (lhi - llo)).exp();
                 (x, self.eval(x))
             })

@@ -102,7 +102,9 @@ mod tests {
     fn uncorrelated_near_zero() {
         // A deterministic "checkerboard": x ramps, y alternates.
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let ys: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(pearson(&xs, &ys).unwrap().abs() < 0.05);
     }
 }

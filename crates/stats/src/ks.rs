@@ -59,7 +59,12 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
 
     let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
     let p_value = kolmogorov_sf((en + 0.12 + 0.11 / en) * d);
-    Some(KsResult { statistic: d, p_value, n1, n2 })
+    Some(KsResult {
+        statistic: d,
+        p_value,
+        n1,
+        n2,
+    })
 }
 
 /// Survival function of the Kolmogorov distribution,

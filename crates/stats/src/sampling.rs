@@ -15,7 +15,10 @@ use serde::{Deserialize, Serialize};
 /// # Panics
 /// Panics unless `0 < confidence < 1`.
 pub fn z_score_two_sided(confidence: f64) -> f64 {
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
     inverse_normal_cdf(1.0 - (1.0 - confidence) / 2.0)
 }
 

@@ -38,8 +38,18 @@ impl Summary {
                 max = x;
             }
         }
-        let std = if n >= 2 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
-        Summary { n, mean: if n == 0 { f64::NAN } else { mean }, std, min, max }
+        let std = if n >= 2 {
+            (m2 / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean: if n == 0 { f64::NAN } else { mean },
+            std,
+            min,
+            max,
+        }
     }
 
     /// Standard error of the mean, `std / sqrt(n)`.

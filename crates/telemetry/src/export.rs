@@ -1,0 +1,170 @@
+//! Exporters: Prometheus text format, a JSON snapshot, and a human
+//! report.
+//!
+//! The JSON writer is deliberately hand-rolled: this crate takes no
+//! serialization dependency so that instrumenting a leaf crate (e.g.
+//! `yav-nurl`) never widens its dependency tree.
+
+use crate::registry::Registry;
+use crate::HistogramSnapshot;
+use std::fmt::Write;
+
+/// Converts a dotted metric name to a Prometheus metric name:
+/// `yav_` prefix, every non-alphanumeric byte folded to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("yav_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn prom_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a registry in the Prometheus text exposition format.
+/// Histograms export as summaries (quantile series plus `_sum`,
+/// `_count`).
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let p = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {p} counter");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let p = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {}", prom_value(value));
+    }
+    for (name, snap) in registry.histograms() {
+        let p = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {p} summary");
+        for (q, v) in [(0.5, snap.p50), (0.9, snap.p90), (0.99, snap.p99)] {
+            let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {}", prom_value(v));
+        }
+        let _ = writeln!(out, "{p}_sum {}", prom_value(snap.sum));
+        let _ = writeln!(out, "{p}_count {}", snap.count);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON numbers have no NaN/Inf; follow serde_json and emit `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_histogram(s: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"underflow\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        s.count,
+        s.underflow,
+        json_num(s.sum),
+        json_num(s.min),
+        json_num(s.max),
+        json_num(s.p50),
+        json_num(s.p90),
+        json_num(s.p99),
+    )
+}
+
+/// Renders a registry as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}` with names
+/// sorted inside each section.
+pub fn json_snapshot(registry: &Registry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in registry.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{value}", json_escape(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in registry.gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_num(*value));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, snap)) in registry.histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_histogram(snap));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders a registry as an aligned human-readable report.
+pub fn report(registry: &Registry) -> String {
+    let counters = registry.counters();
+    let gauges = registry.gauges();
+    let histograms = registry.histograms();
+    let width = counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(gauges.iter().map(|(n, _)| n.len()))
+        .chain(histograms.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0)
+        .max(8);
+
+    let mut out = String::from("telemetry report\n");
+    if !counters.is_empty() {
+        out.push_str("  counters:\n");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "    {name:<width$}  {value}");
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("  gauges:\n");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "    {name:<width$}  {value:.4}");
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("  histograms:\n");
+        for (name, s) in &histograms {
+            let _ = writeln!(
+                out,
+                "    {name:<width$}  n={} p50={:.3} p90={:.3} p99={:.3} max={:.3} sum={:.3}",
+                s.count, s.p50, s.p90, s.p99, s.max, s.sum
+            );
+        }
+    }
+    if counters.is_empty() && gauges.is_empty() && histograms.is_empty() {
+        out.push_str("  (no metrics recorded)\n");
+    }
+    out
+}

@@ -1,0 +1,80 @@
+//! Lightweight process-wide telemetry for the your-ad-value pipeline.
+//!
+//! One [`Registry`] holds named [`Counter`]s, [`Gauge`]s and
+//! log-bucketed [`Histogram`]s (p50/p90/p99/max). RAII [`Span`] timers
+//! measure regions and nest via a per-thread active-span stack.
+//! Exporters render the registry as Prometheus text, a JSON snapshot or
+//! a human report.
+//!
+//! Metric names follow `<crate>.<subsystem>.<name>` (see DESIGN.md,
+//! "Telemetry"). Instrumentation is on by default and can be switched
+//! off process-wide with [`set_enabled`] — the overhead benchmark in
+//! `crates/bench` measures exactly that delta.
+//!
+//! ```
+//! use yav_telemetry as telemetry;
+//!
+//! telemetry::counter("auction.runs").inc();
+//! {
+//!     let _span = telemetry::span!("auction.run");
+//!     telemetry::histogram("auction.charge_cpm").observe(1.25);
+//! }
+//! assert!(telemetry::prometheus_text().contains("yav_auction_runs 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{enabled, registry, set_enabled, Registry};
+pub use span::{active_spans, start_span, Span};
+
+/// The global counter named `name` (created on first use).
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// The global gauge named `name` (created on first use).
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// The global histogram named `name` (created on first use).
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// The global registry in Prometheus text exposition format.
+pub fn prometheus_text() -> String {
+    export::prometheus_text(registry())
+}
+
+/// The global registry as one JSON object.
+pub fn json_snapshot() -> String {
+    export::json_snapshot(registry())
+}
+
+/// The global registry as a human-readable report.
+pub fn report() -> String {
+    export::report(registry())
+}
+
+/// Renders any registry (not just the global one) as Prometheus text.
+pub fn prometheus_text_of(registry: &Registry) -> String {
+    export::prometheus_text(registry)
+}
+
+/// Renders any registry as a JSON snapshot.
+pub fn json_snapshot_of(registry: &Registry) -> String {
+    export::json_snapshot(registry)
+}
+
+/// Renders any registry as a human report.
+pub fn report_of(registry: &Registry) -> String {
+    export::report(registry)
+}

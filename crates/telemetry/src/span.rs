@@ -1,0 +1,83 @@
+//! RAII span timers with a per-thread active-span stack.
+//!
+//! A span measures one timed region; dropping the guard records the
+//! elapsed milliseconds into the histogram `<name>.ms`. Guards nest:
+//! each thread keeps a stack of active span names, so
+//! [`active_spans`] shows where that thread currently is (e.g.
+//! `["pipeline.run", "auction.run"]`) and exit order is enforced to be
+//! LIFO per thread.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A running span; records on drop.
+///
+/// Hold it in a named binding (`let _span = ...`) — binding to `_`
+/// drops immediately and times nothing.
+#[derive(Debug)]
+#[must_use = "binding to _ drops the guard immediately and times nothing"]
+pub struct Span {
+    name: Option<String>,
+    start: Instant,
+}
+
+/// Starts a span named `name`. Prefer the [`crate::span!`] macro at call
+/// sites.
+pub fn start_span(name: impl Into<String>) -> Span {
+    if !crate::enabled() {
+        return Span {
+            name: None,
+            start: Instant::now(),
+        };
+    }
+    let name = name.into();
+    STACK.with(|s| s.borrow_mut().push(name.clone()));
+    Span {
+        name: Some(name),
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// Elapsed time so far, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let elapsed = self.elapsed_ms();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&name), "span guards must drop LIFO");
+            if stack.last() == Some(&name) {
+                stack.pop();
+            }
+        });
+        crate::registry()
+            .histogram(&format!("{name}.ms"))
+            .observe(elapsed);
+    }
+}
+
+/// The current thread's active span names, outermost first.
+pub fn active_spans() -> Vec<String> {
+    STACK.with(|s| s.borrow().clone())
+}
+
+/// Starts an RAII span timer: `let _span = span!("auction.run");`.
+///
+/// On drop the elapsed milliseconds land in the histogram
+/// `<name>.ms`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name)
+    };
+}

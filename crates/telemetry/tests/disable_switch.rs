@@ -1,0 +1,23 @@
+//! The global on/off switch, in its own test binary: toggling the
+//! process-wide flag would race the other integration tests.
+
+use yav_telemetry as telemetry;
+
+#[test]
+fn disabling_telemetry_stops_recording() {
+    let counter = telemetry::counter("switch.counter");
+    counter.inc();
+    telemetry::set_enabled(false);
+    counter.inc();
+    telemetry::counter("switch.counter").inc();
+    telemetry::histogram("switch.h").observe(1.0);
+    {
+        let _span = telemetry::span!("switch.span");
+        assert!(telemetry::active_spans().is_empty());
+    }
+    telemetry::set_enabled(true);
+    counter.inc();
+    assert_eq!(counter.get(), 2);
+    assert_eq!(telemetry::histogram("switch.h").count(), 0);
+    assert_eq!(telemetry::histogram("switch.span.ms").count(), 0);
+}

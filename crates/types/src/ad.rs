@@ -354,7 +354,10 @@ impl IabCategory {
 
     /// 0-based dense index into [`IabCategory::ALL`] (for feature vectors).
     pub fn index(self) -> usize {
-        IabCategory::ALL.iter().position(|&c| c == self).expect("category in ALL")
+        IabCategory::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("category in ALL")
     }
 }
 
@@ -397,7 +400,10 @@ mod tests {
         for sz in AdSlotSize::FIGURE12 {
             assert_eq!(sz.wire().parse::<AdSlotSize>().unwrap(), sz);
         }
-        assert_eq!("768x1024".parse::<AdSlotSize>().unwrap(), AdSlotSize::S768x1024);
+        assert_eq!(
+            "768x1024".parse::<AdSlotSize>().unwrap(),
+            AdSlotSize::S768x1024
+        );
         assert!("301x251".parse::<AdSlotSize>().is_err());
         assert!("banana".parse::<AdSlotSize>().is_err());
     }
@@ -405,7 +411,12 @@ mod tests {
     #[test]
     fn figure12_sorted_by_area() {
         for w in AdSlotSize::FIGURE12.windows(2) {
-            assert!(w[0].area() <= w[1].area(), "{} should not outsize {}", w[0], w[1]);
+            assert!(
+                w[0].area() <= w[1].area(),
+                "{} should not outsize {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -61,8 +61,13 @@ impl Adx {
     ];
 
     /// The five exchanges a Table-5 campaign can target.
-    pub const CAMPAIGN_TARGETS: [Adx; 5] =
-        [Adx::MoPub, Adx::OpenX, Adx::Rubicon, Adx::DoubleClick, Adx::PulsePoint];
+    pub const CAMPAIGN_TARGETS: [Adx; 5] = [
+        Adx::MoPub,
+        Adx::OpenX,
+        Adx::Rubicon,
+        Adx::DoubleClick,
+        Adx::PulsePoint,
+    ];
 
     /// The four exchanges that encrypt prices, targeted by campaign A1.
     pub const ENCRYPTED_TARGETS: [Adx; 4] =

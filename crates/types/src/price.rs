@@ -206,7 +206,9 @@ impl FromStr for Cpm {
     /// `"0.95"`, `"1"`, `"12.5"`. Scientific notation and signs other than a
     /// single leading `-` are rejected.
     fn from_str(s: &str) -> Result<Cpm, ParseCpmError> {
-        let err = || ParseCpmError { input: s.to_owned() };
+        let err = || ParseCpmError {
+            input: s.to_owned(),
+        };
         let (neg, body) = match s.strip_prefix('-') {
             Some(rest) => (true, rest),
             None => (false, s),
@@ -241,7 +243,10 @@ impl FromStr for Cpm {
             frac = frac_str.parse().map_err(|_| err())?;
             frac *= 10_i64.pow(6 - frac_str.len() as u32);
         }
-        let micros = whole.checked_mul(MICROS).and_then(|w| w.checked_add(frac)).ok_or_else(err)?;
+        let micros = whole
+            .checked_mul(MICROS)
+            .and_then(|w| w.checked_add(frac))
+            .ok_or_else(err)?;
         Ok(Cpm(if neg { -micros } else { micros }))
     }
 }
@@ -345,7 +350,10 @@ mod tests {
 
     #[test]
     fn parse_truncates_excess_precision() {
-        assert_eq!("0.1234567899".parse::<Cpm>().unwrap(), Cpm::from_micros(123_456));
+        assert_eq!(
+            "0.1234567899".parse::<Cpm>().unwrap(),
+            Cpm::from_micros(123_456)
+        );
     }
 
     #[test]

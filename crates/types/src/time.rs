@@ -56,16 +56,25 @@ impl SimTime {
     /// Panics on out-of-range components — construction sites are all
     /// simulation configuration, where a bad date is a programming error.
     pub fn from_ymd_hm(year: u32, month: u32, day: u32, hour: u32, minute: u32) -> SimTime {
-        assert!((2015..=2016).contains(&year), "supported years are 2015-2016, got {year}");
+        assert!(
+            (2015..=2016).contains(&year),
+            "supported years are 2015-2016, got {year}"
+        );
         assert!((1..=12).contains(&month), "month out of range: {month}");
         let table = if year == 2015 { &DAYS_2015 } else { &DAYS_2016 };
         assert!(
             day >= 1 && day <= table[(month - 1) as usize],
             "day out of range: {year}-{month}-{day}"
         );
-        assert!(hour < 24 && minute < 60, "time out of range: {hour}:{minute}");
+        assert!(
+            hour < 24 && minute < 60,
+            "time out of range: {hour}:{minute}"
+        );
         let mut days: i64 = if year == 2016 { 365 } else { 0 };
-        days += table[..(month - 1) as usize].iter().map(|&d| d as i64).sum::<i64>();
+        days += table[..(month - 1) as usize]
+            .iter()
+            .map(|&d| d as i64)
+            .sum::<i64>();
         days += (day - 1) as i64;
         SimTime(days * MINUTES_PER_DAY + (hour as i64) * 60 + minute as i64)
     }
@@ -158,7 +167,12 @@ impl Sub for SimTime {
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (y, m, d) = self.ymd();
-        write!(f, "{y:04}-{m:02}-{d:02} {:02}:{:02}", self.hour(), self.minute())
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02} {:02}:{:02}",
+            self.hour(),
+            self.minute()
+        )
     }
 }
 
@@ -364,8 +378,11 @@ pub enum CampaignShift {
 
 impl CampaignShift {
     /// All three shifts.
-    pub const ALL: [CampaignShift; 3] =
-        [CampaignShift::Overnight, CampaignShift::Business, CampaignShift::Prime];
+    pub const ALL: [CampaignShift; 3] = [
+        CampaignShift::Overnight,
+        CampaignShift::Business,
+        CampaignShift::Prime,
+    ];
 
     /// The shift containing a given hour (0–23). Note the shifts are uneven
     /// (9/9/6 hours) exactly as in Table 5.
@@ -407,12 +424,18 @@ mod tests {
     #[test]
     fn known_dates() {
         // 2015-12-31 was a Thursday; 2016-02-29 existed (leap year, a Monday).
-        assert_eq!(SimTime::from_ymd_hm(2015, 12, 31, 0, 0).day_of_week(), DayOfWeek::Thursday);
+        assert_eq!(
+            SimTime::from_ymd_hm(2015, 12, 31, 0, 0).day_of_week(),
+            DayOfWeek::Thursday
+        );
         let leap = SimTime::from_ymd_hm(2016, 2, 29, 12, 0);
         assert_eq!(leap.ymd(), (2016, 2, 29));
         assert_eq!(leap.day_of_week(), DayOfWeek::Monday);
         // 2016-06-15 was a Wednesday (A2 campaign window).
-        assert_eq!(SimTime::from_ymd_hm(2016, 6, 15, 0, 0).day_of_week(), DayOfWeek::Wednesday);
+        assert_eq!(
+            SimTime::from_ymd_hm(2016, 6, 15, 0, 0).day_of_week(),
+            DayOfWeek::Wednesday
+        );
     }
 
     #[test]
@@ -455,7 +478,9 @@ mod tests {
         use std::collections::BTreeMap;
         let mut counts: BTreeMap<&'static str, u32> = BTreeMap::new();
         for h in 0..24 {
-            *counts.entry(CampaignShift::from_hour(h).label()).or_default() += 1;
+            *counts
+                .entry(CampaignShift::from_hour(h).label())
+                .or_default() += 1;
         }
         assert_eq!(counts["12am-9am"], 9);
         assert_eq!(counts["9am-6pm"], 9);

@@ -27,6 +27,25 @@ pub struct HttpRequest {
     pub duration_ms: u32,
 }
 
+impl HttpRequest {
+    /// A bare URL-only observation: a request seen without its headers or
+    /// transfer metadata (e.g. YourAdValue's URL-only ingestion path).
+    /// The user is the anonymous placeholder `UserId(0)` — the client
+    /// runtime never identifies its own user — and the remaining fields
+    /// are zeroed.
+    pub fn bare(time: SimTime, url: impl Into<String>) -> HttpRequest {
+        HttpRequest {
+            time,
+            user: UserId(0),
+            url: url.into(),
+            client_ip: 0,
+            user_agent: String::new(),
+            bytes: 0,
+            duration_ms: 0,
+        }
+    }
+}
+
 /// Simulator-side ground truth for one sold RTB impression.
 ///
 /// **Not observable.** Honest pipeline stages (analyzer, PME, YourAdValue)

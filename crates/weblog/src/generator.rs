@@ -63,7 +63,11 @@ impl WeblogGenerator {
         let panel = Panel::build(config.seed, config.users);
         let universe =
             PublisherUniverse::build(config.seed, config.web_publishers, config.app_publishers);
-        WeblogGenerator { config, panel, universe }
+        WeblogGenerator {
+            config,
+            panel,
+            universe,
+        }
     }
 
     /// The panel (for experiment harnesses that need user metadata).
@@ -81,9 +85,16 @@ impl WeblogGenerator {
     pub fn run(
         &self,
         market: &mut Market,
-        mut on_req: impl FnMut(HttpRequest),
+        on_req: impl FnMut(HttpRequest),
         mut on_truth: impl FnMut(GroundTruth),
     ) {
+        let _span = yav_telemetry::span!("weblog.generator.run");
+        let requests = yav_telemetry::counter("weblog.generator.requests");
+        let mut inner = on_req;
+        let mut on_req = move |r: HttpRequest| {
+            requests.inc();
+            inner(r)
+        };
         for user in self.panel.users() {
             // Per-user RNG: users are independent streams, so panel size
             // changes don't reshuffle existing users' behaviour.
@@ -130,9 +141,12 @@ impl WeblogGenerator {
             let minute = rng.gen_range(0..60i64);
             let time = midnight.plus_minutes(hour as i64 * 60 + minute);
             let in_app = rng.gen::<f64>() < user.app_propensity;
-            let publisher =
-                self.universe.sample(rng, in_app, &user.interest_categories(), 0.55);
-            self.emit_view(market, user, city, time, in_app, publisher, rng, on_req, on_truth);
+            let publisher = self
+                .universe
+                .sample(rng, in_app, &user.interest_categories(), 0.55);
+            self.emit_view(
+                market, user, city, time, in_app, publisher, rng, on_req, on_truth,
+            );
         }
     }
 
@@ -149,7 +163,11 @@ impl WeblogGenerator {
         on_req: &mut impl FnMut(HttpRequest),
         on_truth: &mut impl FnMut(GroundTruth),
     ) {
-        let ua = if in_app { user.app_user_agent() } else { user.web_user_agent() };
+        let ua = if in_app {
+            user.app_user_agent()
+        } else {
+            user.web_user_agent()
+        };
         let client_ip = city_ip(city, user.id, rng.gen::<u8>());
         let mk = |time: SimTime, url: String, bytes: u32, duration_ms: u32| HttpRequest {
             time,
@@ -163,11 +181,24 @@ impl WeblogGenerator {
 
         // 1. The content request itself (page or app API call).
         let content_url = if in_app {
-            format!("http://api.{}/v2/feed?sess={}", publisher.name, rng.gen::<u32>())
+            format!(
+                "http://api.{}/v2/feed?sess={}",
+                publisher.name,
+                rng.gen::<u32>()
+            )
         } else {
-            format!("http://www.{}/articulo/{}.html", publisher.name, rng.gen_range(1..5000))
+            format!(
+                "http://www.{}/articulo/{}.html",
+                publisher.name,
+                rng.gen_range(1..5000)
+            )
         };
-        on_req(mk(time, content_url, rng.gen_range(8_000..160_000), rng.gen_range(80..900)));
+        on_req(mk(
+            time,
+            content_url,
+            rng.gen_range(8_000..160_000),
+            rng.gen_range(80..900),
+        ));
 
         // 2. Auxiliary requests: assets, analytics, social, trackers.
         let aux = poisson(rng, self.config.aux_requests_per_view);
@@ -185,16 +216,30 @@ impl WeblogGenerator {
                 format!("http://{host}/widget.js?ref={}", publisher.name)
             } else if roll < 0.90 {
                 let host = domains::BEACON_HOSTS[rng.gen_range(0..domains::BEACON_HOSTS.len())];
-                format!("http://{host}/b.gif?u={}&r={}", user.id.wire(), rng.gen::<u32>())
+                format!(
+                    "http://{host}/b.gif?u={}&r={}",
+                    user.id.wire(),
+                    rng.gen::<u32>()
+                )
             } else {
-                format!("http://www.{}/static/img{}.jpg", publisher.name, rng.gen_range(1..900))
+                format!(
+                    "http://www.{}/static/img{}.jpg",
+                    publisher.name,
+                    rng.gen_range(1..900)
+                )
             };
-            on_req(mk(t, url, rng.gen_range(200..40_000), rng.gen_range(15..400)));
+            on_req(mk(
+                t,
+                url,
+                rng.gen_range(200..40_000),
+                rng.gen_range(15..400),
+            ));
         }
 
         // 3. Cookie synchronisation (SSP ↔ DSP identity bridging).
         if rng.gen::<f64>() < self.config.cookie_sync_prob {
-            let host = domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
+            let host =
+                domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
             let partner =
                 domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
             on_req(mk(
@@ -213,6 +258,7 @@ impl WeblogGenerator {
         if rng.gen::<f64>() >= self.config.rtb_slot_prob {
             return;
         }
+        yav_telemetry::counter("weblog.generator.rtb_slots").inc();
         let slot = sample_slot(rng, time);
         let adx = yav_auction::config::sample_adx(rng.gen());
         let req = AdRequest {
@@ -221,7 +267,11 @@ impl WeblogGenerator {
             city,
             os: user.os,
             device: user.device,
-            interaction: if in_app { InteractionType::MobileApp } else { InteractionType::MobileWeb },
+            interaction: if in_app {
+                InteractionType::MobileApp
+            } else {
+                InteractionType::MobileWeb
+            },
             publisher: publisher.id,
             publisher_name: publisher.name.clone(),
             iab: publisher.iab,
@@ -245,6 +295,8 @@ impl WeblogGenerator {
         ));
 
         if let AuctionResult::Sale(outcome) = market.run_auction(&req) {
+            // RTB impression rate = rtb_impressions / requests.
+            yav_telemetry::counter("weblog.generator.rtb_impressions").inc();
             // The notification URL fires through the browser as the
             // impression renders (steps 6–7).
             on_req(mk(
@@ -326,8 +378,8 @@ fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u32 {
 mod tests {
     use super::*;
     use yav_auction::MarketConfig;
-    use yav_types::UserId;
     use yav_types::PriceVisibility;
+    use yav_types::UserId;
 
     fn generate() -> Weblog {
         let gen = WeblogGenerator::new(WeblogConfig::tiny());
@@ -366,7 +418,11 @@ mod tests {
     #[test]
     fn both_visibilities_present() {
         let log = generate();
-        let enc = log.truth.iter().filter(|t| t.visibility == PriceVisibility::Encrypted).count();
+        let enc = log
+            .truth
+            .iter()
+            .filter(|t| t.visibility == PriceVisibility::Encrypted)
+            .count();
         let clear = log.truth.len() - enc;
         assert!(enc > 0, "no encrypted impressions");
         assert!(clear > enc, "cleartext should dominate 2015 mobile RTB");
@@ -378,7 +434,11 @@ mod tests {
     fn urls_all_parse() {
         let log = generate();
         for r in log.requests.iter().take(5000) {
-            assert!(yav_nurl::Url::parse(&r.url).is_ok(), "unparseable URL {}", r.url);
+            assert!(
+                yav_nurl::Url::parse(&r.url).is_ok(),
+                "unparseable URL {}",
+                r.url
+            );
         }
     }
 

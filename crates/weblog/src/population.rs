@@ -56,7 +56,10 @@ impl PanelUser {
     /// through, §4.3: Dalvik on Android, Darwin/CFNetwork on iOS).
     pub fn app_user_agent(&self) -> String {
         match self.os {
-            Os::Android => format!("Dalvik/2.1.0 (Linux; U; Android 5.1; SM-G{}00)", 900 + self.id.0 % 30),
+            Os::Android => format!(
+                "Dalvik/2.1.0 (Linux; U; Android 5.1; SM-G{}00)",
+                900 + self.id.0 % 30
+            ),
             Os::Ios => format!("App/{} CFNetwork/711.3 Darwin/14.0.0", 1 + self.id.0 % 9),
             Os::WindowsMobile => "WindowsPhoneApp/8.1 NativeHost".to_owned(),
             Os::Other => "GenericMobileApp/1.0".to_owned(),
@@ -88,7 +91,9 @@ impl Panel {
     /// Builds a deterministic panel of `n` users.
     pub fn build(seed: u64, n: u32) -> Panel {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9A9E_0000_0000_0005);
-        let users = (0..n).map(|i| Self::draw_user(&mut rng, UserId(i))).collect();
+        let users = (0..n)
+            .map(|i| Self::draw_user(&mut rng, UserId(i)))
+            .collect();
         Panel { users }
     }
 
@@ -112,15 +117,20 @@ impl Panel {
             x if x < 0.96 => Os::WindowsMobile,
             _ => Os::Other,
         };
-        let device = if rng.gen::<f64>() < 0.15 { DeviceType::Tablet } else { DeviceType::Smartphone };
+        let device = if rng.gen::<f64>() < 0.15 {
+            DeviceType::Tablet
+        } else {
+            DeviceType::Smartphone
+        };
 
         // Log-normal activity, median 1, a few heavy browsers.
         let activity = (0.6 * crate::generator::normal(rng)).exp();
 
         // iOS users skew slightly more app-bound (a 2015 market pattern);
         // everyone spends most ad-eligible time in apps.
-        let app_propensity = (0.55 + 0.12 * rng.gen::<f64>() + if os == Os::Ios { 0.05 } else { 0.0 })
-            .clamp(0.0, 0.9);
+        let app_propensity =
+            (0.55 + 0.12 * rng.gen::<f64>() + if os == Os::Ios { 0.05 } else { 0.0 })
+                .clamp(0.0, 0.9);
 
         // 2–4 interests, Dirichlet-ish weights.
         let k = rng.gen_range(2..=4usize);
@@ -174,9 +184,7 @@ mod tests {
     #[test]
     fn os_shares_near_market() {
         let p = Panel::build(1, 5000);
-        let share = |os: Os| {
-            p.users().iter().filter(|u| u.os == os).count() as f64 / 5000.0
-        };
+        let share = |os: Os| p.users().iter().filter(|u| u.os == os).count() as f64 / 5000.0;
         assert!((share(Os::Android) - 0.60).abs() < 0.03);
         assert!((share(Os::Ios) - 0.30).abs() < 0.03);
         assert!(share(Os::Android) > 1.6 * share(Os::Ios));
@@ -187,7 +195,10 @@ mod tests {
         let p = Panel::build(2, 5000);
         let madrid = p.users().iter().filter(|u| u.home == City::Madrid).count();
         let torello = p.users().iter().filter(|u| u.home == City::Torello).count();
-        assert!(madrid > 30 * torello.max(1), "madrid {madrid} torello {torello}");
+        assert!(
+            madrid > 30 * torello.max(1),
+            "madrid {madrid} torello {torello}"
+        );
     }
 
     #[test]

@@ -70,7 +70,13 @@ impl PublisherUniverse {
                 let name = synth_name(&mut rng, iab, is_app, id);
                 // Zipf(1.05) popularity by rank within each channel.
                 let weight = 1.0 / ((rank + 1) as f64).powf(1.05);
-                publishers.push(Publisher { id: PublisherId(id), name, iab, is_app, weight });
+                publishers.push(Publisher {
+                    id: PublisherId(id),
+                    name,
+                    iab,
+                    is_app,
+                    weight,
+                });
                 id += 1;
             }
         }
@@ -88,7 +94,11 @@ impl PublisherUniverse {
         };
         let web_cum = cum(false);
         let app_cum = cum(true);
-        PublisherUniverse { publishers, web_cum, app_cum }
+        PublisherUniverse {
+            publishers,
+            web_cum,
+            app_cum,
+        }
     }
 
     /// All publishers.
@@ -185,7 +195,11 @@ fn synth_name<R: Rng>(rng: &mut R, iab: IabCategory, is_app: bool, id: u32) -> S
 pub fn slot_mix(time: SimTime) -> Vec<(AdSlotSize, f64)> {
     // Interpolation factor: 0 in January 2015 → 1 in December 2015; the
     // curve is steepest through Q2.
-    let month = if time.year() <= 2015 { time.month().index() as f64 } else { 11.0 };
+    let month = if time.year() <= 2015 {
+        time.month().index() as f64
+    } else {
+        11.0
+    };
     let t = (month / 11.0).powf(0.75);
 
     let early: [(AdSlotSize, f64); 17] = [
@@ -230,8 +244,16 @@ pub fn slot_mix(time: SimTime) -> Vec<(AdSlotSize, f64)> {
     let mut mix: Vec<(AdSlotSize, f64)> = AdSlotSize::FIGURE12
         .iter()
         .map(|&s| {
-            let e = early.iter().find(|(x, _)| *x == s).map(|(_, w)| *w).unwrap_or(0.0);
-            let l = late.iter().find(|(x, _)| *x == s).map(|(_, w)| *w).unwrap_or(0.0);
+            let e = early
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0);
+            let l = late
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0);
             (s, e * (1.0 - t) + l * t)
         })
         .collect();
@@ -325,7 +347,11 @@ mod tests {
         let jan = SimTime::from_ymd_hm(2015, 1, 15, 0, 0);
         let dec = SimTime::from_ymd_hm(2015, 12, 15, 0, 0);
         let weight = |t: SimTime, s: AdSlotSize| {
-            slot_mix(t).iter().find(|(x, _)| *x == s).map(|(_, w)| *w).unwrap()
+            slot_mix(t)
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, w)| *w)
+                .unwrap()
         };
         assert!(weight(jan, AdSlotSize::S320x50) > weight(jan, AdSlotSize::S300x250));
         assert!(weight(dec, AdSlotSize::S300x250) > weight(dec, AdSlotSize::S320x50));

@@ -38,7 +38,10 @@ fn main() {
         },
         |_| {},
     );
-    println!("replaying {} requests from one user's trace\n", session.len());
+    println!(
+        "replaying {} requests from one user's trace\n",
+        session.len()
+    );
 
     let halfway = session.len() / 2;
     for (i, req) in session.iter().enumerate() {
@@ -66,7 +69,10 @@ fn main() {
     let s = yav.ledger().summary();
     println!("\n── toolbar popup ─────────────────────────────");
     println!("   you were worth {} CPM to advertisers", s.total());
-    println!("   {} readable + {} estimated prices", s.cleartext_count, s.encrypted_count);
+    println!(
+        "   {} readable + {} estimated prices",
+        s.cleartext_count, s.encrypted_count
+    );
     println!("   recent prices:");
     for e in yav.ledger().recent(5) {
         println!("     {} {} {} CPM", e.time, e.adx.name(), e.amount);

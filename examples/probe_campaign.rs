@@ -52,7 +52,10 @@ fn main() {
     let m2 = median(&a2.prices_cpm());
     println!("\nmedian charge price A1 (encrypted) : {m1:.3} CPM");
     println!("median charge price A2 (cleartext) : {m2:.3} CPM");
-    println!("encrypted / cleartext ratio        : {:.2}× (paper: ≈1.7×)", m1 / m2);
+    println!(
+        "encrypted / cleartext ratio        : {:.2}× (paper: ≈1.7×)",
+        m1 / m2
+    );
 
     // Every A1 notification was opaque on the wire; the prices above are
     // only known because the *buyer side* (our probing DSP) gets the

@@ -58,8 +58,14 @@ fn main() {
     // 6. The answer.
     let s = yav.ledger().summary();
     println!("\n=== How much did advertisers pay to reach this panel? ===");
-    println!("cleartext prices read   : {:>10} CPM over {} impressions", s.cleartext, s.cleartext_count);
-    println!("encrypted prices est.   : {:>10} CPM over {} impressions", s.encrypted_estimated, s.encrypted_count);
+    println!(
+        "cleartext prices read   : {:>10} CPM over {} impressions",
+        s.cleartext, s.cleartext_count
+    );
+    println!(
+        "encrypted prices est.   : {:>10} CPM over {} impressions",
+        s.encrypted_estimated, s.encrypted_count
+    );
     println!("total V_u(T)            : {:>10} CPM", s.total());
     println!(
         "(encrypted estimation adds {:.0} % on top of the readable prices)",

@@ -73,9 +73,18 @@ fn main() {
 
     println!("\n=== per-user advertiser spend over the trace ===");
     println!("users with RTB impressions : {}", summary.users);
-    println!("median user cost           : {:.1} CPM", summary.median_total);
-    println!("users under 100 CPM        : {:.0} %", summary.under_100_cpm * 100.0);
-    println!("1 000+ CPM tail            : {:.1} %", summary.tail_1000 * 100.0);
+    println!(
+        "median user cost           : {:.1} CPM",
+        summary.median_total
+    );
+    println!(
+        "users under 100 CPM        : {:.0} %",
+        summary.under_100_cpm * 100.0
+    );
+    println!(
+        "1 000+ CPM tail            : {:.1} %",
+        summary.tail_1000 * 100.0
+    );
     println!(
         "encrypted uplift            : +{:.0} % on top of cleartext (paper: ≈55 %)",
         summary.encrypted_uplift * 100.0
@@ -83,7 +92,17 @@ fn main() {
 
     // A tiny text histogram of the cost distribution (log buckets).
     println!("\ncost distribution (CPM):");
-    let edges = [0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, f64::INFINITY];
+    let edges = [
+        0.0,
+        1.0,
+        3.0,
+        10.0,
+        30.0,
+        100.0,
+        300.0,
+        1000.0,
+        f64::INFINITY,
+    ];
     for w in edges.windows(2) {
         let n = totals.iter().filter(|&&t| t >= w[0] && t < w[1]).count();
         let bar = "#".repeat(n * 60 / totals.len().max(1));
@@ -95,7 +114,12 @@ fn main() {
         println!("  {label} {bar} {n}");
     }
 
-    println!("\nmedian total (uncorrected): {:.1} CPM", median(
-        &costs.iter().map(|c| c.total().as_f64()).collect::<Vec<_>>()
-    ));
+    println!(
+        "\nmedian total (uncorrected): {:.1} CPM",
+        median(&costs.iter().map(|c| c.total().as_f64()).collect::<Vec<_>>())
+    );
+
+    // What the pipeline did, stage by stage, from the process-wide
+    // telemetry registry.
+    println!("\n{}", your_ad_value::telemetry::report());
 }

@@ -1,0 +1,217 @@
+//! Offline shim for `criterion`: the API subset this workspace's
+//! benches use, backed by a simple warm-up + timed-loop harness that
+//! prints mean/median ns per iteration (and throughput when declared).
+//! See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, for ops/s or bytes/s reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Overridable so CI can keep bench runs short.
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::from_millis(default_ms))
+        };
+        Criterion {
+            warmup: ms("CRITERION_SHIM_WARMUP_MS", 300),
+            measurement: ms("CRITERION_SHIM_MEASURE_MS", 1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// windows (`CRITERION_SHIM_*_MS`), not by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the harness-chosen number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(criterion: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: discover a per-batch iteration count that lands around
+    // ~10ms per sample, running at least `warmup` in total.
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warmup_start.elapsed() >= criterion.warmup && b.elapsed >= Duration::from_micros(100) {
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            iters = ((0.01 / per_iter).ceil() as u64).max(1);
+            break;
+        }
+        if b.elapsed < Duration::from_millis(10) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Measurement: fixed-size samples until the measurement budget is
+    // spent.
+    let mut samples: Vec<f64> = Vec::new();
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < criterion.measurement || samples.len() < 10 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        if samples.len() >= 5000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<40} median {:>12} ns/iter  mean {:>12} ns/iter{rate}",
+        format_ns(median),
+        format_ns(mean),
+    );
+}
+
+fn format_ns(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e9)
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("CRITERION_SHIM_WARMUP_MS", "10");
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "30");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(3u64) * 7));
+    }
+}

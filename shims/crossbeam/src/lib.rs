@@ -1,0 +1,78 @@
+//! Offline shim for `crossbeam`: scoped threads over
+//! `std::thread::scope`. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment may be
+    /// spawned; all are joined before the call returns.
+    ///
+    /// With `std::thread::scope` underneath, a panicking un-joined child
+    /// propagates as a panic rather than an `Err`, which is strictly
+    /// stricter than crossbeam's contract; in-repo callers join every
+    /// handle explicitly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

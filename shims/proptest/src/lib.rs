@@ -1,0 +1,490 @@
+//! Offline shim for `proptest`: the `proptest!` macro and the strategy
+//! surface this workspace uses, driven by a deterministic splitmix RNG.
+//! See `shims/README.md`.
+//!
+//! Differences from real proptest: a fixed number of cases per property
+//! ([`CASES`]), no shrinking, and no failure-persistence files. Failed
+//! assertions panic through the ordinary `assert!` family, so the
+//! generated inputs appear in the panic message when interpolated.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Cases sampled per property.
+pub const CASES: u32 = 64;
+
+/// Deterministic generator driving all sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the property's name so every property gets a distinct,
+    /// reproducible stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = self.next_u64() as u128 * bound as u128;
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of values for one property parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+float_strategies!(f32, f64);
+
+/// String strategies are written as regex patterns; this shim supports
+/// the subset the workspace uses: literal chars, `[...]` classes with
+/// ranges, `\PC` (any printable char), and the `*`, `+`, `?`, `{n}`,
+/// `{n,m}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, quant) in &atoms {
+            let n = quant.sample_count(rng);
+            for _ in 0..n {
+                out.push(atom.sample_char(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `[...]`: the expanded set of candidate chars.
+    Class(Vec<char>),
+    /// `\PC`: any printable character.
+    Printable,
+}
+
+/// Pool of printable non-ASCII characters mixed into `\PC` samples.
+const UNICODE_POOL: [char; 8] = ['é', 'ñ', 'λ', 'Ω', '漢', '字', '→', '🦀'];
+
+impl Atom {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+            Atom::Printable => {
+                if rng.below(10) == 0 {
+                    UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]
+                } else {
+                    // ASCII printable: 0x20 ..= 0x7E.
+                    char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Quant {
+    One,
+    Optional,
+    /// `{n,m}` inclusive (also covers `*`/`+` with a capped maximum).
+    Between(u32, u32),
+}
+
+impl Quant {
+    fn sample_count(&self, rng: &mut TestRng) -> u32 {
+        match self {
+            Quant::One => 1,
+            Quant::Optional => rng.below(2) as u32,
+            Quant::Between(lo, hi) => lo + rng.below((hi - lo + 1) as u64) as u32,
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, Quant)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern `{pattern}`");
+                i += 1; // ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern `{pattern}`"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let quant = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                Quant::Between(0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                Quant::Between(1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                Quant::Optional
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                    None => {
+                        let n: u32 = spec.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                Quant::Between(lo, hi)
+            }
+            _ => Quant::One,
+        };
+        atoms.push((atom, quant));
+    }
+    atoms
+}
+
+/// Types with a default generation strategy (used for bare `name: Type`
+/// parameters in `proptest!`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0) - 300.0;
+        if rng.below(2) == 0 {
+            mag
+        } else {
+            mag.exp2().copysign(mag)
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(64) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types (`any::<T>()`).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod r#bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::r#bool;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy, TestRng,
+    };
+}
+
+/// Defines property tests: each `fn` inside becomes a `#[test]` that
+/// samples its parameters [`CASES`] times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $crate::proptest!(@bind __proptest_rng, ($($params)*), $body);
+                }
+            }
+        )*
+    };
+    (@bind $rng:ident, (), $body:block) => { $body };
+    (@bind $rng:ident, ($name:ident in $strat:expr), $body:block) => {
+        {
+            let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+            $crate::proptest!(@bind $rng, (), $body)
+        }
+    };
+    (@bind $rng:ident, ($name:ident in $strat:expr, $($rest:tt)*), $body:block) => {
+        {
+            let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+            $crate::proptest!(@bind $rng, ($($rest)*), $body)
+        }
+    };
+    (@bind $rng:ident, ($name:ident : $ty:ty), $body:block) => {
+        {
+            let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+            $crate::proptest!(@bind $rng, (), $body)
+        }
+    };
+    (@bind $rng:ident, ($name:ident : $ty:ty, $($rest:tt)*), $body:block) => {
+        {
+            let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+            $crate::proptest!(@bind $rng, ($($rest)*), $body)
+        }
+    };
+}
+
+/// `prop_assert!`: assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..17, y in 0.5f64..2.5, n in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn bare_types_and_arrays(seed: u64, bytes: [u8; 16], blob: Vec<u8>) {
+            let _ = seed;
+            prop_assert_eq!(bytes.len(), 16);
+            prop_assert!(blob.len() < 64);
+        }
+
+        #[test]
+        fn regex_subset_shapes(
+            host in "[a-z][a-z0-9]{0,10}",
+            key in "[a-zA-Z0-9_]{1,8}",
+            free in "\\PC{0,30}",
+            flag in r#bool::ANY,
+        ) {
+            prop_assert!(!host.is_empty() && host.len() <= 11);
+            prop_assert!(host.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!((1..=8).contains(&key.len()));
+            prop_assert!(free.chars().count() <= 30);
+            prop_assert!(free.chars().all(|c| !c.is_control()));
+            let _ = flag;
+        }
+
+        #[test]
+        fn collection_vec_sizes(v in collection::vec(-1e3f64..1e3, 1..50)) {
+            prop_assert!((1..50).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (-1e3..1e3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::from_name("p");
+        let mut b = TestRng::from_name("p");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

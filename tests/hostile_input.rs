@@ -50,7 +50,10 @@ fn corrupted_notifications_are_counted_not_crashed() {
     ];
     let mut analyzer = WeblogAnalyzer::new();
     for c in &corruptions {
-        assert!(analyzer.ingest(&req(c)).is_none(), "corrupted nURL must not detect: {c}");
+        assert!(
+            analyzer.ingest(&req(c)).is_none(),
+            "corrupted nURL must not detect: {c}"
+        );
     }
     let report = analyzer.finish();
     assert!(
@@ -106,7 +109,10 @@ fn absurd_user_agents_fall_back() {
     for ua in ["", "🦀🦀🦀", &"x".repeat(10_000), "\0\0\0", "Mozilla"] {
         let fp = parse_user_agent(ua);
         // Any answer is fine; it must be total and mobile-web-ish.
-        assert_eq!(fp.interaction, your_ad_value::types::InteractionType::MobileWeb);
+        assert_eq!(
+            fp.interaction,
+            your_ad_value::types::InteractionType::MobileWeb
+        );
     }
 }
 

@@ -17,7 +17,13 @@ fn encrypted_tokens_are_opaque_to_observers() {
     let generator = WeblogGenerator::new(WeblogConfig::tiny());
     let mut market = Market::new(MarketConfig::default());
     let mut analyzer = WeblogAnalyzer::new();
-    generator.run(&mut market, |req| { analyzer.ingest(&req); }, |_| {});
+    generator.run(
+        &mut market,
+        |req| {
+            analyzer.ingest(&req);
+        },
+        |_| {},
+    );
     let report = analyzer.finish();
 
     let wrong_keys = PriceCrypter::new(PriceKeys::derive("attacker guess"));
@@ -25,7 +31,10 @@ fn encrypted_tokens_are_opaque_to_observers() {
     for det in &report.detections {
         if let Some(wire) = &det.encrypted_token_wire {
             tokens += 1;
-            assert!(det.cleartext_cpm.is_none(), "encrypted detections carry no price");
+            assert!(
+                det.cleartext_cpm.is_none(),
+                "encrypted detections carry no price"
+            );
             let token = EncryptedPrice::from_wire(wire).expect("token shape is public");
             assert!(
                 wrong_keys.decrypt(&token).is_err(),
@@ -33,7 +42,10 @@ fn encrypted_tokens_are_opaque_to_observers() {
             );
         }
     }
-    assert!(tokens > 0, "the trace should contain encrypted notifications");
+    assert!(
+        tokens > 0,
+        "the trace should contain encrypted notifications"
+    );
 }
 
 #[test]
@@ -57,13 +69,25 @@ fn contributions_carry_no_user_identifier() {
     let mut market = Market::new(MarketConfig::default());
     let generator = WeblogGenerator::new(WeblogConfig::tiny());
     let mut yav = YourAdValue::new(Some(City::Madrid));
-    generator.run(&mut market, |req| { yav.observe(&req); }, |_| {});
+    generator.run(
+        &mut market,
+        |req| {
+            yav.observe(&req);
+        },
+        |_| {},
+    );
 
     let batch = yav.take_contributions();
     assert!(!batch.is_empty());
     let json = serde_json::to_string(&batch).unwrap();
-    assert!(!json.contains("\"user\""), "contribution payload must not name users");
-    assert!(!json.contains("user_id"), "contribution payload must not name users");
+    assert!(
+        !json.contains("\"user\""),
+        "contribution payload must not name users"
+    );
+    assert!(
+        !json.contains("user_id"),
+        "contribution payload must not name users"
+    );
 }
 
 #[test]
@@ -84,7 +108,13 @@ fn estimation_happens_client_side() {
 
     let mut yav = YourAdValue::new(None);
     yav.install_model(model);
-    generator.run(&mut market, |req| { yav.observe(&req); }, |_| {});
+    generator.run(
+        &mut market,
+        |req| {
+            yav.observe(&req);
+        },
+        |_| {},
+    );
     let s = yav.ledger().summary();
     assert!(s.encrypted_count > 0, "estimates flowed without a live PME");
 }
