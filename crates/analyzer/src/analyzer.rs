@@ -86,6 +86,33 @@ pub struct AnalyzerReport {
     pub users_seen: usize,
 }
 
+impl AnalyzerReport {
+    /// Folds another report into this one (the parallel pipeline's shard
+    /// merge). Detections are *appended* in the other report's order;
+    /// callers needing the canonical global order re-sort afterwards.
+    /// `users_seen` sums, which is exact when shards partition users (the
+    /// only way the parallel pipeline shards).
+    pub fn merge(&mut self, other: AnalyzerReport) {
+        self.detections.extend(other.detections);
+        self.malformed_nurls += other.malformed_nurls;
+        for (class, n) in other.class_counts {
+            *self.class_counts.entry(class).or_insert(0) += n;
+        }
+        self.pairs.merge(other.pairs);
+        for (mine, theirs) in self
+            .monthly_os_requests
+            .iter_mut()
+            .zip(other.monthly_os_requests)
+        {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        self.total_requests += other.total_requests;
+        self.users_seen += other.users_seen;
+    }
+}
+
 /// The streaming Weblog Ads Analyzer.
 pub struct WeblogAnalyzer {
     geo: GeoDb,
@@ -273,9 +300,16 @@ impl WeblogAnalyzer {
     }
 
     /// Finishes the pass and returns the report.
-    pub fn finish(mut self) -> AnalyzerReport {
+    pub fn finish(self) -> AnalyzerReport {
+        self.finish_with_state().0
+    }
+
+    /// Finishes the pass, also handing back the global state so shard
+    /// analyzers can promote it to a merge step
+    /// ([`crate::userstate::GlobalState::merge`]).
+    pub fn finish_with_state(mut self) -> (AnalyzerReport, GlobalState) {
         self.report.users_seen = self.users.len();
-        self.report
+        (self.report, self.global)
     }
 
     /// Read access to a user's evolving state (for tests and tools).

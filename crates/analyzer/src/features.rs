@@ -295,6 +295,22 @@ pub fn extract(
     global: &GlobalState,
 ) -> Vec<f64> {
     let mut f = Vec::with_capacity(FEATURE_COUNT);
+    extract_into(&mut f, meta, transport, user, global);
+    f
+}
+
+/// Like [`extract`], but writes into a caller-owned buffer so hot loops
+/// (one vector per detected impression) can reuse a single allocation.
+pub fn extract_into(
+    out: &mut Vec<f64>,
+    meta: &DetectedImpression,
+    transport: &NurlTransport,
+    user: &UserState,
+    global: &GlobalState,
+) {
+    out.clear();
+    out.reserve(FEATURE_COUNT);
+    let f = out;
     let time = meta.time;
 
     // A — time.
@@ -487,7 +503,6 @@ pub fn extract(
     f.push(meta.city.map(|c| c.index() as f64).unwrap_or(10.0));
 
     debug_assert_eq!(f.len(), FEATURE_COUNT);
-    f
 }
 
 /// A tiny deterministic string hash (FxHash-style) for bucket features.
@@ -575,6 +590,33 @@ mod tests {
         let global = GlobalState::default();
         let row = extract(&meta(), &NurlTransport::default(), &user, &global);
         assert!(validate_row(&row));
+    }
+
+    #[test]
+    fn extract_into_reuses_buffer_and_matches_extract() {
+        let user = UserState::new();
+        let global = GlobalState::default();
+        let fresh = extract(&meta(), &NurlTransport::default(), &user, &global);
+        let mut reused = vec![f64::NAN; 7]; // stale junk from a previous row
+        extract_into(
+            &mut reused,
+            &meta(),
+            &NurlTransport::default(),
+            &user,
+            &global,
+        );
+        assert_eq!(reused, fresh);
+        // A second pass through the same buffer must not grow it.
+        let cap = reused.capacity();
+        extract_into(
+            &mut reused,
+            &meta(),
+            &NurlTransport::default(),
+            &user,
+            &global,
+        );
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod classify;
 pub mod features;
 pub mod geoip;
 pub mod pairs;
+pub mod parallel;
 pub mod taxonomy;
 pub mod ua;
 pub mod userstate;
@@ -35,4 +36,5 @@ pub use analyzer::{AnalyzerReport, DetectedImpression, ImpressionRecord, WeblogA
 pub use classify::{classify_domain, TrafficClass};
 pub use features::{FeatureSchema, FEATURE_COUNT};
 pub use geoip::GeoDb;
+pub use parallel::{analyze_parallel, ParallelAnalysis};
 pub use ua::{parse_user_agent, UaFingerprint};

@@ -83,6 +83,21 @@ impl PairTracker {
         }
     }
 
+    /// Folds another tracker into this one (the parallel pipeline's shard
+    /// merge). All aggregates are unions or sums, so merge order never
+    /// affects the result.
+    pub fn merge(&mut self, other: PairTracker) {
+        for (mine, theirs) in self.monthly_pairs.iter_mut().zip(other.monthly_pairs) {
+            mine.extend(theirs);
+        }
+        for (adx, n) in other.adx_detections {
+            *self.adx_detections.entry(adx).or_insert(0) += n;
+        }
+        for (adx, n) in other.adx_cleartext {
+            *self.adx_cleartext.entry(adx).or_insert(0) += n;
+        }
+    }
+
     /// The Figure-2 series: per month, encrypted vs cleartext pair counts.
     pub fn figure2(&self) -> Vec<PairShare> {
         (0..12)

@@ -1,0 +1,135 @@
+//! Parallel weblog analysis: shard by user, merge to the serial result.
+//!
+//! Everything the analyzer computes is either per-user (so a user-sharded
+//! pass sees exactly the state a serial pass would) or a commutative
+//! aggregate (sums, set unions — promoted to an explicit merge step), and
+//! every [`crate::DetectedImpression`] field is a pure function of the
+//! request itself. [`analyze_parallel`] therefore reproduces the serial
+//! [`crate::WeblogAnalyzer`] pass **exactly** — same detections in the
+//! same order, same aggregates — for any worker count.
+
+use crate::analyzer::{AnalyzerReport, DetectedImpression, WeblogAnalyzer};
+use crate::userstate::GlobalState;
+use yav_exec::ExecConfig;
+use yav_weblog::HttpRequest;
+
+/// What a parallel analysis pass produces: the merged report plus the
+/// merged global state (which the serial `finish()` drops).
+#[derive(Debug, Clone, Default)]
+pub struct ParallelAnalysis {
+    /// The merged report, detections restored to input order.
+    pub report: AnalyzerReport,
+    /// The merged panel-wide state.
+    pub global: GlobalState,
+}
+
+/// Analyzes a collected request stream on `exec`'s worker pool, sharding
+/// requests by user id. Returns exactly what a serial
+/// [`WeblogAnalyzer`] pass over `requests` returns (see module docs);
+/// here even the shard *count* is free to follow the worker count, since
+/// the merged result is shard-structure-independent too.
+pub fn analyze_parallel(requests: &[HttpRequest], exec: &ExecConfig) -> ParallelAnalysis {
+    let _span = yav_telemetry::span!("exec.analyzer.analyze_parallel");
+    let shards = exec.threads();
+    yav_telemetry::gauge("exec.analyzer.shards").set(shards as f64);
+
+    let parts = yav_exec::par_map_indexed(exec, shards, |shard| {
+        let mut analyzer = WeblogAnalyzer::new();
+        // Input index of each detection, for the order-restoring merge.
+        let mut order: Vec<usize> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            if req.user.0 as usize % shards != shard {
+                continue;
+            }
+            if analyzer.ingest(req).is_some() {
+                order.push(i);
+            }
+        }
+        let (report, global) = analyzer.finish_with_state();
+        (report, global, order)
+    });
+
+    let mut out = ParallelAnalysis::default();
+    let mut detections: Vec<(usize, DetectedImpression)> = Vec::new();
+    for (mut report, global, order) in parts {
+        debug_assert_eq!(report.detections.len(), order.len());
+        detections.extend(
+            order
+                .into_iter()
+                .zip(std::mem::take(&mut report.detections)),
+        );
+        out.report.merge(report);
+        out.global.merge(global);
+    }
+    detections.sort_by_key(|&(i, _)| i);
+    out.report.detections = detections.into_iter().map(|(_, d)| d).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yav_auction::{Market, MarketConfig};
+    use yav_weblog::{WeblogConfig, WeblogGenerator};
+
+    fn tiny_requests() -> Vec<HttpRequest> {
+        let generator = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        generator.collect(&mut market).requests
+    }
+
+    fn serial(requests: &[HttpRequest]) -> (AnalyzerReport, GlobalState) {
+        let mut analyzer = WeblogAnalyzer::new();
+        for r in requests {
+            analyzer.ingest(r);
+        }
+        analyzer.finish_with_state()
+    }
+
+    fn assert_reports_equal(a: &AnalyzerReport, b: &AnalyzerReport) {
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.malformed_nurls, b.malformed_nurls);
+        assert_eq!(a.class_counts, b.class_counts);
+        assert_eq!(a.monthly_os_requests, b.monthly_os_requests);
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.users_seen, b.users_seen);
+        assert_eq!(a.pairs.figure2(), b.pairs.figure2());
+        assert_eq!(a.pairs.figure3(), b.pairs.figure3());
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_any_worker_count() {
+        let requests = tiny_requests();
+        let (serial_report, serial_global) = serial(&requests);
+        assert!(!serial_report.detections.is_empty());
+        for threads in [1usize, 2, 8] {
+            let par = analyze_parallel(&requests, &ExecConfig::with_threads(threads));
+            assert_reports_equal(&par.report, &serial_report);
+            assert_eq!(
+                par.global.publisher_views, serial_global.publisher_views,
+                "threads={threads}"
+            );
+            assert_eq!(par.global.monthly_slots, serial_global.monthly_slots);
+            assert_eq!(par.global.campaigns, serial_global.campaigns);
+            assert_eq!(
+                par.global.dsps.len(),
+                serial_global.dsps.len(),
+                "threads={threads}"
+            );
+            for (domain, stats) in &serial_global.dsps {
+                let merged = par.global.dsps.get(domain).expect("dsp present");
+                assert_eq!(merged.requests, stats.requests);
+                assert_eq!(merged.users, stats.users);
+                assert_eq!(merged.encrypted, stats.encrypted);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_reports_is_empty() {
+        let mut a = AnalyzerReport::default();
+        a.merge(AnalyzerReport::default());
+        assert_eq!(a.total_requests, 0);
+        assert!(a.detections.is_empty());
+    }
+}

@@ -99,6 +99,23 @@ impl Market {
     /// Builds a market from configuration. Everything downstream is a
     /// pure function of `config` (including its seed).
     pub fn new(config: MarketConfig) -> Market {
+        Market::new_shard(config, 0)
+    }
+
+    /// Builds one logical shard of the market, for the parallel world
+    /// builders. World *structure* — the DSP roster, the integration
+    /// matrix (and thus the Figure-2 encryption drift), the valuation
+    /// model — is a function of `config` alone and identical across
+    /// shards; only the auction and DMP randomness streams derive from
+    /// `(config.seed, shard)`, and auction/impression ids live in a
+    /// per-shard namespace so merged streams never collide. Shard 0 is
+    /// bit-for-bit the market [`Market::new`] builds.
+    pub fn new_shard(config: MarketConfig, shard: u64) -> Market {
+        let mix = if shard == 0 {
+            0
+        } else {
+            yav_exec::derive_seed(config.seed, shard)
+        };
         let dsps = DspProfile::roster(config.n_dsps);
         let integrations = IntegrationMatrix::build(
             config.seed,
@@ -106,16 +123,20 @@ impl Market {
             config.migration_rate_major,
             config.migration_rate_minor,
         );
-        let dmp = Dmp::new(config.seed, config.whale_fraction, config.user_value_sigma);
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x3A2B_0000_0000_0003);
+        let dmp = Dmp::new(
+            config.seed ^ mix,
+            config.whale_fraction,
+            config.user_value_sigma,
+        );
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x3A2B_0000_0000_0003 ^ mix);
         Market {
             config,
             dsps,
             dmp,
             integrations,
             rng,
-            next_auction: 0,
-            next_impression: 0,
+            next_auction: shard << 32,
+            next_impression: shard << 32,
         }
     }
 
@@ -439,6 +460,54 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shard_zero_is_the_legacy_market() {
+        let t = SimTime::from_ymd_hm(2015, 4, 4, 16, 0);
+        let run = |mut m: Market| {
+            (0..50)
+                .filter_map(|i| {
+                    m.run_auction(&request(Adx::MoPub, t.plus_minutes(i)))
+                        .sale()
+                        .map(|o| (o.charge, o.winner, o.fields.impression))
+                })
+                .collect::<Vec<_>>()
+        };
+        let legacy = run(Market::new(MarketConfig::default()));
+        let shard0 = run(Market::new_shard(MarketConfig::default(), 0));
+        assert_eq!(legacy, shard0);
+    }
+
+    #[test]
+    fn shards_share_structure_but_not_randomness() {
+        let t = SimTime::from_ymd_hm(2015, 4, 4, 16, 0);
+        let m0 = Market::new_shard(MarketConfig::default(), 0);
+        let m7 = Market::new_shard(MarketConfig::default(), 7);
+        // Structure (the integration matrix's encryption drift) is shared…
+        assert_eq!(m0.encrypted_pair_share(t), m7.encrypted_pair_share(t));
+        // …while auction randomness and id namespaces are not.
+        let charges = |mut m: Market| {
+            (0..30)
+                .filter_map(|i| {
+                    m.run_auction(&request(Adx::MoPub, t.plus_minutes(i)))
+                        .sale()
+                        .map(|o| o.charge)
+                })
+                .collect::<Vec<_>>()
+        };
+        let ids = |mut m: Market| {
+            m.run_auction(&request(Adx::MoPub, t))
+                .sale()
+                .map(|o| o.fields.impression)
+                .unwrap()
+        };
+        assert_ne!(
+            charges(Market::new_shard(MarketConfig::default(), 0)),
+            charges(Market::new_shard(MarketConfig::default(), 7))
+        );
+        assert_eq!(ids(m7).0 >> 32, 7, "shard id namespace");
+        assert_eq!(ids(m0).0 >> 32, 0);
     }
 
     #[test]

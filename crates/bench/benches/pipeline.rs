@@ -5,7 +5,7 @@
 //! over 10^5 requests per second.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use yav_analyzer::features::{extract, NurlTransport};
+use yav_analyzer::features::{extract, extract_into, NurlTransport};
 use yav_analyzer::userstate::{GlobalState, UserState};
 use yav_analyzer::WeblogAnalyzer;
 use yav_auction::{Market, MarketConfig};
@@ -55,6 +55,14 @@ fn bench_features(c: &mut Criterion) {
     c.bench_function("features/extract_288", |b| {
         b.iter(|| extract(black_box(&meta), &transport, &user, &global))
     });
+    // Buffer-reusing variant: the allocation-free hot path.
+    c.bench_function("features/extract_288_into", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            extract_into(&mut buf, black_box(&meta), &transport, &user, &global);
+            black_box(buf.len())
+        })
+    });
 }
 
 fn bench_client(c: &mut Criterion) {
@@ -99,11 +107,46 @@ fn bench_generator(c: &mut Criterion) {
     });
 }
 
+fn bench_world(_c: &mut Criterion) {
+    // A Small-scale world build runs for seconds — far past the harness's
+    // minimum sample count — so this benchmark wall-clocks single builds
+    // manually, once serial and once at the machine's parallelism, and
+    // emits the BENCH_world.json baseline at the workspace root.
+    use yav_bench::{Scale, World};
+    use yav_exec::{default_threads, ExecConfig};
+    let mut counts = vec![1usize, default_threads()];
+    counts.dedup();
+    let mut entries = Vec::new();
+    for &threads in &counts {
+        let t0 = std::time::Instant::now();
+        let world = World::build_with(Scale::Small, &ExecConfig::with_threads(threads));
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "world_build/small/threads={threads}: {secs:.2} s \
+             ({} requests, {} detections, A1 {} rows)",
+            world.http_requests,
+            world.report.detections.len(),
+            world.a1.rows.len()
+        );
+        entries.push(format!(
+            "{{\"bench\":\"world_build\",\"scale\":\"small\",\"threads\":{threads},\"seconds\":{secs:.3}}}"
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+    } else {
+        println!("world_build baseline written to {path}");
+    }
+}
+
 criterion_group!(
     benches,
     bench_analyzer,
     bench_features,
     bench_client,
-    bench_generator
+    bench_generator,
+    bench_world
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! cargo run -p yav-bench --release --bin figures -- all --scale mid
-//! cargo run -p yav-bench --release --bin figures -- fig16 model --scale paper
+//! cargo run -p yav-bench --release --bin figures -- fig16 model --scale paper --threads 8
 //! ```
 //!
 //! Experiment ids match DESIGN.md's per-experiment index: `fig2`, `fig3`,
@@ -10,6 +10,7 @@
 //! `fig15`, `fig16`, `model`, `fig17`–`fig19`, `arpu`, `truth`.
 
 use yav_bench::{figs_dataset as fd, figs_model as fm, figs_user as fu, Scale, World};
+use yav_exec::ExecConfig;
 
 const ALL: &[&str] = &[
     "table3",
@@ -77,6 +78,7 @@ fn run(world: &World, id: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Mid;
+    let mut exec = ExecConfig::default();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
@@ -88,6 +90,16 @@ fn main() {
                     eprintln!("unknown scale {name:?}; use small|mid|paper");
                     std::process::exit(2);
                 });
+            }
+            "--threads" => {
+                let n = iter.next().and_then(|s| s.parse::<usize>().ok());
+                match n {
+                    Some(n) if n >= 1 => exec = ExecConfig::with_threads(n),
+                    _ => {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--out" => {
                 let dir = iter.next().map(String::as_str).unwrap_or("");
@@ -103,8 +115,12 @@ fn main() {
     }
     ids.dedup();
     if ids.is_empty() {
-        eprintln!("usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--out DIR]");
+        eprintln!(
+            "usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--threads N] [--out DIR]"
+        );
         eprintln!("experiments: {}", ALL.join(" "));
+        eprintln!("--threads N   worker threads for world building (default: all cores, <= 16);");
+        eprintln!("              results are identical for every N — only wall-clock changes");
         std::process::exit(2);
     }
     if let Some(dir) = &out_dir {
@@ -114,9 +130,12 @@ fn main() {
         }
     }
 
-    eprintln!("building world at {scale:?} scale …");
+    eprintln!(
+        "building world at {scale:?} scale on {} thread(s) …",
+        exec.threads()
+    );
     let t0 = std::time::Instant::now();
-    let world = World::build(scale);
+    let world = World::build_with(scale, &exec);
     eprintln!(
         "world ready in {:.1}s: {} HTTP requests, {} detections, A1 {} rows, A2 {} rows\n",
         t0.elapsed().as_secs_f64(),

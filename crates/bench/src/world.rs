@@ -3,6 +3,7 @@
 use yav_analyzer::{AnalyzerReport, WeblogAnalyzer};
 use yav_auction::{Market, MarketConfig};
 use yav_campaign::{Campaign, CampaignReport};
+use yav_exec::ExecConfig;
 use yav_ml::RandomForestConfig;
 use yav_pme::model::TrainConfig;
 use yav_pme::{Pme, TimeShift};
@@ -110,47 +111,135 @@ pub struct World {
     pub feature_sample: Vec<(Vec<f64>, f64)>,
 }
 
-impl World {
-    /// Builds the world. Deterministic per scale.
-    pub fn build(scale: Scale) -> World {
-        let generator = WeblogGenerator::new(scale.weblog());
-        let mut market = Market::new(MarketConfig::default());
-        let mut analyzer = WeblogAnalyzer::new();
-        let mut truth = Vec::new();
-        let mut http_requests = 0u64;
-        let mut feature_sample: Vec<(Vec<f64>, f64)> = Vec::new();
-        // Reservoir cap for the reduction experiment.
-        const SAMPLE_CAP: usize = 12_000;
-        let mut seen_clear = 0usize;
+/// What one weblog shard contributes to the world: its analyzer pass,
+/// its ground truth, and its cleartext feature rows (keyed for the
+/// canonical merge order).
+struct ShardPart {
+    report: AnalyzerReport,
+    truth: Vec<GroundTruth>,
+    http_requests: u64,
+    /// `(minutes, user, features, price)` per cleartext detection.
+    clear_rows: Vec<(i64, u32, Vec<f64>, f64)>,
+    /// Input-order detection keys for the canonical re-sort.
+    detection_keys: Vec<(i64, u32)>,
+}
 
-        generator.run(
-            &mut market,
-            |req| {
-                http_requests += 1;
-                if let Some(rec) = analyzer.ingest(&req) {
-                    if let Some(p) = rec.meta.cleartext_cpm {
-                        // Deterministic reservoir: keep every k-th row.
-                        seen_clear += 1;
-                        if feature_sample.len() < SAMPLE_CAP {
-                            feature_sample.push((rec.features, p.as_f64()));
-                        } else if seen_clear.is_multiple_of(7) {
-                            let slot = (seen_clear / 7) % SAMPLE_CAP;
-                            feature_sample[slot] = (rec.features, p.as_f64());
+impl World {
+    /// Builds the world with default parallelism. Deterministic per scale.
+    pub fn build(scale: Scale) -> World {
+        World::build_with(scale, &ExecConfig::default())
+    }
+
+    /// Builds the world on `exec`'s worker pool.
+    ///
+    /// The weblog/analyzer stage runs fused, one logical shard per
+    /// [`yav_weblog::USERS_PER_SHARD`]-user block against its own shard
+    /// market; campaigns run one shard per setup. Shard boundaries are
+    /// structural, so **the result is identical for every thread count**
+    /// (the determinism test suite enforces this). The parallel stream is
+    /// a different — equally valid — random realisation than the legacy
+    /// serial `generator.run` stream, which stays available unchanged.
+    pub fn build_with(scale: Scale, exec: &ExecConfig) -> World {
+        let _span = yav_telemetry::span!("bench.world.build");
+        let config = WeblogConfig {
+            exec: *exec,
+            ..scale.weblog()
+        };
+        let generator = WeblogGenerator::new(config);
+        let market_config = MarketConfig::default();
+        let shards = generator.shard_count();
+        yav_telemetry::gauge("exec.world.weblog_shards").set(shards as f64);
+
+        let parts = yav_exec::par_map_indexed(exec, shards, |s| {
+            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut analyzer = WeblogAnalyzer::new();
+            let mut part = ShardPart {
+                report: AnalyzerReport::default(),
+                truth: Vec::new(),
+                http_requests: 0,
+                clear_rows: Vec::new(),
+                detection_keys: Vec::new(),
+            };
+            generator.run_shard(
+                s,
+                &mut market,
+                |req| {
+                    part.http_requests += 1;
+                    if let Some(rec) = analyzer.ingest(&req) {
+                        let key = (req.time.minutes(), req.user.0);
+                        part.detection_keys.push(key);
+                        if let Some(p) = rec.meta.cleartext_cpm {
+                            part.clear_rows
+                                .push((key.0, key.1, rec.features, p.as_f64()));
                         }
                     }
-                }
-            },
-            |t| truth.push(t),
-        );
-        let report = analyzer.finish();
+                },
+                |t| part.truth.push(t),
+            );
+            let (report, _global) = analyzer.finish_with_state();
+            part.report = report;
+            part
+        });
+
+        // Merge: commutative aggregates fold in; ordered streams are
+        // restored to the canonical (time, user) order. Ties share a user
+        // (users never span shards), so the stable sort keeps their
+        // within-shard generation order.
+        let mut report = AnalyzerReport::default();
+        let mut truth = Vec::new();
+        let mut http_requests = 0u64;
+        let mut detections: Vec<((i64, u32), yav_analyzer::DetectedImpression)> = Vec::new();
+        let mut clear_rows: Vec<(i64, u32, Vec<f64>, f64)> = Vec::new();
+        for mut part in parts {
+            debug_assert_eq!(part.report.detections.len(), part.detection_keys.len());
+            detections.extend(
+                part.detection_keys
+                    .drain(..)
+                    .zip(std::mem::take(&mut part.report.detections)),
+            );
+            clear_rows.append(&mut part.clear_rows);
+            truth.append(&mut part.truth);
+            http_requests += part.http_requests;
+            report.merge(part.report);
+        }
+        detections.sort_by_key(|&(key, _)| key);
+        report.detections = detections.into_iter().map(|(_, d)| d).collect();
+        truth.sort_by_key(|t| (t.time.minutes(), t.user.0));
+        clear_rows.sort_by_key(|&(minutes, user, _, _)| (minutes, user));
+
+        // Deterministic reservoir over the canonical cleartext stream:
+        // keep every k-th row once the cap fills (same walk the serial
+        // builder used).
+        const SAMPLE_CAP: usize = 12_000;
+        let mut feature_sample: Vec<(Vec<f64>, f64)> = Vec::new();
+        for (seen_clear, (_, _, features, price)) in (1usize..).zip(clear_rows) {
+            if feature_sample.len() < SAMPLE_CAP {
+                feature_sample.push((features, price));
+            } else if seen_clear.is_multiple_of(7) {
+                let slot = (seen_clear / 7) % SAMPLE_CAP;
+                feature_sample[slot] = (features, price);
+            }
+        }
 
         let (a1_imps, a2_imps) = scale.campaign_impressions();
         let universe = generator.universe().clone();
-        let a1 = yav_campaign::execute(&mut market, &universe, &Campaign::a1().scaled(a1_imps));
-        let a2 = yav_campaign::execute(&mut market, &universe, &Campaign::a2().scaled(a2_imps));
+        let a1 = yav_campaign::execute_parallel(
+            &market_config,
+            &universe,
+            &Campaign::a1().scaled(a1_imps),
+            exec,
+        );
+        let a2 = yav_campaign::execute_parallel(
+            &market_config,
+            &universe,
+            &Campaign::a2().scaled(a2_imps),
+            exec,
+        );
 
         let pme = Pme::new();
-        pme.train_from_campaign(&a1.rows, &scale.train_config());
+        let mut train = scale.train_config();
+        train.forest.threads = exec.threads();
+        pme.train_from_campaign(&a1.rows, &train);
         // §6.2: time shift fitted within matched IAB strata (A2 vs the
         // MoPub side of D) so content-mix differences between the
         // campaign and organic traffic cancel out.

@@ -1,0 +1,110 @@
+//! Thread-count-independence proofs for the parallel pipeline.
+//!
+//! The invariant the whole `yav-exec` design rests on: worker threads
+//! are a *scheduling* resource, never a *semantic* input. Every stage
+//! shards on structural boundaries (user blocks, campaign setups) and
+//! merges into a canonical order, so the same seed must produce the
+//! same bytes on 1, 2 or 8 threads.
+
+use yav_analyzer::{analyze_parallel, AnalyzerReport, WeblogAnalyzer};
+use yav_auction::MarketConfig;
+use yav_bench::{Scale, World};
+use yav_campaign::Campaign;
+use yav_exec::ExecConfig;
+use yav_weblog::{WeblogConfig, WeblogGenerator};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn weblog_identical_across_thread_counts() {
+    let generator = WeblogGenerator::new(WeblogConfig::small());
+    let market_config = MarketConfig::default();
+    let mut logs = THREAD_COUNTS.iter().map(|&threads| {
+        let generator = WeblogGenerator::new(WeblogConfig {
+            exec: ExecConfig::with_threads(threads),
+            ..WeblogConfig::small()
+        });
+        generator.collect_parallel(&market_config)
+    });
+    let base = logs.next().unwrap();
+    assert!(base.requests.len() > 10_000, "small weblog too thin");
+    assert!(generator.shard_count() > 1, "need multiple shards to test");
+    for log in logs {
+        assert_eq!(log.requests, base.requests);
+        assert_eq!(log.truth, base.truth);
+    }
+}
+
+#[test]
+fn campaign_identical_across_thread_counts() {
+    let universe = yav_weblog::PublisherUniverse::build(0xD474, 300, 120);
+    let market_config = MarketConfig::default();
+    // Small-scale A1: 40 impressions per setup, as `Scale::Small` runs it.
+    let campaign = Campaign::a1().scaled(40);
+    let mut reports = THREAD_COUNTS.iter().map(|&threads| {
+        yav_campaign::execute_parallel(
+            &market_config,
+            &universe,
+            &campaign,
+            &ExecConfig::with_threads(threads),
+        )
+    });
+    let base = reports.next().unwrap();
+    assert_eq!(base.setups_completed, 144);
+    assert_eq!(base.rows.len(), 144 * 40);
+    for report in reports {
+        assert_eq!(report.rows, base.rows);
+        assert_eq!(report.spent, base.spent);
+        assert_eq!(report.auctions_entered, base.auctions_entered);
+        assert_eq!(report.setups_completed, base.setups_completed);
+        assert_eq!(report.budget_exhausted, base.budget_exhausted);
+    }
+}
+
+fn assert_reports_equal(a: &AnalyzerReport, b: &AnalyzerReport) {
+    assert_eq!(a.detections, b.detections);
+    assert_eq!(a.malformed_nurls, b.malformed_nurls);
+    assert_eq!(a.class_counts, b.class_counts);
+    assert_eq!(a.monthly_os_requests, b.monthly_os_requests);
+    assert_eq!(a.total_requests, b.total_requests);
+    assert_eq!(a.users_seen, b.users_seen);
+    assert_eq!(a.pairs.figure2(), b.pairs.figure2());
+    assert_eq!(a.pairs.figure3(), b.pairs.figure3());
+}
+
+#[test]
+fn analyzer_identical_across_thread_counts_and_matches_serial() {
+    // One canonical parallel weblog; the analyzer invariant is stronger
+    // than the generator's: sharded analysis must equal the *serial*
+    // streaming pass exactly, not just itself across thread counts.
+    let generator = WeblogGenerator::new(WeblogConfig::small());
+    let log = generator.collect_parallel(&MarketConfig::default());
+
+    let mut serial_analyzer = WeblogAnalyzer::new();
+    for req in &log.requests {
+        serial_analyzer.ingest(req);
+    }
+    let serial = serial_analyzer.finish();
+    assert!(serial.detections.len() > 500, "small trace too thin");
+
+    for threads in THREAD_COUNTS {
+        let par = analyze_parallel(&log.requests, &ExecConfig::with_threads(threads));
+        assert_reports_equal(&par.report, &serial);
+    }
+}
+
+#[test]
+fn world_identical_across_thread_counts() {
+    let base = World::build_with(Scale::Small, &ExecConfig::serial());
+    let par = World::build_with(Scale::Small, &ExecConfig::with_threads(3));
+    assert_eq!(par.http_requests, base.http_requests);
+    assert_eq!(par.report.detections, base.report.detections);
+    assert_eq!(par.report.total_requests, base.report.total_requests);
+    assert_eq!(par.truth, base.truth);
+    assert_eq!(par.a1.rows, base.a1.rows);
+    assert_eq!(par.a2.rows, base.a2.rows);
+    assert_eq!(par.a1.spent, base.a1.spent);
+    assert_eq!(par.a2.spent, base.a2.spent);
+    assert_eq!(par.feature_sample, base.feature_sample);
+    assert_eq!(par.shift.coefficient, base.shift.coefficient);
+}

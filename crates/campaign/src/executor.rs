@@ -11,7 +11,8 @@ use crate::setups::Setup;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use yav_auction::{AdRequest, Market, ProbeBid};
+use yav_auction::{AdRequest, Market, MarketConfig, ProbeBid};
+use yav_exec::ExecConfig;
 use yav_types::time::CampaignShift;
 use yav_types::{
     AdSlotSize, Adx, CampaignId, City, Cpm, DeviceType, DspId, IabCategory, InteractionType,
@@ -184,20 +185,7 @@ pub fn execute(
         auctions_entered: 0,
     };
 
-    // Audience publishers: category-eligible inventory, capped to the
-    // campaign's publisher list (most popular first — that is where a
-    // DSP finds volume).
-    let mut eligible: Vec<&yav_weblog::Publisher> = universe
-        .all()
-        .iter()
-        .filter(|p| campaign.iabs.contains(&p.iab))
-        .collect();
-    eligible.sort_by(|a, b| b.weight.total_cmp(&a.weight));
-    eligible.truncate(campaign.publisher_cap.max(1));
-    assert!(
-        !eligible.is_empty(),
-        "universe has no publishers in the target categories"
-    );
+    let eligible = eligible_publishers(universe, campaign);
 
     'sweep: for setup in &setups {
         let mut bought = 0u32;
@@ -240,6 +228,168 @@ pub fn execute(
             }
         }
         if bought == campaign.impressions_per_setup {
+            report.setups_completed += 1;
+            setups_counter.inc();
+        }
+    }
+    report
+}
+
+/// Audience publishers: category-eligible inventory, capped to the
+/// campaign's publisher list (most popular first — that is where a DSP
+/// finds volume).
+fn eligible_publishers<'u>(
+    universe: &'u PublisherUniverse,
+    campaign: &Campaign,
+) -> Vec<&'u yav_weblog::Publisher> {
+    let mut eligible: Vec<&yav_weblog::Publisher> = universe
+        .all()
+        .iter()
+        .filter(|p| campaign.iabs.contains(&p.iab))
+        .collect();
+    eligible.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    eligible.truncate(campaign.publisher_cap.max(1));
+    assert!(
+        !eligible.is_empty(),
+        "universe has no publishers in the target categories"
+    );
+    eligible
+}
+
+/// One setup's worth of buying, executed without budget knowledge.
+/// The merge step replays the serial budget walk over these.
+struct SetupRun {
+    rows: Vec<ProbeImpression>,
+    /// Auctions entered within this setup up to and including the one
+    /// that bought `rows[i]` (for mid-setup budget stops).
+    attempts_at: Vec<u64>,
+    /// Auctions entered for the whole setup.
+    attempts_total: u64,
+    /// Whether the setup bought its full allotment.
+    completed: bool,
+}
+
+/// Buys one setup's impressions against a dedicated shard market.
+fn run_setup(
+    market: &mut Market,
+    rng: &mut StdRng,
+    setup: &Setup,
+    campaign: &Campaign,
+    eligible: &[&yav_weblog::Publisher],
+) -> SetupRun {
+    let mut run = SetupRun {
+        rows: Vec::with_capacity(campaign.impressions_per_setup as usize),
+        attempts_at: Vec::with_capacity(campaign.impressions_per_setup as usize),
+        attempts_total: 0,
+        completed: false,
+    };
+    let mut bought = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = campaign.impressions_per_setup.saturating_mul(4).max(16);
+    while bought < campaign.impressions_per_setup && attempts < max_attempts {
+        attempts += 1;
+        run.attempts_total += 1;
+        let req = synthesize_request(rng, setup, campaign, eligible);
+        let probe = ProbeBid {
+            dsp: campaign.dsp,
+            max_bid: campaign.max_bid,
+            campaign: campaign.id,
+        };
+        let (_result, win) = market.run_auction_with_probe(&req, &probe);
+        let Some(win) = win else { continue };
+        bought += 1;
+        run.attempts_at.push(run.attempts_total);
+        run.rows.push(ProbeImpression {
+            setup_id: setup.id,
+            time: req.time,
+            city: setup.city,
+            os: setup.os,
+            device: setup.device,
+            interaction: setup.interaction,
+            format: setup.format,
+            adx: setup.adx,
+            iab: req.iab,
+            publisher: req.publisher_name.clone(),
+            charge: win.charge,
+            visibility: win.visibility,
+        });
+    }
+    run.completed = bought == campaign.impressions_per_setup;
+    run
+}
+
+/// Market-shard id for one campaign setup. Weblog user shards occupy the
+/// low shard numbers, so campaign markets live in a disjoint namespace.
+fn campaign_shard(campaign: &Campaign, setup_id: u32) -> u64 {
+    0x10_0000 + campaign.id.0 as u64 * 0x1000 + setup_id as u64
+}
+
+/// Executes a campaign on `exec`'s worker pool, one logical shard per
+/// Table-5 setup (so the result never depends on the worker count).
+///
+/// Each setup buys against its own deterministic shard market — see
+/// [`Market::new_shard`] — which makes the realised prices a different
+/// (equally valid) draw than the serial [`execute`] stream. Budget-stop
+/// semantics are preserved exactly: workers buy without budget
+/// knowledge, and the merge replays the serial sweep — accumulating
+/// spend in setup order and truncating at the first row that pushes
+/// spend past the budget, discarding everything a stopped serial sweep
+/// would never have executed.
+pub fn execute_parallel(
+    market_config: &MarketConfig,
+    universe: &PublisherUniverse,
+    campaign: &Campaign,
+    exec: &ExecConfig,
+) -> CampaignReport {
+    let _span = yav_telemetry::span!("exec.campaign.execute_parallel");
+    let setups_counter = yav_telemetry::counter("campaign.executor.setups_completed");
+    let auctions_counter = yav_telemetry::counter("campaign.executor.auctions_entered");
+    let bought_counter = yav_telemetry::counter("campaign.executor.impressions_bought");
+    let setups = crate::setups::table5(&campaign.adxs);
+    let eligible = eligible_publishers(universe, campaign);
+    yav_telemetry::gauge("exec.campaign.shards").set(setups.len() as f64);
+
+    let runs = yav_exec::par_map_indexed(exec, setups.len(), |i| {
+        let setup = &setups[i];
+        let mut market =
+            Market::new_shard(market_config.clone(), campaign_shard(campaign, setup.id));
+        let mut rng = StdRng::seed_from_u64(yav_exec::derive_seed(
+            campaign.seed ^ 0xCA4B_0000_0000_0007,
+            setup.id as u64 + 1,
+        ));
+        run_setup(&mut market, &mut rng, setup, campaign, &eligible)
+    });
+
+    // Budget replay: the serial sweep's walk over the per-setup streams.
+    let mut report = CampaignReport {
+        name: campaign.name.clone(),
+        rows: Vec::new(),
+        spent: MicroUsd::ZERO,
+        setups_completed: 0,
+        budget_exhausted: false,
+        auctions_entered: 0,
+    };
+    'sweep: for run in runs {
+        let SetupRun {
+            rows,
+            attempts_at,
+            attempts_total,
+            completed,
+        } = run;
+        for (row, &attempts) in rows.into_iter().zip(&attempts_at) {
+            report.spent = report.spent.saturating_add(row.charge.per_impression());
+            report.rows.push(row);
+            bought_counter.inc();
+            if report.spent > campaign.budget {
+                report.budget_exhausted = true;
+                report.auctions_entered += attempts;
+                auctions_counter.add(attempts);
+                break 'sweep;
+            }
+        }
+        report.auctions_entered += attempts_total;
+        auctions_counter.add(attempts_total);
+        if completed {
             report.setups_completed += 1;
             setups_counter.inc();
         }
@@ -396,5 +546,77 @@ mod tests {
         let b = execute(&mut m2, &u2, &Campaign::a2().scaled(3));
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.spent, b.spent);
+    }
+
+    #[test]
+    fn parallel_is_thread_count_invariant() {
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let campaign = Campaign::a1().scaled(4);
+        let config = MarketConfig::default();
+        let base = execute_parallel(&config, &universe, &campaign, &ExecConfig::serial());
+        assert_eq!(base.setups_completed, 144);
+        assert_eq!(base.rows.len(), 144 * 4);
+        assert!(!base.budget_exhausted);
+        for threads in [2usize, 8] {
+            let par = execute_parallel(
+                &config,
+                &universe,
+                &campaign,
+                &ExecConfig::with_threads(threads),
+            );
+            assert_eq!(par.rows, base.rows, "threads={threads}");
+            assert_eq!(par.spent, base.spent);
+            assert_eq!(par.setups_completed, base.setups_completed);
+            assert_eq!(par.auctions_entered, base.auctions_entered);
+            assert_eq!(par.budget_exhausted, base.budget_exhausted);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_respect_setup_filters() {
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let report = execute_parallel(
+            &MarketConfig::default(),
+            &universe,
+            &Campaign::a2().scaled(3),
+            &ExecConfig::with_threads(4),
+        );
+        let setups = crate::setups::table5(&[Adx::MoPub]);
+        // Setup-major order, like the serial sweep.
+        let mut last_setup = 0u32;
+        for row in &report.rows {
+            assert!(row.setup_id >= last_setup);
+            last_setup = row.setup_id;
+            let s = &setups[row.setup_id as usize];
+            assert_eq!(row.city, s.city);
+            assert_eq!(row.adx, Adx::MoPub);
+            assert_eq!(row.visibility, PriceVisibility::Cleartext);
+            assert!(s.day_type.matches(row.time.is_weekend()));
+        }
+    }
+
+    #[test]
+    fn parallel_budget_stop_matches_serial_semantics() {
+        let universe = PublisherUniverse::build(0xD474, 300, 120);
+        let mut tiny = Campaign::a1().scaled(50);
+        tiny.budget = MicroUsd(3_000); // three tenths of a cent
+        let config = MarketConfig::default();
+        let serial = execute_parallel(&config, &universe, &tiny, &ExecConfig::serial());
+        let par = execute_parallel(&config, &universe, &tiny, &ExecConfig::with_threads(8));
+        for report in [&serial, &par] {
+            assert!(report.budget_exhausted);
+            assert!(report.rows.len() < 144 * 50);
+            assert!(report.spent >= tiny.budget);
+            // The last row is the one that broke the budget.
+            let spent_before: MicroUsd = report.rows[..report.rows.len() - 1]
+                .iter()
+                .fold(MicroUsd::ZERO, |acc, r| {
+                    acc.saturating_add(r.charge.per_impression())
+                });
+            assert!(spent_before <= tiny.budget);
+        }
+        assert_eq!(serial.rows, par.rows);
+        assert_eq!(serial.setups_completed, par.setups_completed);
+        assert_eq!(serial.auctions_entered, par.auctions_entered);
     }
 }

@@ -26,6 +26,6 @@ pub mod executor;
 pub mod plan;
 pub mod setups;
 
-pub use executor::{execute, Campaign, CampaignReport, ProbeImpression};
+pub use executor::{execute, execute_parallel, Campaign, CampaignReport, ProbeImpression};
 pub use plan::CampaignPlan;
 pub use setups::{DayType, Setup};

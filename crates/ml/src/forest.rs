@@ -36,9 +36,19 @@ impl Default for RandomForestConfig {
                 ..TreeConfig::default()
             },
             seed: 0xF05E,
-            threads: 4,
+            threads: default_train_threads(),
         }
     }
+}
+
+/// Default training parallelism: one worker per available core, clamped
+/// to [1, 8] (trees are coarse units; more workers than that just adds
+/// scheduling noise). Thread count never affects the fitted forest.
+pub fn default_train_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 /// A trained forest.

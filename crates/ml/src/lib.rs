@@ -37,7 +37,7 @@ pub mod tree;
 pub use cv::{cross_validate, CvReport};
 pub use dataset::Dataset;
 pub use discretize::Discretizer;
-pub use forest::{RandomForest, RandomForestConfig};
+pub use forest::{default_train_threads, RandomForest, RandomForestConfig};
 pub use linreg::LinearRegression;
 pub use metrics::{auc_roc_ovr, ConfusionMatrix};
 pub use tree::{DecisionTree, TreeConfig};

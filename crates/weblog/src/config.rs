@@ -1,6 +1,7 @@
 //! Weblog generator configuration and scale presets.
 
 use serde::{Deserialize, Serialize};
+use yav_exec::ExecConfig;
 use yav_types::SimTime;
 
 /// Parameters of the synthetic panel trace.
@@ -28,6 +29,10 @@ pub struct WeblogConfig {
     pub web_publishers: u32,
     /// Number of app publishers in the universe.
     pub app_publishers: u32,
+    /// Worker pool for the parallel generation path
+    /// ([`crate::WeblogGenerator::collect_parallel`]). Scheduling only —
+    /// the generated stream is identical for every thread count.
+    pub exec: ExecConfig,
 }
 
 impl WeblogConfig {
@@ -46,6 +51,7 @@ impl WeblogConfig {
             cookie_sync_prob: 0.03,
             web_publishers: 1800,
             app_publishers: 700,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -63,6 +69,7 @@ impl WeblogConfig {
             cookie_sync_prob: 0.03,
             web_publishers: 300,
             app_publishers: 120,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -79,6 +86,7 @@ impl WeblogConfig {
             cookie_sync_prob: 0.05,
             web_publishers: 80,
             app_publishers: 40,
+            exec: ExecConfig::default(),
         }
     }
 

@@ -19,8 +19,15 @@ use crate::population::{Panel, PanelUser};
 use crate::publisher::{sample_slot, Publisher, PublisherUniverse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use yav_auction::{AdRequest, AuctionResult, Market};
+use yav_auction::{AdRequest, AuctionResult, Market, MarketConfig};
 use yav_types::{City, InteractionType, SimTime};
+
+/// Users per logical generation shard. This is a **structural** constant:
+/// the canonical parallel stream depends on the shard cut (each shard
+/// auctions against its own derived market), so it must never be derived
+/// from the worker count. 32 users keeps shards coarse enough to amortise
+/// market setup yet fine enough to balance a 16-wide pool at Mid scale.
+pub const USERS_PER_SHARD: usize = 32;
 
 /// One standard-normal draw (Box–Muller). Shared with the population
 /// model.
@@ -47,6 +54,17 @@ pub struct Weblog {
     pub requests: Vec<HttpRequest>,
     /// Ground-truth impression records (validation only).
     pub truth: Vec<GroundTruth>,
+}
+
+impl Weblog {
+    /// Sorts both streams into the canonical global order: minute, then
+    /// user id, ties keeping their per-user emission order (the sort is
+    /// stable). This is the merge order of the parallel pipeline; shard
+    /// boundaries can never show through it.
+    pub fn sort_canonical(&mut self) {
+        self.requests.sort_by_key(|r| (r.time.minutes(), r.user.0));
+        self.truth.sort_by_key(|t| (t.time.minutes(), t.user.0));
+    }
 }
 
 /// The streaming generator.
@@ -80,22 +98,47 @@ impl WeblogGenerator {
         &self.universe
     }
 
+    /// Number of logical generation shards (fixed blocks of
+    /// [`USERS_PER_SHARD`] users in panel-id order).
+    pub fn shard_count(&self) -> usize {
+        self.panel.users().len().div_ceil(USERS_PER_SHARD).max(1)
+    }
+
     /// Runs the full simulation, streaming every HTTP request to `on_req`
     /// and every ground-truth impression record to `on_truth`.
     pub fn run(
         &self,
         market: &mut Market,
-        on_req: impl FnMut(HttpRequest),
+        mut on_req: impl FnMut(HttpRequest),
         mut on_truth: impl FnMut(GroundTruth),
     ) {
         let _span = yav_telemetry::span!("weblog.generator.run");
+        for shard in 0..self.shard_count() {
+            self.run_shard(shard, market, &mut on_req, &mut on_truth);
+        }
+    }
+
+    /// Runs one user shard against `market`. The serial [`Self::run`] is
+    /// exactly the shards played in order against one market; the
+    /// parallel builders give each shard its own
+    /// [`Market::new_shard`]-derived market and merge downstream.
+    pub fn run_shard(
+        &self,
+        shard: usize,
+        market: &mut Market,
+        on_req: impl FnMut(HttpRequest),
+        mut on_truth: impl FnMut(GroundTruth),
+    ) {
         let requests = yav_telemetry::counter("weblog.generator.requests");
         let mut inner = on_req;
         let mut on_req = move |r: HttpRequest| {
             requests.inc();
             inner(r)
         };
-        for user in self.panel.users() {
+        let users = self.panel.users();
+        let lo = (shard * USERS_PER_SHARD).min(users.len());
+        let hi = (lo + USERS_PER_SHARD).min(users.len());
+        for user in &users[lo..hi] {
             // Per-user RNG: users are independent streams, so panel size
             // changes don't reshuffle existing users' behaviour.
             let mut rng =
@@ -112,6 +155,37 @@ impl WeblogGenerator {
         let mut log = Weblog::default();
         self.run(market, |r| log.requests.push(r), |t| log.truth.push(t));
         log
+    }
+
+    /// Generates the weblog on `self.config.exec`'s worker pool: each
+    /// user shard auctions against its own market derived from
+    /// `(market_config.seed, shard)`, and the shard streams are merged
+    /// into canonical (time, user) order. The result depends only on the
+    /// configs — never on the thread count — but, because each shard owns
+    /// an independent auction RNG stream, it is a *different* (equally
+    /// valid) realisation than the serial [`Self::collect`] stream.
+    pub fn collect_parallel(&self, market_config: &MarketConfig) -> Weblog {
+        let _span = yav_telemetry::span!("exec.weblog.collect_parallel");
+        let shards = self.shard_count();
+        yav_telemetry::gauge("exec.weblog.shards").set(shards as f64);
+        let parts = yav_exec::par_map_indexed(&self.config.exec, shards, |s| {
+            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut log = Weblog::default();
+            self.run_shard(
+                s,
+                &mut market,
+                |r| log.requests.push(r),
+                |t| log.truth.push(t),
+            );
+            log
+        });
+        let mut merged = Weblog::default();
+        for part in parts {
+            merged.requests.extend(part.requests);
+            merged.truth.extend(part.truth);
+        }
+        merged.sort_canonical();
+        merged
     }
 
     fn run_user_day(
@@ -428,6 +502,66 @@ mod tests {
         assert!(clear > enc, "cleartext should dominate 2015 mobile RTB");
         let share = enc as f64 / log.truth.len() as f64;
         assert!((0.15..=0.45).contains(&share), "encrypted share {share}");
+    }
+
+    #[test]
+    fn parallel_is_thread_count_invariant() {
+        let parallel = |threads: usize| {
+            let mut config = WeblogConfig::small();
+            config.users = 70; // three shards, one ragged
+            config.days = 10;
+            config.exec = yav_exec::ExecConfig::with_threads(threads);
+            WeblogGenerator::new(config).collect_parallel(&MarketConfig::default())
+        };
+        let one = parallel(1);
+        let two = parallel(2);
+        let eight = parallel(8);
+        assert!(one.truth.len() > 50);
+        assert_eq!(one.requests, two.requests);
+        assert_eq!(one.truth, two.truth);
+        assert_eq!(one.requests, eight.requests);
+        assert_eq!(one.truth, eight.truth);
+    }
+
+    #[test]
+    fn parallel_stream_is_time_ordered() {
+        let mut config = WeblogConfig::tiny();
+        config.exec = yav_exec::ExecConfig::with_threads(4);
+        let log = WeblogGenerator::new(config).collect_parallel(&MarketConfig::default());
+        for w in log.requests.windows(2) {
+            assert!(
+                (w[0].time.minutes(), w[0].user.0) <= (w[1].time.minutes(), w[1].user.0),
+                "canonical order violated"
+            );
+        }
+        // The stream still carries detectable notifications.
+        let nurls = log
+            .requests
+            .iter()
+            .filter(|r| {
+                yav_nurl::Url::parse(&r.url)
+                    .ok()
+                    .and_then(|u| yav_nurl::NurlDetector::new().detect(&u))
+                    .is_some()
+            })
+            .count();
+        assert_eq!(nurls, log.truth.len());
+    }
+
+    #[test]
+    fn single_shard_parallel_matches_serial_modulo_order() {
+        // Tiny fits in one shard, and shard 0 is the legacy market, so
+        // the parallel stream is the serial stream re-sorted.
+        let gen = WeblogGenerator::new(WeblogConfig::tiny());
+        assert_eq!(gen.shard_count(), 1);
+        let mut serial = {
+            let mut market = Market::new(MarketConfig::default());
+            gen.collect(&mut market)
+        };
+        serial.sort_canonical();
+        let parallel = gen.collect_parallel(&MarketConfig::default());
+        assert_eq!(serial.requests, parallel.requests);
+        assert_eq!(serial.truth, parallel.truth);
     }
 
     #[test]

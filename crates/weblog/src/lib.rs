@@ -33,6 +33,6 @@ pub mod publisher;
 
 pub use config::WeblogConfig;
 pub use event::{GroundTruth, HttpRequest};
-pub use generator::{Weblog, WeblogGenerator};
+pub use generator::{Weblog, WeblogGenerator, USERS_PER_SHARD};
 pub use population::{Panel, PanelUser};
 pub use publisher::{Publisher, PublisherUniverse};

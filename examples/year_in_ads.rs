@@ -8,27 +8,32 @@
 //! Analyzer, trains the PME from a probing campaign, applies the §6.2
 //! time-shift correction and prints the per-user cost distribution —
 //! the data behind Figures 17–19.
+//!
+//! The whole pipeline runs on the `yav-exec` worker pool — generation,
+//! analysis and campaigns shard across every core, and the end-of-run
+//! telemetry report shows the `exec.*` pool metrics. The printed numbers
+//! are identical for any thread count.
 
+use your_ad_value::analyzer::analyze_parallel;
 use your_ad_value::core::methodology::PopulationSummary;
 use your_ad_value::prelude::*;
 use your_ad_value::stats::summary::median;
 
 fn main() {
     // --- Dataset D (scaled): generate and analyse ----------------------
-    let generator = WeblogGenerator::new(WeblogConfig::small());
-    let mut market = Market::new(MarketConfig::default());
-    let mut analyzer = WeblogAnalyzer::new();
-    let mut requests = 0u64;
-    println!("generating and analysing the panel trace …");
-    generator.run(
-        &mut market,
-        |req| {
-            requests += 1;
-            analyzer.ingest(&req);
-        },
-        |_| {},
+    let exec = ExecConfig::default();
+    let generator = WeblogGenerator::new(WeblogConfig {
+        exec,
+        ..WeblogConfig::small()
+    });
+    let market_config = MarketConfig::default();
+    println!(
+        "generating and analysing the panel trace on {} thread(s) …",
+        exec.threads()
     );
-    let report = analyzer.finish();
+    let log = generator.collect_parallel(&market_config);
+    let requests = log.requests.len();
+    let report = analyze_parallel(&log.requests, &exec).report;
     println!(
         "  {requests} HTTP requests | {} users | {} RTB impressions detected",
         report.users_seen,
@@ -47,8 +52,10 @@ fn main() {
     // --- Ground truth + model -----------------------------------------
     println!("running probing campaigns and training the PME …");
     let universe = generator.universe().clone();
-    let a1 = campaign::execute(&mut market, &universe, &Campaign::a1().scaled(60));
-    let a2 = campaign::execute(&mut market, &universe, &Campaign::a2().scaled(40));
+    let a1 =
+        campaign::execute_parallel(&market_config, &universe, &Campaign::a1().scaled(60), &exec);
+    let a2 =
+        campaign::execute_parallel(&market_config, &universe, &Campaign::a2().scaled(40), &exec);
     let pme = Pme::new();
     pme.train_from_campaign(&a1.rows, &TrainConfig::quick());
     let model = pme.current_model().expect("trained");

@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | vocabulary | [`types`] | prices, simulated time, geography, formats, entities |
 //! | substrate | [`stats`] | quantiles, CDFs, KS tests, sample-size maths |
+//! | substrate | [`exec`] | deterministic worker pools, shard seed derivation |
 //! | substrate | [`crypto`] | SHA-256/HMAC and the 28-byte encrypted-price token |
 //! | wire | [`nurl`] | notification-URL templates, detection, price extraction |
 //! | market | [`auction`] | publishers, exchanges, DSPs, Vickrey auctions |
@@ -59,6 +60,7 @@ pub use yav_auction as auction;
 pub use yav_campaign as campaign;
 pub use yav_core as core;
 pub use yav_crypto as crypto;
+pub use yav_exec as exec;
 pub use yav_ml as ml;
 pub use yav_nurl as nurl;
 pub use yav_pme as pme;
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use yav_auction::{Market, MarketConfig};
     pub use yav_campaign::Campaign;
     pub use yav_core::{per_user_costs, Ledger, UserCost, YourAdValue};
+    pub use yav_exec::ExecConfig;
     pub use yav_pme::model::TrainConfig;
     pub use yav_pme::{Pme, TimeShift};
     pub use yav_telemetry as telemetry;
