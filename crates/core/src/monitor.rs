@@ -13,7 +13,7 @@ use yav_analyzer::ua::parse_user_agent;
 use yav_nurl::fields::PricePayload;
 use yav_nurl::{template, Url};
 use yav_pme::engine::{ContributionBatch, Pme};
-use yav_pme::model::{ClientModel, CoreContext};
+use yav_pme::model::{ClientModel, CoreContext, EstimateScratch};
 use yav_types::{City, PriceVisibility, SimTime};
 use yav_weblog::HttpRequest;
 
@@ -33,6 +33,10 @@ pub struct YourAdValue {
     skipped_no_model: u64,
     /// Observed URLs dropped, by reason.
     drops: DropStats,
+    /// Reusable buffers + telemetry handles for per-impression
+    /// estimation (the extension values every encrypted notification, so
+    /// the estimate path must not allocate).
+    scratch: EstimateScratch,
 }
 
 /// Why observed requests were silently discarded — the monitor's own
@@ -40,10 +44,11 @@ pub struct YourAdValue {
 /// vanish without a trace).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DropStats {
-    /// URLs that failed to parse, or notification endpoints with a
-    /// malformed payload.
+    /// URLs with no parseable scheme, candidate URLs that failed the
+    /// full parse, or notification endpoints with a malformed payload.
     pub parse_error: u64,
-    /// Well-formed URLs that are ordinary traffic, not notifications.
+    /// Ordinary traffic: URLs on non-exchange hosts (fast-rejected
+    /// before full parsing) or exchange URLs that are not notifications.
     pub not_notification: u64,
 }
 
@@ -82,6 +87,23 @@ impl YourAdValue {
     /// Observes one HTTP request. Returns the stored event if it was a
     /// winning-price notification.
     pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
+        // Fast-reject before the allocating full parse: most monitored
+        // traffic is not an nURL. Scheme-less strings could never parse
+        // (a parse error); anything on a non-exchange host is ordinary
+        // traffic regardless of whether it would parse.
+        if let Err(reject) = yav_nurl::screen(&req.url) {
+            match reject {
+                yav_nurl::FastReject::Scheme => {
+                    self.drops.parse_error += 1;
+                    yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
+                }
+                yav_nurl::FastReject::Host => {
+                    self.drops.not_notification += 1;
+                    yav_telemetry::counter("core.monitor.nurl.not_notification").inc();
+                }
+            }
+            return None;
+        }
         let Ok(url) = Url::parse(&req.url) else {
             self.drops.parse_error += 1;
             yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
@@ -134,7 +156,7 @@ impl YourAdValue {
                     self.pending.encrypted.push(ctx);
                     return None;
                 };
-                let estimate = model.estimate(&ctx);
+                let estimate = model.estimate_into(&ctx, &mut self.scratch);
                 self.pending.encrypted.push(ctx);
                 PriceEvent {
                     time: req.time,

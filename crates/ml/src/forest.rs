@@ -180,21 +180,52 @@ impl RandomForest {
     }
 
     /// Averaged class probabilities for one row.
+    ///
+    /// Allocates a fresh `Vec` per call — fine for training-time and
+    /// evaluation use, but on hot paths prefer
+    /// [`RandomForest::predict_proba_into`] or the flat
+    /// [`crate::CompiledForest`], which are allocation-free.
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
         let mut probs = vec![0.0f64; self.n_classes];
-        for tree in &self.trees {
-            for (c, p) in tree.predict_proba(row).iter().enumerate() {
-                probs[c] += p;
-            }
-        }
-        let n = self.trees.len() as f64;
-        probs.iter_mut().for_each(|p| *p /= n);
+        self.predict_proba_into(row, &mut probs);
         probs
     }
 
+    /// Averaged class probabilities for one row, written into `out` —
+    /// the allocation-free arena-walker path. Results are identical to
+    /// [`RandomForest::predict_proba`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n_classes`.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes, "probability buffer mismatch");
+        out.fill(0.0);
+        for tree in &self.trees {
+            for (o, p) in out.iter_mut().zip(tree.predict_proba(row)) {
+                *o += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        out.iter_mut().for_each(|p| *p /= n);
+    }
+
     /// Majority-vote class for one row.
+    ///
+    /// Allocates per call (see [`RandomForest::predict_proba`]); hot
+    /// paths should compile the forest and use
+    /// [`crate::CompiledForest::predict_into`].
     pub fn predict(&self, row: &[f64]) -> usize {
         argmax(&self.predict_proba(row))
+    }
+
+    /// Lowers this forest into its flat struct-of-arrays inference form.
+    pub fn compile(&self) -> crate::CompiledForest {
+        crate::CompiledForest::compile(self)
+    }
+
+    /// The trained trees, for lowering.
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
     }
 
     /// Out-of-bag error estimate from training.

@@ -17,6 +17,9 @@
 //!   client, so it is fully serde-serialisable);
 //! * [`forest`] — bagged random forests with OOB error and impurity
 //!   importances, trained in parallel with crossbeam scoped threads;
+//! * [`compiled`] — the flat struct-of-arrays inference form a trained
+//!   forest is lowered into for allocation-free, cache-blocked
+//!   prediction on the client hot path;
 //! * [`metrics`] — confusion-matrix statistics and AUCROC;
 //! * [`cv`] — stratified k-fold cross-validation;
 //! * [`linreg`] — the OLS baseline the paper discarded.
@@ -26,6 +29,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod discretize;
@@ -34,6 +38,7 @@ pub mod linreg;
 pub mod metrics;
 pub mod tree;
 
+pub use compiled::CompiledForest;
 pub use cv::{cross_validate, CvReport};
 pub use dataset::Dataset;
 pub use discretize::Discretizer;

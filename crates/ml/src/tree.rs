@@ -5,6 +5,16 @@
 //! at each node, candidate features (optionally a random subset — that is
 //! the random-forest hook) are scanned over sorted value midpoints for the
 //! split with the best Gini-impurity decrease.
+//!
+//! Training presorts every feature column **once per tree** and keeps the
+//! per-feature orderings partitioned alongside the samples, so no node
+//! ever re-sorts a column: `best_split` sweeps each presorted slice with
+//! running class counts in O(n·d) instead of O(n·d·log n). The fitted
+//! trees are bit-identical to the naive re-sorting implementation (kept
+//! under `#[cfg(test)]` as `reference` and pinned by equivalence tests):
+//! split gains are computed from the same integer class counts with the
+//! same float operations, and tie order within equal feature values can
+//! never change a count at a distinct-value boundary.
 
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
@@ -39,7 +49,7 @@ impl Default for TreeConfig {
 /// Tree nodes. Stored as an arena (`Vec<Node>`) with index links, which
 /// serialises compactly and keeps prediction cache-friendly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     /// Internal split: `row[feature] <= threshold` goes left.
     Split {
         /// Feature column index.
@@ -69,6 +79,115 @@ pub struct DecisionTree {
     importances: Vec<f64>,
 }
 
+/// Per-tree training frame: the selected rows materialised column-major
+/// with every feature column presorted **once**, plus the scratch buffers
+/// the recursion reuses. A node is a range `[lo, hi)` shared by all
+/// per-feature orderings: partitioning a node stably splits each ordering
+/// into a left block and a right block, so children stay sorted without
+/// ever sorting again.
+struct Frame {
+    /// Samples in the frame (bootstrap duplicates count separately).
+    n: usize,
+    /// Feature columns.
+    d: usize,
+    /// Column-major values: `cols[f * n + s]` is sample `s` on feature `f`.
+    cols: Vec<f64>,
+    /// Class label per sample.
+    labels: Vec<usize>,
+    /// Per-feature sample orderings: `order[f * n + k]` is the sample id
+    /// ranked `k` by feature `f`'s value (stable within ties).
+    order: Vec<u32>,
+    /// Stable-partition spill buffer.
+    scratch: Vec<u32>,
+    /// Per-sample side of the split currently being applied.
+    goes_left: Vec<bool>,
+    /// Running left-of-threshold class counts for `best_split`.
+    left_counts: Vec<usize>,
+    /// Feature roster reused by the per-node shuffle.
+    roster: Vec<usize>,
+}
+
+impl Frame {
+    fn new(data: &Dataset, indices: &[usize]) -> Frame {
+        let n = indices.len();
+        let d = data.n_features();
+        let mut cols = vec![0.0f64; n * d];
+        let mut labels = Vec::with_capacity(n);
+        for (s, &i) in indices.iter().enumerate() {
+            let row = data.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                cols[f * n + s] = v;
+            }
+            labels.push(data.label(i));
+        }
+        let mut order = Vec::with_capacity(n * d);
+        for f in 0..d {
+            let col = &cols[f * n..(f + 1) * n];
+            let mut o: Vec<u32> = (0..n as u32).collect();
+            o.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+            order.extend_from_slice(&o);
+        }
+        Frame {
+            n,
+            d,
+            cols,
+            labels,
+            order,
+            scratch: vec![0; n],
+            goes_left: vec![false; n],
+            left_counts: vec![0; data.n_classes()],
+            roster: (0..d).collect(),
+        }
+    }
+
+    /// Class counts over the node `[lo, hi)` (read off feature 0's
+    /// ordering — every feature's slice holds exactly the node's samples).
+    fn node_counts(&self, lo: usize, hi: usize, counts: &mut [usize]) {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &s in &self.order[lo..hi] {
+            counts[self.labels[s as usize]] += 1;
+        }
+    }
+
+    /// Splits the node `[lo, hi)` on `row[feature] <= threshold`, stably
+    /// partitioning every per-feature ordering so both children remain
+    /// presorted. Returns the left child's size.
+    fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let n = self.n;
+        let Frame {
+            cols,
+            order,
+            scratch,
+            goes_left,
+            ..
+        } = self;
+        let col = &cols[feature * n..(feature + 1) * n];
+        let mut n_left = 0usize;
+        for &s in &order[feature * n + lo..feature * n + hi] {
+            let left = col[s as usize] <= threshold;
+            goes_left[s as usize] = left;
+            n_left += left as usize;
+        }
+        for f in 0..self.d {
+            let slice = &mut order[f * n + lo..f * n + hi];
+            let mut w = 0usize;
+            let mut spilled = 0usize;
+            for i in 0..slice.len() {
+                let s = slice[i];
+                if goes_left[s as usize] {
+                    slice[w] = s;
+                    w += 1;
+                } else {
+                    scratch[spilled] = s;
+                    spilled += 1;
+                }
+            }
+            slice[w..].copy_from_slice(&scratch[..spilled]);
+        }
+        n_left
+    }
+}
+
 impl DecisionTree {
     /// Fits a tree on (a subset of) a dataset. `indices` selects the
     /// training rows (bootstrap samples pass duplicates freely); `rng`
@@ -86,46 +205,47 @@ impl DecisionTree {
             n_features: data.n_features(),
             importances: vec![0.0; data.n_features()],
         };
-        let mut idx = indices.to_vec();
-        tree.build(data, &mut idx, 0, config, rng);
+        let mut frame = Frame::new(data, indices);
+        tree.build(&mut frame, 0, indices.len(), 0, config, rng);
         tree
     }
 
-    /// Recursive node construction over `indices` (reordered in place);
+    /// Read-only view of the node arena, for the compiled lowering.
+    pub(crate) fn arena(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Recursive node construction over the frame range `[lo, hi)`;
     /// returns the node's arena index.
     fn build(
         &mut self,
-        data: &Dataset,
-        indices: &mut [usize],
+        frame: &mut Frame,
+        lo: usize,
+        hi: usize,
         depth: usize,
         config: &TreeConfig,
         rng: &mut StdRng,
     ) -> usize {
-        let counts = class_counts(data, indices, self.n_classes);
-        let node_impurity = gini(&counts, indices.len());
+        let n = hi - lo;
+        let mut counts = vec![0usize; self.n_classes];
+        frame.node_counts(lo, hi, &mut counts);
+        let node_impurity = gini(&counts, n);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
 
-        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
-            return self.push_leaf(&counts, indices.len());
+        if pure || depth >= config.max_depth || n < config.min_samples_split {
+            return self.push_leaf(&counts, n);
         }
 
         let Some((feature, threshold, gain)) =
-            self.best_split(data, indices, node_impurity, config, rng)
+            self.best_split(frame, lo, hi, &counts, node_impurity, config, rng)
         else {
-            return self.push_leaf(&counts, indices.len());
+            return self.push_leaf(&counts, n);
         };
 
-        self.importances[feature] += gain * indices.len() as f64;
+        self.importances[feature] += gain * n as f64;
 
-        // Partition in place.
-        let mut mid = 0usize;
-        for i in 0..indices.len() {
-            if data.row(indices[i])[feature] <= threshold {
-                indices.swap(i, mid);
-                mid += 1;
-            }
-        }
-        debug_assert!(mid > 0 && mid < indices.len());
+        let n_left = frame.partition(lo, hi, feature, threshold);
+        debug_assert!(n_left > 0 && n_left < n);
 
         let node_idx = self.nodes.len();
         self.nodes.push(Node::Split {
@@ -134,12 +254,8 @@ impl DecisionTree {
             left: 0,
             right: 0,
         });
-        let (l, r) = {
-            let (left_idx, right_idx) = indices.split_at_mut(mid);
-            let l = self.build(data, left_idx, depth + 1, config, rng);
-            let r = self.build(data, right_idx, depth + 1, config, rng);
-            (l, r)
-        };
+        let l = self.build(frame, lo, lo + n_left, depth + 1, config, rng);
+        let r = self.build(frame, lo + n_left, hi, depth + 1, config, rng);
         if let Node::Split { left, right, .. } = &mut self.nodes[node_idx] {
             *left = l;
             *right = r;
@@ -153,63 +269,65 @@ impl DecisionTree {
         self.nodes.len() - 1
     }
 
-    /// Finds the best (feature, threshold) by Gini gain; `None` if no
-    /// split satisfies the leaf-size constraints.
+    /// Finds the best (feature, threshold) by Gini gain over the node
+    /// `[lo, hi)`; `None` if no split satisfies the leaf-size
+    /// constraints. Each candidate feature is swept over its *presorted*
+    /// slice with running class counts — no sorting here.
+    #[allow(clippy::too_many_arguments)]
     fn best_split(
         &self,
-        data: &Dataset,
-        indices: &[usize],
+        frame: &mut Frame,
+        lo: usize,
+        hi: usize,
+        total_counts: &[usize],
         node_impurity: f64,
         config: &TreeConfig,
         rng: &mut StdRng,
     ) -> Option<(usize, f64, f64)> {
-        let all: Vec<usize> = (0..self.n_features).collect();
         // With feature subsampling, order the *full* roster with the random
         // subset first: the scan below stops after the subset if it found a
         // valid split, but keeps drawing further features when it did not
         // (sklearn semantics — a node only becomes a leaf when no feature
         // at all can split it).
-        let (features, subset_len): (Vec<usize>, usize) = match config.features_per_split {
-            Some(m) if m < all.len() => {
-                let mut shuffled = all.clone();
-                for i in 0..shuffled.len() {
-                    let j = rng.gen_range(i..shuffled.len());
-                    shuffled.swap(i, j);
+        // The roster always restarts from the identity permutation so the
+        // shuffle consumes the rng exactly as a fresh `(0..d).collect()`
+        // would (the reference implementation reshuffles from scratch at
+        // every node).
+        for (i, f) in frame.roster.iter_mut().enumerate() {
+            *f = i;
+        }
+        let subset_len = match config.features_per_split {
+            Some(m) if m < frame.d => {
+                for i in 0..frame.roster.len() {
+                    let j = rng.gen_range(i..frame.roster.len());
+                    frame.roster.swap(i, j);
                 }
-                (shuffled, m)
+                m
             }
-            _ => {
-                let len = all.len();
-                (all, len)
-            }
+            _ => frame.d,
         };
 
-        let n = indices.len();
+        let n = hi - lo;
+        let stride = frame.n;
         let mut best: Option<(usize, f64, f64)> = None;
-        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
-        for (fi, &f) in features.iter().enumerate() {
+        for fi in 0..frame.roster.len() {
             if fi >= subset_len && best.is_some() {
                 break; // subset exhausted and a valid split exists
             }
-            pairs.clear();
-            pairs.extend(indices.iter().map(|&i| (data.row(i)[f], data.label(i))));
-            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
-            if pairs[0].0 == pairs[n - 1].0 {
+            let f = frame.roster[fi];
+            let col = &frame.cols[f * stride..(f + 1) * stride];
+            let ord = &frame.order[f * stride + lo..f * stride + hi];
+            if col[ord[0] as usize] == col[ord[n - 1] as usize] {
                 continue; // constant feature here
             }
 
-            let mut left_counts = vec![0usize; self.n_classes];
-            let total_counts = {
-                let mut t = vec![0usize; self.n_classes];
-                for &(_, l) in pairs.iter() {
-                    t[l] += 1;
-                }
-                t
-            };
+            let left_counts = &mut frame.left_counts;
+            left_counts.iter_mut().for_each(|c| *c = 0);
             for split_at in 1..n {
-                left_counts[pairs[split_at - 1].1] += 1;
+                let prev = ord[split_at - 1] as usize;
+                left_counts[frame.labels[prev]] += 1;
                 // Only split between distinct values.
-                if pairs[split_at - 1].0 == pairs[split_at].0 {
+                if col[prev] == col[ord[split_at] as usize] {
                     continue;
                 }
                 let n_left = split_at;
@@ -217,17 +335,12 @@ impl DecisionTree {
                 if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
                     continue;
                 }
-                let right_counts: Vec<usize> = total_counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(&t, &l)| t - l)
-                    .collect();
-                let weighted = (n_left as f64 * gini(&left_counts, n_left)
-                    + n_right as f64 * gini(&right_counts, n_right))
+                let weighted = (n_left as f64 * gini(left_counts, n_left)
+                    + n_right as f64 * gini_complement(total_counts, left_counts, n_right))
                     / n as f64;
                 let gain = node_impurity - weighted;
                 if gain > best.map(|(_, _, g)| g).unwrap_or(1e-12) {
-                    let threshold = (pairs[split_at - 1].0 + pairs[split_at].0) / 2.0;
+                    let threshold = (col[prev] + col[ord[split_at] as usize]) / 2.0;
                     best = Some((f, threshold, gain));
                 }
             }
@@ -306,14 +419,6 @@ pub fn argmax(xs: &[f64]) -> usize {
     best
 }
 
-fn class_counts(data: &Dataset, indices: &[usize], k: usize) -> Vec<usize> {
-    let mut counts = vec![0usize; k];
-    for &i in indices {
-        counts[data.label(i)] += 1;
-    }
-    counts
-}
-
 /// Gini impurity of a count vector.
 fn gini(counts: &[usize], n: usize) -> f64 {
     if n == 0 {
@@ -325,6 +430,184 @@ fn gini(counts: &[usize], n: usize) -> f64 {
         sum_sq += p * p;
     }
     1.0 - sum_sq
+}
+
+/// Gini impurity of `total - left` over `n_right` samples, computed
+/// without materialising the right-count vector. Performs exactly the
+/// float operations `gini(&right_counts, n_right)` would, in the same
+/// class order, so results are bit-identical to the two-vector form.
+fn gini_complement(total: &[usize], left: &[usize], n_right: usize) -> f64 {
+    if n_right == 0 {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0;
+    for (&t, &l) in total.iter().zip(left) {
+        let p = (t - l) as f64 / n_right as f64;
+        sum_sq += p * p;
+    }
+    1.0 - sum_sq
+}
+
+/// The seed (pre-presort) training algorithm, kept verbatim as the
+/// ground truth for the bit-identity equivalence tests: per node it
+/// re-collects and re-sorts every candidate feature column.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Fits a tree exactly as the seed implementation did.
+    pub fn fit(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> DecisionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+            importances: vec![0.0; data.n_features()],
+        };
+        let mut idx = indices.to_vec();
+        build(&mut tree, data, &mut idx, 0, config, rng);
+        tree
+    }
+
+    fn class_counts(data: &Dataset, indices: &[usize], k: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; k];
+        for &i in indices {
+            counts[data.label(i)] += 1;
+        }
+        counts
+    }
+
+    fn build(
+        tree: &mut DecisionTree,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = class_counts(data, indices, tree.n_classes);
+        let node_impurity = gini(&counts, indices.len());
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+
+        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+            return tree.push_leaf(&counts, indices.len());
+        }
+
+        let Some((feature, threshold, gain)) =
+            best_split(tree, data, indices, node_impurity, config, rng)
+        else {
+            return tree.push_leaf(&counts, indices.len());
+        };
+
+        tree.importances[feature] += gain * indices.len() as f64;
+
+        let mut mid = 0usize;
+        for i in 0..indices.len() {
+            if data.row(indices[i])[feature] <= threshold {
+                indices.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < indices.len());
+
+        let node_idx = tree.nodes.len();
+        tree.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
+        let (l, r) = {
+            let (left_idx, right_idx) = indices.split_at_mut(mid);
+            let l = build(tree, data, left_idx, depth + 1, config, rng);
+            let r = build(tree, data, right_idx, depth + 1, config, rng);
+            (l, r)
+        };
+        if let Node::Split { left, right, .. } = &mut tree.nodes[node_idx] {
+            *left = l;
+            *right = r;
+        }
+        node_idx
+    }
+
+    fn best_split(
+        tree: &DecisionTree,
+        data: &Dataset,
+        indices: &[usize],
+        node_impurity: f64,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64, f64)> {
+        let all: Vec<usize> = (0..tree.n_features).collect();
+        let (features, subset_len): (Vec<usize>, usize) = match config.features_per_split {
+            Some(m) if m < all.len() => {
+                let mut shuffled = all.clone();
+                for i in 0..shuffled.len() {
+                    let j = rng.gen_range(i..shuffled.len());
+                    shuffled.swap(i, j);
+                }
+                (shuffled, m)
+            }
+            _ => {
+                let len = all.len();
+                (all, len)
+            }
+        };
+
+        let n = indices.len();
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for (fi, &f) in features.iter().enumerate() {
+            if fi >= subset_len && best.is_some() {
+                break;
+            }
+            pairs.clear();
+            pairs.extend(indices.iter().map(|&i| (data.row(i)[f], data.label(i))));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if pairs[0].0 == pairs[n - 1].0 {
+                continue;
+            }
+
+            let mut left_counts = vec![0usize; tree.n_classes];
+            let total_counts = {
+                let mut t = vec![0usize; tree.n_classes];
+                for &(_, l) in pairs.iter() {
+                    t[l] += 1;
+                }
+                t
+            };
+            for split_at in 1..n {
+                left_counts[pairs[split_at - 1].1] += 1;
+                if pairs[split_at - 1].0 == pairs[split_at].0 {
+                    continue;
+                }
+                let n_left = split_at;
+                let n_right = n - split_at;
+                if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+                    continue;
+                }
+                let right_counts: Vec<usize> = total_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                    + n_right as f64 * gini(&right_counts, n_right))
+                    / n as f64;
+                let gain = node_impurity - weighted;
+                if gain > best.map(|(_, _, g)| g).unwrap_or(1e-12) {
+                    let threshold = (pairs[split_at - 1].0 + pairs[split_at].0) / 2.0;
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +747,89 @@ mod tests {
     fn argmax_first_tie_wins() {
         assert_eq!(argmax(&[0.3, 0.3, 0.2]), 0);
         assert_eq!(argmax(&[0.1, 0.5, 0.4]), 1);
+    }
+
+    /// A messier multi-class dataset with ties, duplicated rows and a
+    /// constant column — the shapes that exercise the presorted sweep's
+    /// corner cases.
+    fn gnarly_dataset(n: usize, n_classes: usize, seed: u64) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = ((i as u64).wrapping_mul(seed | 1) % 23) as f64; // heavy ties
+                let b = ((i * 31 + seed as usize) % 101) as f64 / 7.0;
+                let c = 5.0; // constant
+                let d = ((i / 3) % 13) as f64; // duplicated in runs of 3
+                vec![a, b, c, d]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|i| (i.wrapping_mul(7) + seed as usize) % n_classes)
+            .collect();
+        Dataset::new(
+            rows,
+            labels,
+            n_classes,
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        )
+    }
+
+    /// The presorted trainer must produce trees bit-identical to the
+    /// seed implementation (same nodes, same thresholds, same
+    /// importances) across depths, leaf constraints, class counts,
+    /// feature subsampling and bootstrap duplicates.
+    #[test]
+    fn presorted_training_matches_reference_bit_for_bit() {
+        let configs = [
+            TreeConfig::default(),
+            TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            TreeConfig {
+                min_samples_leaf: 9,
+                min_samples_split: 20,
+                ..TreeConfig::default()
+            },
+            TreeConfig {
+                features_per_split: Some(1),
+                ..TreeConfig::default()
+            },
+            TreeConfig {
+                features_per_split: Some(2),
+                max_depth: 30,
+                ..TreeConfig::default()
+            },
+        ];
+        for seed in [1u64, 7, 42] {
+            for n_classes in [2usize, 3, 5] {
+                let data = gnarly_dataset(180, n_classes, seed);
+                // Bootstrap-style index list with duplicates.
+                let indices: Vec<usize> = (0..data.len())
+                    .map(|i| (i.wrapping_mul(13) + seed as usize) % data.len())
+                    .collect();
+                for config in &configs {
+                    let mut rng_a = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                    let mut rng_b = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                    let fast = DecisionTree::fit(&data, &indices, config, &mut rng_a);
+                    let slow = reference::fit(&data, &indices, config, &mut rng_b);
+                    assert_eq!(
+                        fast, slow,
+                        "presorted != reference for seed {seed}, k {n_classes}, {config:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_training_matches_reference_on_xor() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let fast = DecisionTree::fit(&data, &idx, &TreeConfig::default(), &mut rng_a);
+        let slow = reference::fit(&data, &idx, &TreeConfig::default(), &mut rng_b);
+        assert_eq!(fast, slow);
     }
 }
 

@@ -50,6 +50,52 @@ pub struct Detection {
     pub bidder_domain: Option<String>,
 }
 
+/// Outcome of [`screen`]'s cheap rejection of a raw URL string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastReject {
+    /// No `http://`/`https://` prefix — [`Url::parse`] could never
+    /// accept it.
+    Scheme,
+    /// Has a scheme, but the host is not an exchange notification
+    /// domain — ordinary traffic.
+    Host,
+}
+
+/// Allocation-free pre-screen over a raw URL string: `Ok(())` only when
+/// the URL could still be a winning-price notification (supported scheme
+/// and a known exchange notification host). Most monitored traffic is
+/// *not* an nURL, and the full [`Url::parse`] allocates host/path/query
+/// strings per call — callers on the hot path screen first and only
+/// parse survivors.
+///
+/// Mirrors [`Url::parse`]'s authority handling (authority ends at the
+/// first `/`, host at the first `:`), so a candidate's subsequent full
+/// parse sees the same host.
+pub fn screen(raw: &str) -> Result<(), FastReject> {
+    let rest = if let Some(r) = raw.strip_prefix("https://") {
+        r
+    } else if let Some(r) = raw.strip_prefix("http://") {
+        r
+    } else {
+        return Err(FastReject::Scheme);
+    };
+    let authority = rest.split('/').next().unwrap_or(rest);
+    let host = authority.split(':').next().unwrap_or("");
+    if Adx::ALL
+        .iter()
+        .any(|a| host.eq_ignore_ascii_case(a.domain()))
+    {
+        Ok(())
+    } else {
+        Err(FastReject::Host)
+    }
+}
+
+/// True when [`screen`] accepts `raw` — the one-word form.
+pub fn is_candidate(raw: &str) -> bool {
+    screen(raw).is_ok()
+}
+
 /// Stateless detector around the built-in macro list.
 ///
 /// Construction is cheap; hold one per analysis pass.
@@ -82,6 +128,14 @@ impl NurlDetector {
             price,
             bidder_domain: url.query("bidder").map(str::to_owned),
         })
+    }
+
+    /// Classifies a raw URL string, fast-rejecting non-candidates via
+    /// [`screen`] before any parse allocation. Returns `None` for
+    /// ordinary traffic and for URLs that do not parse.
+    pub fn detect_str(&self, raw: &str) -> Option<Detection> {
+        screen(raw).ok()?;
+        self.detect(&Url::parse(raw).ok()?)
     }
 
     /// Shape-classifies a raw price value: decimal ⇒ cleartext; 28-byte
@@ -145,6 +199,49 @@ mod tests {
             let det = NurlDetector::new().detect(&emit(&fields)).unwrap();
             assert!(det.price.is_encrypted(), "{adx}");
         }
+    }
+
+    #[test]
+    fn screen_admits_every_exchange_and_rejects_the_rest() {
+        for adx in Adx::ALL {
+            let url = format!("http://{}/x", adx.domain());
+            assert_eq!(screen(&url), Ok(()), "{url}");
+            // Case-insensitive, port-tolerant, path-less — all shapes the
+            // full parser would accept with the same host.
+            let shouty = format!("https://{}:8080", adx.domain().to_ascii_uppercase());
+            assert_eq!(screen(&shouty), Ok(()), "{shouty}");
+        }
+        assert_eq!(screen("definitely not a url"), Err(FastReject::Scheme));
+        assert_eq!(screen("ftp://rtb.openx.net/x"), Err(FastReject::Scheme));
+        assert_eq!(
+            screen("http://www.elmundo.es/index.html"),
+            Err(FastReject::Host)
+        );
+        // A subdomain of an exchange domain is NOT the notification host;
+        // the full detector matches hosts exactly, and so must the screen.
+        assert_eq!(screen("http://evil.rtb.openx.net/x"), Err(FastReject::Host));
+    }
+
+    #[test]
+    fn screen_agrees_with_the_full_detector() {
+        // The screen may only reject URLs the detector would also reject:
+        // every detectable emission must survive it.
+        let d = NurlDetector::new();
+        for adx in [Adx::MoPub, Adx::DoubleClick, Adx::Rubicon] {
+            let fields = NurlFields::minimal(
+                adx,
+                DspId(2),
+                PricePayload::Cleartext(Cpm::from_f64(0.31)),
+                ImpressionId(9),
+                AuctionId(9),
+            );
+            let raw = emit(&fields).to_string();
+            assert!(is_candidate(&raw), "{raw}");
+            assert_eq!(d.detect_str(&raw), d.detect(&Url::parse(&raw).unwrap()));
+            assert!(d.detect_str(&raw).is_some());
+        }
+        assert_eq!(d.detect_str("http://cdn.example.com/lib.js"), None);
+        assert_eq!(d.detect_str("nonsense"), None);
     }
 
     #[test]

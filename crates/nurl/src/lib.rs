@@ -28,7 +28,7 @@ pub mod fields;
 pub mod template;
 pub mod url;
 
-pub use detect::{DetectedPrice, NurlDetector};
+pub use detect::{is_candidate, screen, DetectedPrice, FastReject, NurlDetector};
 pub use fields::{NurlFields, PricePayload};
 pub use template::{emit, parse, NurlParseError};
 pub use url::{Url, UrlParseError};

@@ -140,6 +140,34 @@ impl Pme {
         self.state.read().version
     }
 
+    /// Server-side batch estimation over the full compiled forest:
+    /// encodes every context into one flat row-major matrix and runs the
+    /// cache-blocked [`yav_ml::CompiledForest::predict_batch`]. Returns
+    /// one CPM estimate per context, or `None` when no model is trained.
+    /// Feeds the same `pme.predictions_total` counter as the client path.
+    pub fn estimate_batch(&self, contexts: &[CoreContext]) -> Option<Vec<Cpm>> {
+        let state = self.state.read();
+        let model = state.model.as_ref()?;
+        let _span = yav_telemetry::span!("pme.engine.estimate_batch");
+        let with_publisher = model.client.with_publisher;
+        let n_features = model.compiled.n_features();
+        let mut flat = Vec::with_capacity(contexts.len() * n_features);
+        let mut row = Vec::with_capacity(n_features);
+        for ctx in contexts {
+            model::encode_into(ctx, with_publisher, &mut row);
+            flat.extend_from_slice(&row);
+        }
+        let classes = model.compiled.predict_batch(&flat, n_features);
+        yav_telemetry::counter("pme.predictions_total").add(classes.len() as u64);
+        let prices = &model.client.class_prices;
+        Some(
+            classes
+                .into_iter()
+                .map(|c| Cpm::from_f64(prices[c]))
+                .collect(),
+        )
+    }
+
     /// Accepts an anonymous contribution batch.
     pub fn contribute(&self, batch: ContributionBatch) {
         yav_telemetry::counter("pme.engine.rows_contributed").add(batch.len() as u64);
@@ -357,6 +385,37 @@ mod extension_tests {
     fn no_baseline_means_no_trigger() {
         let pme = Pme::new();
         assert!(pme.recalibration_due(&[1.0, 2.0, 3.0], 0.05).is_none());
+    }
+
+    #[test]
+    fn batch_estimation_runs_compiled_forest() {
+        let pme = Pme::new();
+        assert!(pme.estimate_batch(&[ctx()]).is_none());
+        pme.train_from_campaign(&rows(), &TrainConfig::quick());
+        let contexts: Vec<CoreContext> = (0..150).map(|_| ctx()).collect();
+        let est = pme.estimate_batch(&contexts).unwrap();
+        assert_eq!(est.len(), 150);
+        assert!(est.iter().all(|e| e.is_positive()));
+        // Identical contexts must estimate identically.
+        assert!(est.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn prediction_telemetry_is_exported() {
+        let pme = Pme::new();
+        pme.train_from_campaign(&rows(), &TrainConfig::quick());
+        let model = pme.current_model().unwrap();
+        let mut scratch = crate::model::EstimateScratch::new();
+        let before = yav_telemetry::counter("pme.predictions_total").get();
+        let est = model.estimate_into(&ctx(), &mut scratch);
+        // The scratch path and the allocating path agree.
+        assert_eq!(est, model.estimate(&ctx()));
+        assert!(yav_telemetry::counter("pme.predictions_total").get() > before);
+        assert!(yav_telemetry::histogram("pme.predict.us").count() > 0);
+        let prom = yav_telemetry::prometheus_text();
+        assert!(prom.contains("yav_pme_predictions_total"), "{prom}");
+        assert!(prom.contains("yav_pme_predict_us"), "{prom}");
+        assert!(yav_telemetry::json_snapshot().contains("pme.predict.us"));
     }
 
     #[test]

@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 use yav_analyzer::DetectedImpression;
 use yav_campaign::ProbeImpression;
 use yav_ml::{
-    cross_validate, CvReport, Dataset, DecisionTree, Discretizer, LinearRegression, RandomForest,
-    RandomForestConfig,
+    cross_validate, CompiledForest, CvReport, Dataset, DecisionTree, Discretizer, LinearRegression,
+    RandomForest, RandomForestConfig,
 };
 use yav_types::{
     AdSlotSize, Adx, City, Cpm, DeviceType, IabCategory, InteractionType, Os, SimTime,
@@ -86,7 +86,16 @@ const PUBLISHER_BUCKETS: u64 = 256;
 /// Encodes a context into the core feature row. Ordinal encoding keeps
 /// the client model tiny; trees carve the categorical ranges themselves.
 pub fn encode(ctx: &CoreContext, with_publisher: bool) -> Vec<f64> {
-    let mut row = vec![
+    let mut row = Vec::with_capacity(13);
+    encode_into(ctx, with_publisher, &mut row);
+    row
+}
+
+/// Encodes a context into `out`, reusing its allocation — the hot-path
+/// form of [`encode`] (same row, same order).
+pub fn encode_into(ctx: &CoreContext, with_publisher: bool, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend_from_slice(&[
         ctx.city.map(|c| c.index() as f64).unwrap_or(10.0),
         ctx.time.time_of_day() as usize as f64,
         ctx.time.day_of_week().index() as f64,
@@ -107,16 +116,15 @@ pub fn encode(ctx: &CoreContext, with_publisher: bool) -> Vec<f64> {
         ctx.format.map(|f| f.height() as f64).unwrap_or(0.0),
         ctx.adx.index() as f64,
         ctx.iab.map(|c| c.index() as f64).unwrap_or(18.0),
-    ];
+    ]);
     if with_publisher {
         let bucket = ctx
             .publisher
             .as_deref()
             .map(|p| fxhash(p) % PUBLISHER_BUCKETS)
             .unwrap_or(PUBLISHER_BUCKETS);
-        row.push(bucket as f64);
+        out.push(bucket as f64);
     }
-    row
 }
 
 /// Feature names matching [`encode`]'s order.
@@ -216,6 +224,9 @@ pub struct TrainedModel {
     pub discretizer: Discretizer,
     /// The forest (server-side estimator).
     pub forest: RandomForest,
+    /// The forest lowered to its flat inference form — what
+    /// [`crate::Pme`]'s batch estimation runs on.
+    pub compiled: CompiledForest,
     /// Cross-validation metrics (the §5.4 table).
     pub cv: CvReport,
     /// The shipped client artifact.
@@ -235,20 +246,69 @@ pub struct ClientModel {
     pub version: u32,
     /// Whether rows must be encoded with the publisher bucket.
     pub with_publisher: bool,
-    /// The decision tree.
+    /// The decision tree (arena form, kept for inspection/serde clients).
     pub tree: DecisionTree,
+    /// The same tree lowered to flat form — what the client walks.
+    pub compiled: CompiledForest,
     /// The price discretiser.
     pub discretizer: Discretizer,
     /// Representative CPM per class, precomputed for the client.
     pub class_prices: Vec<f64>,
 }
 
+/// Reusable row/probability buffers plus pre-resolved telemetry handles
+/// for [`ClientModel::estimate_into`] — the allocation-free estimation
+/// path. Looking metric handles up by name costs a registry lock per
+/// event; a long-lived scratch pays it once.
+#[derive(Debug, Clone)]
+pub struct EstimateScratch {
+    row: Vec<f64>,
+    probs: Vec<f64>,
+    predictions: yav_telemetry::Counter,
+    latency_us: yav_telemetry::Histogram,
+}
+
+impl EstimateScratch {
+    /// A fresh scratch (resolves the `pme.predictions_total` counter and
+    /// `pme.predict.us` histogram once).
+    pub fn new() -> EstimateScratch {
+        EstimateScratch {
+            row: Vec::with_capacity(13),
+            probs: Vec::new(),
+            predictions: yav_telemetry::counter("pme.predictions_total"),
+            latency_us: yav_telemetry::histogram("pme.predict.us"),
+        }
+    }
+}
+
+impl Default for EstimateScratch {
+    fn default() -> EstimateScratch {
+        EstimateScratch::new()
+    }
+}
+
 impl ClientModel {
     /// Estimates a charge price for one auction context — the
-    /// `ESe(S_i)` of the paper's Equation 3.
+    /// `ESe(S_i)` of the paper's Equation 3. Allocating convenience;
+    /// per-impression callers should hold an [`EstimateScratch`] and use
+    /// [`ClientModel::estimate_into`].
     pub fn estimate(&self, ctx: &CoreContext) -> Cpm {
         let row = encode(ctx, self.with_publisher);
-        let class = self.tree.predict(&row);
+        let class = self.compiled.predict(&row);
+        Cpm::from_f64(self.class_prices[class])
+    }
+
+    /// [`ClientModel::estimate`] without per-call allocation: encodes
+    /// into the scratch row, walks the compiled tree, and records the
+    /// `pme.predict.us` latency histogram and `pme.predictions_total`
+    /// counter. Returns the identical estimate.
+    pub fn estimate_into(&self, ctx: &CoreContext, scratch: &mut EstimateScratch) -> Cpm {
+        let t0 = std::time::Instant::now();
+        encode_into(ctx, self.with_publisher, &mut scratch.row);
+        scratch.probs.resize(self.compiled.n_classes(), 0.0);
+        let class = self.compiled.predict_with(&scratch.row, &mut scratch.probs);
+        scratch.predictions.inc();
+        scratch.latency_us.observe(t0.elapsed().as_secs_f64() * 1e6);
         Cpm::from_f64(self.class_prices[class])
     }
 }
@@ -306,7 +366,9 @@ pub fn train_pairs(pairs: &[(CoreContext, f64)], config: &TrainConfig) -> Traine
         config.seed,
     );
     let forest = RandomForest::fit(&data, &config.forest);
+    let compiled = forest.compile();
     let tree = forest.representative_tree(&data).clone();
+    let client_compiled = CompiledForest::from_tree(&tree);
 
     // The §5.4 regression baseline: OLS on the same features, evaluated
     // in-sample (its failure is evident even there).
@@ -343,11 +405,13 @@ pub fn train_pairs(pairs: &[(CoreContext, f64)], config: &TrainConfig) -> Traine
             version: 0,
             with_publisher: config.with_publisher,
             tree,
+            compiled: client_compiled,
             discretizer: discretizer.clone(),
             class_prices,
         },
         discretizer,
         forest,
+        compiled,
         cv,
         trained_rows: take.len(),
         regression_baseline,
