@@ -116,6 +116,7 @@ impl AnalyzerReport {
 /// The streaming Weblog Ads Analyzer.
 pub struct WeblogAnalyzer {
     geo: GeoDb,
+    // yav-lint: allow(nondet-iteration) — keyed lookups only (entry/get/len), never iterated, so order cannot reach output; O(1) access on the per-request hot path
     users: HashMap<UserId, UserState>,
     global: GlobalState,
     report: AnalyzerReport,
@@ -133,6 +134,7 @@ impl WeblogAnalyzer {
     pub fn new() -> WeblogAnalyzer {
         WeblogAnalyzer {
             geo: GeoDb::open(),
+            // yav-lint: allow(nondet-iteration) — same map as the field above: lookup-only, never iterated
             users: HashMap::new(),
             global: GlobalState::default(),
             report: AnalyzerReport::default(),

@@ -6,15 +6,16 @@
 //! cumulative share of the *cleartext* prices observed.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use yav_types::{Adx, PriceVisibility, SimTime};
 
 /// Per-month pair and share aggregates.
 #[derive(Debug, Clone, Default)]
 pub struct PairTracker {
     /// Distinct (adx, dsp-domain, visibility) pairs per month (0-based
-    /// month index within 2015; later months clamp).
-    monthly_pairs: [HashSet<(Adx, String, PriceVisibility)>; 12],
+    /// month index within 2015; later months clamp). Ordered, so shard
+    /// merges and any enumeration are insertion-order independent.
+    monthly_pairs: [BTreeSet<(Adx, String, PriceVisibility)>; 12],
     /// RTB detections per exchange.
     adx_detections: BTreeMap<Adx, u64>,
     /// Cleartext price detections per exchange.

@@ -6,7 +6,7 @@
 //! each request in O(1) and can be snapshotted whenever an impression
 //! needs a feature vector.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 use yav_types::{Adx, City, IabCategory};
 
 /// The analyzer's running knowledge about one user.
@@ -23,9 +23,9 @@ pub struct UserState {
     /// Cookie-sync redirects.
     pub cookie_syncs: u64,
     /// Distinct publishers visited.
-    pub publishers: HashSet<String>,
+    pub publishers: BTreeSet<String>,
     /// Distinct cities observed (from geo-coded IPs).
-    pub cities: HashSet<City>,
+    pub cities: BTreeSet<City>,
     /// Requests per city (the location-history features of Table 4).
     pub city_counts: [u64; 10],
     /// Most recent city.
@@ -45,7 +45,7 @@ pub struct UserState {
     /// App-originated requests.
     pub app_requests: u64,
     /// Distinct active days.
-    pub active_days: HashSet<i64>,
+    pub active_days: BTreeSet<i64>,
 }
 
 impl UserState {
@@ -150,14 +150,16 @@ impl UserState {
 /// historical but not per-user.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalState {
-    /// Per-DSP-domain aggregates.
-    pub dsps: std::collections::HashMap<String, DspStats>,
+    /// Per-DSP-domain aggregates. Ordered maps throughout: shard merges
+    /// and any future serialization iterate in key order, so output is
+    /// structurally independent of insertion (and thread) order.
+    pub dsps: BTreeMap<String, DspStats>,
     /// Notifications seen per campaign wire-id.
-    pub campaigns: std::collections::HashMap<String, u64>,
+    pub campaigns: BTreeMap<String, u64>,
     /// Content views per publisher host.
-    pub publisher_views: std::collections::HashMap<String, u64>,
+    pub publisher_views: BTreeMap<String, u64>,
     /// Detected impressions per publisher name (as echoed in nURLs).
-    pub publisher_imps: std::collections::HashMap<String, u64>,
+    pub publisher_imps: BTreeMap<String, u64>,
     /// Detected impressions per ad-slot size, per calendar month index
     /// (0-based within 2015; later months clamp to 11).
     pub monthly_slots: [[u64; 19]; 12],
@@ -173,7 +175,7 @@ pub struct DspStats {
     /// Total notification duration (ms).
     pub duration_ms: u64,
     /// Distinct users this bidder reached.
-    pub users: HashSet<u32>,
+    pub users: BTreeSet<u32>,
     /// Encrypted notifications among `requests`.
     pub encrypted: u64,
 }

@@ -147,14 +147,15 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Distinct publishers reached (Table 3 reports ~0.2 k / ~0.3 k).
     pub fn distinct_publishers(&self) -> usize {
-        let set: std::collections::HashSet<&str> =
+        let set: std::collections::BTreeSet<&str> =
             self.rows.iter().map(|r| r.publisher.as_str()).collect();
         set.len()
     }
 
     /// Distinct IAB categories reached.
     pub fn distinct_iabs(&self) -> usize {
-        let set: std::collections::HashSet<IabCategory> = self.rows.iter().map(|r| r.iab).collect();
+        let set: std::collections::BTreeSet<IabCategory> =
+            self.rows.iter().map(|r| r.iab).collect();
         set.len()
     }
 

@@ -1,0 +1,190 @@
+//! The rule engine: diagnostics, the pluggable [`Rule`] trait, workspace
+//! file discovery, and the lint driver that applies suppressions.
+
+use crate::rules::metric_name::{MetricEntry, MetricNameRule};
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding, addressed `file:line:col`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.rel, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A token-stream rule. Rules hold state (`&mut self`) so cross-file
+/// rules like metric harvesting can accumulate.
+pub trait Rule {
+    /// The rule's kebab-case name, as used in `allow(...)`.
+    fn name(&self) -> &'static str;
+    /// Inspects one file and appends findings.
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// The result of a lint pass.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Findings that survived suppression, sorted by path then position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every telemetry metric harvested from the workspace.
+    pub metrics: Vec<MetricEntry>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints a set of prepared files with the full rule set.
+pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
+    let mut rules = crate::rules::all();
+    let mut metric_rule = MetricNameRule::new();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    for file in files {
+        for rule in &mut rules {
+            rule.check(file, &mut raw);
+        }
+        metric_rule.check(file, &mut raw);
+        for (line, why) in &file.malformed_suppressions {
+            raw.push(Diagnostic {
+                rule: "bad-suppression",
+                rel: file.rel.clone(),
+                line: *line,
+                col: 1,
+                message: why.clone(),
+            });
+        }
+    }
+
+    let by_rel: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let mut diagnostics: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            // A suppression silences the rule it names; bad-suppression
+            // findings themselves cannot be silenced.
+            d.rule == "bad-suppression"
+                || !by_rel
+                    .get(d.rel.as_str())
+                    .is_some_and(|f| f.suppressed(d.rule, d.line))
+        })
+        .collect();
+    diagnostics.sort_by(|a, b| {
+        (a.rel.as_str(), a.line, a.col, a.rule).cmp(&(b.rel.as_str(), b.line, b.col, b.rule))
+    });
+
+    LintOutcome {
+        diagnostics,
+        metrics: metric_rule.into_entries(),
+        files_scanned: files.len(),
+    }
+}
+
+/// Lints one in-memory source under an assumed identity — the fixture
+/// tests' entry point.
+pub fn lint_source(rel: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::new(rel.to_owned(), crate_name.to_owned(), kind, src);
+    lint_files(std::slice::from_ref(&file)).diagnostics
+}
+
+/// Discovers and lexes every workspace source file: `crates/*/{src,tests,
+/// benches,examples}` plus the root facade's `src/`. Shims are excluded —
+/// they are vendored stand-ins for external crates, not project code —
+/// as are `tests/fixtures/` directories (lint test data, deliberately
+/// full of violations).
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        load_package(root, &dir, &name, &mut files)?;
+    }
+    load_package(root, root, "root", &mut files)?;
+    Ok(files)
+}
+
+fn load_package(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    const TREES: [(&str, FileKind); 4] = [
+        ("src", FileKind::Source),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+        ("examples", FileKind::Example),
+    ];
+    for (sub, kind) in TREES {
+        let tree = dir.join(sub);
+        if tree.is_dir() {
+            collect_rs(root, &tree, crate_name, kind, files)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    kind: FileKind,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(root, &path, crate_name, kind, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::new(rel, crate_name.to_owned(), kind, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    let files = load_workspace(root)?;
+    Ok(lint_files(&files))
+}

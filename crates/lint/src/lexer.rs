@@ -1,0 +1,433 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build environment is offline — no `syn`, no `proc-macro2` — so the
+//! linter tokenises source itself. The lexer understands exactly as much
+//! Rust as the rules need: line and block comments (kept, for suppression
+//! parsing), string / raw-string / byte-string / char literals, lifetimes,
+//! identifiers, numbers and single-character punctuation, each with a
+//! `line:col` span. It never fails: unrecognised bytes become punctuation
+//! tokens, so a malformed file degrades to noisy tokens rather than a
+//! crashed lint pass.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `use`, `as`, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String literal of any flavour; `text` holds the inner content.
+    Str,
+    /// Char literal; `text` holds the inner content.
+    Char,
+    /// Numeric literal.
+    Number,
+    /// One punctuation character; `text` holds it.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Identifier text, literal inner content, or the punctuation char.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block), with the line it starts on. The leading
+/// `//`, `///`, `//!` or `/*` marker is stripped.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the comment markers.
+    pub text: String,
+    /// 1-based line of the comment start.
+    pub line: u32,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset of the current line's start.
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenises `src`. Infallible by construction.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col());
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while cur.peek(0).is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..cur.pos].to_owned(),
+                    line,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: tolerate
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..end.max(start)].to_owned(),
+                    line,
+                });
+            }
+            b'"' => {
+                let text = read_quoted(&mut cur, src);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => read_char_or_lifetime(&mut cur, src, &mut out.tokens, line, col),
+            b'0'..=b'9' => {
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                // Fractional part — only when followed by a digit, so
+                // `0..12` and `1.to_string()` stay three tokens.
+                if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[start..cur.pos].to_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                if let Some(text) = try_string_prefix(&mut cur, src) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..cur.pos].to_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Reads a `"..."` literal (cursor on the opening quote); returns the
+/// inner content, escapes left as written.
+fn read_quoted(cur: &mut Cursor, src: &str) -> String {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    loop {
+        match cur.peek(0) {
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                let text = src[start..cur.pos].to_owned();
+                cur.bump();
+                return text;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            None => return src[start..cur.pos].to_owned(), // unterminated
+        }
+    }
+}
+
+/// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` when the cursor
+/// sits on the prefix letter. Returns the inner content, or `None` when
+/// this is an ordinary identifier.
+fn try_string_prefix(cur: &mut Cursor, src: &str) -> Option<String> {
+    let ahead = match cur.peek(0) {
+        Some(b'b') if cur.peek(1) == Some(b'r') => 2,
+        Some(b'b') | Some(b'r') => 1,
+        _ => return None,
+    };
+    let raw = ahead == 2 || cur.peek(0) == Some(b'r');
+    match cur.peek(ahead) {
+        Some(b'"') if !raw => {
+            // b"..."
+            for _ in 0..ahead {
+                cur.bump();
+            }
+            Some(read_quoted(cur, src))
+        }
+        Some(b'"') | Some(b'#') if raw => {
+            let mut hashes = 0usize;
+            while cur.peek(ahead + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if cur.peek(ahead + hashes) != Some(b'"') {
+                return None; // `r#ident` raw identifier
+            }
+            for _ in 0..(ahead + hashes + 1) {
+                cur.bump();
+            }
+            let start = cur.pos;
+            let closing = {
+                let mut c = String::from("\"");
+                c.push_str(&"#".repeat(hashes));
+                c
+            };
+            loop {
+                if cur.pos >= cur.bytes.len() {
+                    return Some(src[start..cur.pos].to_owned()); // unterminated
+                }
+                if src[cur.pos..].starts_with(&closing) {
+                    let text = src[start..cur.pos].to_owned();
+                    for _ in 0..closing.len() {
+                        cur.bump();
+                    }
+                    return Some(text);
+                }
+                cur.bump();
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal); the
+/// cursor sits on the `'`.
+fn read_char_or_lifetime(
+    cur: &mut Cursor,
+    src: &str,
+    tokens: &mut Vec<Token>,
+    line: u32,
+    col: u32,
+) {
+    // Lifetime: '<ident-start> not followed by a closing quote.
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some(b'\'') {
+        cur.bump(); // '
+        let start = cur.pos;
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            text: src[start..cur.pos].to_owned(),
+            line,
+            col,
+        });
+        return;
+    }
+    cur.bump(); // '
+    let start = cur.pos;
+    loop {
+        match cur.peek(0) {
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'\'') => {
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: src[start..cur.pos].to_owned(),
+                    line,
+                    col,
+                });
+                cur.bump();
+                return;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            None => {
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: src[start..cur.pos].to_owned(),
+                    line,
+                    col,
+                });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_spans() {
+        let l = lex("let x = foo::bar(1);\nlet y = 2;");
+        assert!(l.tokens[0].is_ident("let"));
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        let y = l.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 5));
+    }
+
+    #[test]
+    fn strings_raw_strings_and_escapes() {
+        let ks = kinds(r####"a("x.y") + r#"raw "inner""# + b"bytes" + "es\"c""####);
+        let strs: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, ["x.y", r#"raw "inner""#, "bytes", r#"es\"c"#]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comments_are_kept_with_lines() {
+        let l = lex("// top\nfn f() {} /* block\nspanning */ // tail");
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!(l.comments[0].text.trim(), "top");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[2].line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let ks = kinds("0..12 1.to_string() 1.25e3 0xff_u64");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "12", "1", "1.25e3", "0xff_u64"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens[0].is_ident("fn"));
+    }
+}

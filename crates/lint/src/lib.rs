@@ -1,0 +1,63 @@
+//! **yav-lint** — the workspace-native invariant linter.
+//!
+//! The compiler cannot see the invariants this workspace runs on: PR 2's
+//! thread-count-invariant output, PR 3's arena/compiled bit-identity, the
+//! paper's §6 requirement that the client keeps counting on malformed
+//! nURLs, and the telemetry naming convention the dashboards key on. This
+//! crate checks them statically, offline: a hand-rolled lexer
+//! ([`lexer`]) feeds a token-stream rule engine ([`engine`]) running six
+//! repo-specific rules ([`rules`]):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `nondet-iteration` | no `HashMap`/`HashSet` on parallel merge/report paths |
+//! | `wall-clock-in-sim` | `Instant::now`/`SystemTime::now` only in `telemetry`/`bench` |
+//! | `panic-policy` | no `unwrap`/`expect`/`panic!` in `nurl`, `pme::engine`, `core::monitor` |
+//! | `forbid-unsafe-coverage` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `metric-name-hygiene` | metric literals follow `area.name[.unit]`, no collisions |
+//! | `money-cast` | no raw casts around `Cpm` fixed-point money outside `yav-types` |
+//!
+//! False positives are silenced inline with
+//! `// yav-lint: allow(<rule>) — <reason>`; the reason is mandatory and
+//! a reasonless or malformed suppression is itself reported
+//! (`bad-suppression`). Run it as `cargo run -p yav-lint --release`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod metrics_doc;
+pub mod rules;
+pub mod source;
+
+pub use engine::{
+    lint_files, lint_source, lint_workspace, load_workspace, Diagnostic, LintOutcome,
+};
+pub use source::{FileKind, SourceFile};
+
+use std::path::Path;
+
+/// Renders the metric registry for a lint outcome.
+pub fn metrics_markdown(outcome: &LintOutcome) -> String {
+    metrics_doc::render(&outcome.metrics)
+}
+
+/// Compares the rendered registry against `docs/METRICS.md` on disk and
+/// appends a staleness diagnostic when they differ (or the file is
+/// missing).
+pub fn check_metrics_doc(root: &Path, outcome: &mut LintOutcome) {
+    let rendered = metrics_markdown(outcome);
+    let on_disk = std::fs::read_to_string(root.join("docs/METRICS.md")).unwrap_or_default();
+    if rendered != on_disk {
+        outcome.diagnostics.push(Diagnostic {
+            rule: "metric-name-hygiene",
+            rel: "docs/METRICS.md".to_owned(),
+            line: 1,
+            col: 1,
+            message: "stale metric registry: regenerate with \
+                      `cargo run -p yav-lint -- --write-metrics-doc`"
+                .to_owned(),
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! The `yav-lint` binary: lints the workspace, checks `docs/METRICS.md`
+//! freshness, exits nonzero on findings.
+//!
+//! ```text
+//! cargo run -p yav-lint --release                          # lint + doc check
+//! cargo run -p yav-lint --release -- --write-metrics-doc   # regenerate docs/METRICS.md
+//! cargo run -p yav-lint --release -- --fixture f.rs --as-crate nurl
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use yav_lint::{check_metrics_doc, lint_source, lint_workspace, metrics_markdown, FileKind};
+
+struct Args {
+    root: Option<PathBuf>,
+    write_metrics_doc: bool,
+    no_doc_check: bool,
+    fixture: Option<PathBuf>,
+    as_crate: String,
+    as_rel: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        write_metrics_doc: false,
+        no_doc_check: false,
+        fixture: None,
+        as_crate: "analyzer".to_owned(),
+        as_rel: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--root" => args.root = Some(PathBuf::from(value("--root")?)),
+            "--write-metrics-doc" => args.write_metrics_doc = true,
+            "--no-doc-check" => args.no_doc_check = true,
+            "--fixture" => args.fixture = Some(PathBuf::from(value("--fixture")?)),
+            "--as-crate" => args.as_crate = value("--as-crate")?,
+            "--as-rel" => args.as_rel = Some(value("--as-rel")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory holding both `Cargo.toml` and `crates/`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    // Single-file mode: lint a fixture under an assumed crate identity.
+    if let Some(path) = &args.fixture {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = args
+            .as_rel
+            .clone()
+            .unwrap_or_else(|| path.to_string_lossy().into_owned());
+        let diags = lint_source(&rel, &args.as_crate, FileKind::Source, &src);
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "yav-lint: {} finding(s) in {} (as crate `{}`)",
+            diags.len(),
+            path.display(),
+            args.as_crate
+        );
+        return Ok(diags.is_empty());
+    }
+
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root().ok_or("could not locate the workspace root; pass --root")?,
+    };
+    let mut outcome =
+        lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if args.write_metrics_doc {
+        let doc = metrics_markdown(&outcome);
+        let path = root.join("docs/METRICS.md");
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+        std::fs::write(&path, doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "yav-lint: wrote {} ({} metrics)",
+            rel_display(&path, &root),
+            outcome.metrics.len()
+        );
+    } else if !args.no_doc_check {
+        check_metrics_doc(&root, &mut outcome);
+    }
+
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    if outcome.diagnostics.is_empty() {
+        println!(
+            "yav-lint: clean — {} files scanned, {} metrics registered",
+            outcome.files_scanned,
+            outcome.metrics.len()
+        );
+        Ok(true)
+    } else {
+        println!(
+            "yav-lint: {} finding(s) across {} files",
+            outcome.diagnostics.len(),
+            outcome.files_scanned
+        );
+        Ok(false)
+    }
+}
+
+fn rel_display(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("yav-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

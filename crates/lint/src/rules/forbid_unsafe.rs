@@ -1,0 +1,52 @@
+//! `forbid-unsafe-coverage`: every crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The workspace's own crates are all safe Rust; `forbid` (unlike `deny`)
+//! cannot be overridden further down the tree, so the attribute on the
+//! crate root is a structural guarantee. Shims are exempt by not being
+//! walked at all — they stand in for external crates.
+
+use crate::engine::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// The rule object.
+pub struct ForbidUnsafeCoverage;
+
+fn is_crate_root(file: &SourceFile) -> bool {
+    file.rel == "src/lib.rs"
+        || (file.rel.starts_with("crates/") && file.rel.ends_with("/src/lib.rs"))
+}
+
+impl Rule for ForbidUnsafeCoverage {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe-coverage"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_crate_root(file) {
+            return;
+        }
+        let found = file.tokens.windows(8).any(|w| {
+            w[0].is_punct('#')
+                && w[1].is_punct('!')
+                && w[2].is_punct('[')
+                && w[3].is_ident("forbid")
+                && w[4].is_punct('(')
+                && w[5].is_ident("unsafe_code")
+                && w[6].is_punct(')')
+                && w[7].is_punct(']')
+        });
+        if !found {
+            out.push(Diagnostic {
+                rule: self.name(),
+                rel: file.rel.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate root of `{}` is missing `#![forbid(unsafe_code)]`",
+                    file.crate_name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The rule registry. Each rule is a [`crate::engine::Rule`] over the
+//! token stream; adding one means writing its module, listing its name
+//! here, and adding it to [`all`].
+
+pub mod forbid_unsafe;
+pub mod metric_name;
+pub mod money_cast;
+pub mod nondet_iteration;
+pub mod panic_policy;
+pub mod wall_clock;
+
+/// Every valid rule name (for `allow(...)` validation). The pseudo-rule
+/// `bad-suppression` reports malformed suppressions and cannot itself be
+/// suppressed.
+pub const RULE_NAMES: &[&str] = &[
+    "nondet-iteration",
+    "wall-clock-in-sim",
+    "panic-policy",
+    "forbid-unsafe-coverage",
+    "metric-name-hygiene",
+    "money-cast",
+    "bad-suppression",
+];
+
+/// The stateless rules, boxed. `metric-name-hygiene` accumulates across
+/// files and is driven separately by the engine.
+pub fn all() -> Vec<Box<dyn crate::engine::Rule>> {
+    vec![
+        Box::new(nondet_iteration::NondetIteration),
+        Box::new(wall_clock::WallClockInSim),
+        Box::new(panic_policy::PanicPolicy),
+        Box::new(forbid_unsafe::ForbidUnsafeCoverage),
+        Box::new(money_cast::MoneyCast),
+    ]
+}

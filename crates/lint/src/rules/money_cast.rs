@@ -1,0 +1,102 @@
+//! `money-cast`: no raw numeric casts adjacent to `Cpm`/price arithmetic
+//! outside `yav-types`.
+//!
+//! `Cpm` is fixed-point micro-CPM; the blessed conversions are
+//! `Cpm::as_f64`/`Cpm::from_f64` (which scale by 10^6) and the integral
+//! `micros()/from_micros()` pair. Casting around them — `x.micros() as
+//! f64`, `Cpm::from_micros(y as i64)`, `p.as_f64() as i64` — silently
+//! changes units or drops precision, which is exactly how money bugs are
+//! born. `yav-types` itself hosts the blessed implementations and is
+//! exempt.
+
+use crate::engine::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// The rule object.
+pub struct MoneyCast;
+
+impl Rule for MoneyCast {
+    fn name(&self) -> &'static str {
+        "money-cast"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.crate_name == "types" {
+            return;
+        }
+        let toks = &file.tokens;
+        let mut report = |line: u32, col: u32, message: String| {
+            out.push(Diagnostic {
+                rule: "money-cast",
+                rel: file.rel.clone(),
+                line,
+                col,
+                message,
+            });
+        };
+        for (i, w) in toks.windows(5).enumerate() {
+            if file.in_test_code(w[0].line) {
+                continue;
+            }
+            // `.micros() as <ty>` — integral micro-CPM reinterpreted raw.
+            if w[0].is_punct('.')
+                && w[1].is_ident("micros")
+                && w[2].is_punct('(')
+                && w[3].is_punct(')')
+                && w[4].is_ident("as")
+            {
+                report(
+                    w[1].line,
+                    w[1].col,
+                    "`.micros() as _` casts fixed-point micro-CPM raw; use `Cpm::as_f64()` \
+                     (scaled) or keep the integral micros"
+                        .to_owned(),
+                );
+            }
+            // `.as_f64() as <int>` — truncating money round-trip.
+            if w[0].is_punct('.')
+                && w[1].is_ident("as_f64")
+                && w[2].is_punct('(')
+                && w[3].is_punct(')')
+                && w[4].is_ident("as")
+            {
+                report(
+                    w[1].line,
+                    w[1].col,
+                    "`.as_f64() as _` truncates a price round-trip; stay in Cpm or use \
+                     `Cpm::from_f64` for the way back"
+                        .to_owned(),
+                );
+            }
+            // `from_micros(... as <ty> ...)` — a cast inside the
+            // constructor's argument list smuggles unscaled units in.
+            if w[0].is_ident("from_micros") && w[1].is_punct('(') {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('(') {
+                        depth += 1;
+                    } else if toks[j].is_punct(')') {
+                        depth -= 1;
+                    } else if toks[j].is_ident("as")
+                        && toks.get(j + 1).is_some_and(|t| {
+                            t.is_ident("i64")
+                                || t.is_ident("u64")
+                                || t.is_ident("f64")
+                                || t.is_ident("i32")
+                        })
+                    {
+                        report(
+                            toks[j].line,
+                            toks[j].col,
+                            "raw cast inside `Cpm::from_micros(...)`: convert through \
+                             `Cpm::from_f64` so the 10^6 scaling is explicit"
+                                .to_owned(),
+                        );
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+}

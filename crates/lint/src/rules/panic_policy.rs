@@ -1,0 +1,68 @@
+//! `panic-policy`: no `unwrap`/`expect`/`panic!`-family macros in the
+//! client hot path.
+//!
+//! The paper's §6 requirement is that YourAdValue keeps counting money
+//! on malformed nURLs — so everything between the raw URL and the ledger
+//! (`nurl`, `pme::engine`, `core::monitor`) must return `None`/`Err`
+//! instead of panicking. Suppressions here, as everywhere, must carry a
+//! written reason.
+
+use crate::engine::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// Macros whose expansion panics.
+const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable", "assert"];
+
+/// The rule object.
+pub struct PanicPolicy;
+
+fn in_scope(file: &SourceFile) -> bool {
+    file.crate_name == "nurl"
+        || file.rel.ends_with("pme/src/engine.rs")
+        || file.rel.ends_with("core/src/monitor.rs")
+}
+
+impl Rule for PanicPolicy {
+    fn name(&self) -> &'static str {
+        "panic-policy"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file) {
+            return;
+        }
+        let report = |tok: &crate::lexer::Token, what: String, out: &mut Vec<Diagnostic>| {
+            out.push(Diagnostic {
+                rule: "panic-policy",
+                rel: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "{what} on the client hot path: malformed input must flow to `None`/`Err`, \
+                     not a panic (IMC §6: the client keeps counting)"
+                ),
+            });
+        };
+        for w in file.tokens.windows(3) {
+            if file.in_test_code(w[0].line) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` — method calls only, so idents like
+            // `unwrap_or` and locals named `expect` don't match.
+            if w[0].is_punct('.')
+                && (w[1].is_ident("unwrap") || w[1].is_ident("expect"))
+                && w[2].is_punct('(')
+            {
+                report(&w[1], format!(".{}()", w[1].text), out);
+            }
+            // `panic!(` and friends. `debug_assert!` stays legal: it
+            // vanishes in release builds.
+            if PANIC_MACROS.iter().any(|m| w[0].is_ident(m))
+                && w[1].is_punct('!')
+                && w[2].is_punct('(')
+            {
+                report(&w[0], format!("{}!", w[0].text), out);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `wall-clock-in-sim`: no `Instant::now`/`SystemTime::now` outside
+//! `telemetry` and `bench`.
+//!
+//! Simulation and training code must be a pure function of its inputs —
+//! wall-clock reads smuggle in nondeterminism and break replay. Timing
+//! belongs to yav-telemetry (span and histogram timers) and to the bench
+//! harness.
+
+use crate::engine::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// Crates that legitimately read the clock.
+const EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
+
+/// The rule object.
+pub struct WallClockInSim;
+
+impl Rule for WallClockInSim {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for w in file.tokens.windows(4) {
+            let clock_type = w[0].is_ident("Instant") || w[0].is_ident("SystemTime");
+            if clock_type
+                && w[1].is_punct(':')
+                && w[2].is_punct(':')
+                && w[3].is_ident("now")
+                && !file.in_test_code(w[0].line)
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    rel: file.rel.clone(),
+                    line: w[0].line,
+                    col: w[0].col,
+                    message: format!(
+                        "{}::now() in crate `{}`: sim/train code must not read the wall clock — \
+                         use a yav-telemetry span or histogram timer",
+                        w[0].text, file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}

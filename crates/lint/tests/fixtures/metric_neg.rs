@@ -1,0 +1,9 @@
+//! Negative fixture: well-formed `area.name[.unit]` registrations with
+//! consistent kinds (linted as crate `analyzer`).
+
+pub fn record(n: u64) {
+    yav_telemetry::counter("analyzer.requests").add(n);
+    yav_telemetry::counter("analyzer.requests").inc();
+    yav_telemetry::gauge("analyzer.queue_depth").set(n as f64);
+    yav_telemetry::histogram("analyzer.parse.us").observe(1.0);
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: money moves through the blessed yav-types
+//! conversions only (linted as crate `analyzer`).
+
+pub fn total(prices: &[yav_types::Cpm]) -> f64 {
+    prices.iter().map(|p| p.as_f64()).sum()
+}
+
+pub fn rebuild(raw: f64) -> yav_types::Cpm {
+    yav_types::Cpm::from_f64(raw)
+}
+
+pub fn micro_sum(prices: &[yav_types::Cpm]) -> i64 {
+    prices.iter().map(|p| p.micros()).sum()
+}

@@ -1,0 +1,18 @@
+//! Positive fixture: raw numeric casts adjacent to Price arithmetic
+//! outside yav-types (linted as crate `analyzer`). Each cast must fire.
+
+pub fn lossy_total(prices: &[yav_types::Cpm]) -> f64 {
+    let mut total = 0.0;
+    for p in prices {
+        total += p.micros() as f64 / 1e6;
+    }
+    total
+}
+
+pub fn truncate(p: yav_types::Cpm) -> i64 {
+    p.as_f64() as i64
+}
+
+pub fn rebuild(raw: f64) -> yav_types::Cpm {
+    yav_types::Cpm::from_micros(raw as i64)
+}

@@ -1,0 +1,21 @@
+//! Negative fixture: ordered containers, hash containers confined to
+//! test code, and one reasoned suppression (linted as crate `analyzer`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Aggregates {
+    pub per_publisher: BTreeMap<String, u64>,
+    pub seen: BTreeSet<u32>,
+    // yav-lint: allow(nondet-iteration) — lookup-only cache, never iterated
+    pub cache: std::collections::HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_maps_are_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: hash collections in a determinism-scoped crate
+//! (linted as crate `analyzer`). Both container kinds must fire.
+
+pub struct Aggregates {
+    pub per_publisher: std::collections::HashMap<String, u64>,
+    pub seen: std::collections::HashSet<u32>,
+}

@@ -1,0 +1,31 @@
+//! Negative fixture: hostile-input code that degrades instead of
+//! panicking (linted as crate `nurl`). Test-code unwraps and one
+//! reasoned suppression are permitted.
+
+pub fn parse_price(raw: &str) -> Option<f64> {
+    let v: f64 = raw.parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some(v)
+}
+
+pub fn decode_token(raw: &str) -> Vec<u8> {
+    raw.bytes().map(|b| b.saturating_sub(1)).collect()
+}
+
+pub fn alphabet_index(nibble: u8) -> u8 {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    // yav-lint: allow(panic-policy) — nibble is masked to 0..16 by the caller
+    *HEX.get((nibble & 0xf) as usize).expect("masked index")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(parse_price("1.5").unwrap(), 1.5);
+    }
+}

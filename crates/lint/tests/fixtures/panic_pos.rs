@@ -1,0 +1,17 @@
+//! Positive fixture: panic paths in hostile-input code (linted as crate
+//! `nurl`). Every construct here must fire.
+
+pub fn parse_price(raw: &str) -> f64 {
+    let v: f64 = raw.parse().unwrap();
+    if v < 0.0 {
+        panic!("negative price");
+    }
+    v
+}
+
+pub fn decode_token(raw: &str) -> Vec<u8> {
+    if raw.is_empty() {
+        unimplemented!()
+    }
+    raw.bytes().map(|b| b.checked_sub(1).expect("underflow")).collect()
+}

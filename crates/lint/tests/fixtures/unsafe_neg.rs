@@ -1,0 +1,8 @@
+//! Negative fixture: a crate root carrying the workspace-mandatory
+//! forbid (linted as `crates/demo/src/lib.rs`).
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: a crate root missing `#![forbid(unsafe_code)]`
+//! (linted as `crates/demo/src/lib.rs`).
+
+pub fn answer() -> u32 {
+    42
+}

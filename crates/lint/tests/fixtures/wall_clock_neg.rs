@@ -1,0 +1,17 @@
+//! Negative fixture: simulation code on SimTime, timing via the
+//! telemetry histogram timer, wall clock only in test code (linted as
+//! crate `auction`).
+
+pub fn run_auction(now_minutes: i64, latency: &yav_telemetry::Histogram) -> i64 {
+    let _timer = latency.time_us();
+    now_minutes + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn benches_may_read_the_clock() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: wall-clock reads in simulation code (linted as
+//! crate `auction`). Both clock sources must fire.
+
+pub fn timestamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_micros()
+}

@@ -1,0 +1,33 @@
+//! The linter must hold on the codebase that ships it: a full workspace
+//! walk with zero findings, and a `docs/METRICS.md` that matches what
+//! the walk harvests.
+
+use std::path::Path;
+use yav_lint::{check_metrics_doc, lint_workspace};
+
+#[test]
+fn workspace_is_lint_clean_and_metrics_doc_is_fresh() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut outcome = lint_workspace(&root).expect("workspace walk");
+    check_metrics_doc(&root, &mut outcome);
+    assert!(
+        outcome.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.files_scanned > 100,
+        "walk looks truncated: {} files",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.metrics.len() >= 20,
+        "metric harvest looks truncated: {} metrics",
+        outcome.metrics.len()
+    );
+}

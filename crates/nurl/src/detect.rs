@@ -116,12 +116,7 @@ impl NurlDetector {
         if url.path() != template::notification_path(adx) {
             return None;
         }
-        let price_param = template::price_macros()
-            .find(|(a, _)| *a == adx)
-            .map(|(_, p)| p)
-            .expect("macro list covers every Adx");
-
-        let raw = url.query(price_param)?;
+        let raw = url.query(template::price_param(adx))?;
         let price = Self::classify_price(raw);
         Some(Detection {
             adx,

@@ -213,17 +213,24 @@ const TEMPLATES: [Template; 17] = [
     },
 ];
 
+/// `TEMPLATES` is laid out in `Adx::ALL` order (asserted by test), so an
+/// exchange's template is a plain index — total, no search, no panic
+/// path on the per-URL hot path.
 fn template_for(adx: Adx) -> &'static Template {
-    TEMPLATES
-        .iter()
-        .find(|t| t.adx == adx)
-        .expect("every Adx has a template")
+    let t = &TEMPLATES[adx.index()];
+    debug_assert_eq!(t.adx, adx, "TEMPLATES must stay in Adx::ALL order");
+    t
 }
 
 /// Every (exchange, price-parameter) pair — the macro list the detector is
 /// seeded with.
 pub fn price_macros() -> impl Iterator<Item = (Adx, &'static str)> {
     TEMPLATES.iter().map(|t| (t.adx, t.price_param))
+}
+
+/// The price query parameter an exchange's notifications carry.
+pub fn price_param(adx: Adx) -> &'static str {
+    template_for(adx).price_param
 }
 
 /// The notification path for an exchange (used by tests and the detector).
@@ -418,6 +425,15 @@ mod tests {
 
     fn sample_token(seed: u8) -> EncryptedPrice {
         PriceCrypter::new(PriceKeys::derive("test")).encrypt(1_234_000, [seed; 16])
+    }
+
+    #[test]
+    fn templates_align_with_adx_all() {
+        assert_eq!(TEMPLATES.len(), Adx::ALL.len());
+        for (i, t) in TEMPLATES.iter().enumerate() {
+            assert_eq!(t.adx, Adx::ALL[i], "TEMPLATES[{i}] out of Adx::ALL order");
+            assert_eq!(price_param(t.adx), t.price_param);
+        }
     }
 
     fn rich_fields(adx: Adx, price: PricePayload) -> NurlFields {

@@ -217,6 +217,10 @@ fn is_unreserved(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
 }
 
+/// Upper-case hex alphabet; indexing with a nibble (0–15) cannot go out
+/// of bounds, so escaping needs no fallible conversion.
+const HEX_UPPER: &[u8; 16] = b"0123456789ABCDEF";
+
 /// Percent-encodes a query component.
 pub fn percent_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -225,16 +229,8 @@ pub fn percent_encode(s: &str) -> String {
             out.push(b as char);
         } else {
             out.push('%');
-            out.push(
-                char::from_digit((b >> 4) as u32, 16)
-                    .unwrap()
-                    .to_ascii_uppercase(),
-            );
-            out.push(
-                char::from_digit((b & 0xf) as u32, 16)
-                    .unwrap()
-                    .to_ascii_uppercase(),
-            );
+            out.push(HEX_UPPER[(b >> 4) as usize] as char);
+            out.push(HEX_UPPER[(b & 0xf) as usize] as char);
         }
     }
     out

@@ -303,12 +303,11 @@ impl ClientModel {
     /// `pme.predict.us` latency histogram and `pme.predictions_total`
     /// counter. Returns the identical estimate.
     pub fn estimate_into(&self, ctx: &CoreContext, scratch: &mut EstimateScratch) -> Cpm {
-        let t0 = std::time::Instant::now();
+        let _timer = scratch.latency_us.time_us();
         encode_into(ctx, self.with_publisher, &mut scratch.row);
         scratch.probs.resize(self.compiled.n_classes(), 0.0);
         let class = self.compiled.predict_with(&scratch.row, &mut scratch.probs);
         scratch.predictions.inc();
-        scratch.latency_us.observe(t0.elapsed().as_secs_f64() * 1e6);
         Cpm::from_f64(self.class_prices[class])
     }
 }

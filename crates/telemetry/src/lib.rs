@@ -30,7 +30,7 @@ mod metrics;
 mod registry;
 mod span;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
 pub use registry::{enabled, registry, set_enabled, Registry};
 pub use span::{active_spans, start_span, Span};
 
