@@ -1,7 +1,7 @@
 //! The streaming analyzer: orchestration of classification, detection,
 //! enrichment and feature extraction.
 
-use crate::classify::{classify_domain, TrafficClass};
+use crate::classify::{classify_domain_lower, TrafficClass};
 use crate::features::{self, FeatureSchema, NurlTransport};
 use crate::geoip::GeoDb;
 use crate::pairs::PairTracker;
@@ -11,7 +11,8 @@ use crate::userstate::{GlobalState, UserState};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use yav_nurl::fields::PricePayload;
-use yav_nurl::{template, Url};
+use yav_nurl::urlref::decoded_len;
+use yav_nurl::{template, UrlRef, UrlScratch};
 use yav_types::{
     AdSlotSize, Adx, City, Cpm, DeviceType, IabCategory, InteractionType, Os, PriceVisibility,
     SimTime, UserId,
@@ -120,6 +121,11 @@ pub struct WeblogAnalyzer {
     users: HashMap<UserId, UserState>,
     global: GlobalState,
     report: AnalyzerReport,
+    /// Reusable lowercased-host buffer (classification is
+    /// case-insensitive; the borrowed parser keeps the raw case).
+    host_lower: String,
+    /// Reusable percent-decode scratch for notification parsing.
+    url_scratch: UrlScratch,
 }
 
 impl Default for WeblogAnalyzer {
@@ -138,6 +144,8 @@ impl WeblogAnalyzer {
             users: HashMap::new(),
             global: GlobalState::default(),
             report: AnalyzerReport::default(),
+            host_lower: String::new(),
+            url_scratch: UrlScratch::new(),
         }
     }
 
@@ -145,13 +153,25 @@ impl WeblogAnalyzer {
     /// feature snapshot) when the request was a winning-price
     /// notification.
     pub fn ingest(&mut self, req: &HttpRequest) -> Option<ImpressionRecord> {
-        let Ok(url) = Url::parse(&req.url) else {
-            // Unparseable lines exist in every proxy log; they still count.
-            self.report.total_requests += 1;
-            return None;
+        // Borrowed parse: components are subslices of the raw line, no
+        // allocation. Validating the query up front keeps the owned
+        // parser's accounting — a URL whose query cannot decode is an
+        // unparseable line, not ad traffic — and guarantees every later
+        // decode of this URL succeeds.
+        let url = match UrlRef::parse(&req.url) {
+            Ok(url) if url.validate_query().is_ok() => url,
+            _ => {
+                // Unparseable lines exist in every proxy log; they still
+                // count.
+                self.report.total_requests += 1;
+                return None;
+            }
         };
 
-        let class = classify_domain(url.host());
+        self.host_lower.clear();
+        self.host_lower.push_str(url.host_raw());
+        self.host_lower.make_ascii_lowercase();
+        let class = classify_domain_lower(&self.host_lower);
         *self.report.class_counts.entry(class).or_insert(0) += 1;
         self.report.total_requests += 1;
 
@@ -172,7 +192,7 @@ impl WeblogAnalyzer {
         match class {
             TrafficClass::Rest => {
                 // Content request: learn the publisher and the interest.
-                let host = normalize_publisher(url.host());
+                let host = normalize_publisher(&self.host_lower);
                 if let Some(iab) = taxonomy::categorize(&host) {
                     user.record_publisher(&host, Some(iab));
                     *self.global.publisher_views.entry(host).or_insert(0) += 1;
@@ -191,7 +211,7 @@ impl WeblogAnalyzer {
     fn ingest_advertising(
         &mut self,
         req: &HttpRequest,
-        url: &Url,
+        url: &UrlRef<'_>,
         fp: crate::ua::UaFingerprint,
         city: Option<City>,
     ) -> Option<ImpressionRecord> {
@@ -203,15 +223,17 @@ impl WeblogAnalyzer {
             user.record_beacon();
             return None;
         }
-        if url.path().contains("getuid") || url.query("redir").is_some() {
+        if url.path().contains("getuid") || url.query_raw("redir").is_some() {
             user.record_cookie_sync();
             return None;
         }
 
-        let fields = match template::parse(url) {
+        let fields = match template::parse_borrowed(url, &mut self.url_scratch) {
             Ok(Some(f)) => f,
             Ok(None) => return None, // ad request / other ad traffic
             Err(_) => {
+                // Decode errors cannot reach here (`ingest` validated
+                // the query), so this is a malformed payload.
                 self.report.malformed_nurls += 1;
                 return None;
             }
@@ -248,14 +270,16 @@ impl WeblogAnalyzer {
         let transport = NurlTransport {
             bytes: req.bytes,
             duration_ms: req.duration_ms,
-            param_count: url.query_pairs().len() as u32,
+            param_count: url.query_pairs().count() as u32,
             https: url.is_https(),
-            host_len: url.host().len() as u32,
+            // ASCII lowercasing preserves byte length, so the raw host's
+            // length is the normalized host's length.
+            host_len: url.host_raw().len() as u32,
             path_depth: url.path().split('/').filter(|s| !s.is_empty()).count() as u32,
+            // Decoded lengths without materialising the decoded strings.
             query_len: url
                 .query_pairs()
-                .iter()
-                .map(|(k, v)| k.len() + v.len() + 1)
+                .map(|(k, v)| decoded_len(k) + decoded_len(v) + 1)
                 .sum::<usize>() as u32,
             has_bid_price: fields.bid_price.is_some(),
             has_size: fields.slot.is_some(),

@@ -111,16 +111,23 @@ fn matches(host: &str, entry: &str) -> bool {
             && host.as_bytes()[host.len() - entry.len() - 1] == b'.')
 }
 
-/// Classifies a host into its traffic group.
+/// Classifies a host into its traffic group. Case-insensitive
+/// convenience over [`classify_domain_lower`] (allocates a lowercased
+/// copy; streaming callers lowercase into a reusable buffer instead).
 pub fn classify_domain(host: &str) -> TrafficClass {
-    let host = host.to_ascii_lowercase();
-    if ADVERTISING.iter().any(|e| matches(&host, e)) {
+    classify_domain_lower(&host.to_ascii_lowercase())
+}
+
+/// Classifies an already-lowercased host into its traffic group — the
+/// allocation-free form of [`classify_domain`].
+pub fn classify_domain_lower(host: &str) -> TrafficClass {
+    if ADVERTISING.iter().any(|e| matches(host, e)) {
         TrafficClass::Advertising
-    } else if ANALYTICS.iter().any(|e| matches(&host, e)) {
+    } else if ANALYTICS.iter().any(|e| matches(host, e)) {
         TrafficClass::Analytics
-    } else if SOCIAL.iter().any(|e| matches(&host, e)) {
+    } else if SOCIAL.iter().any(|e| matches(host, e)) {
         TrafficClass::Social
-    } else if THIRD_PARTY.iter().any(|e| matches(&host, e)) {
+    } else if THIRD_PARTY.iter().any(|e| matches(host, e)) {
         TrafficClass::ThirdPartyContent
     } else {
         TrafficClass::Rest

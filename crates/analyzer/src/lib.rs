@@ -33,7 +33,7 @@ pub mod ua;
 pub mod userstate;
 
 pub use analyzer::{AnalyzerReport, DetectedImpression, ImpressionRecord, WeblogAnalyzer};
-pub use classify::{classify_domain, TrafficClass};
+pub use classify::{classify_domain, classify_domain_lower, TrafficClass};
 pub use features::{FeatureSchema, FEATURE_COUNT};
 pub use geoip::GeoDb;
 pub use parallel::{analyze_parallel, ParallelAnalysis};

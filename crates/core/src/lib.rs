@@ -33,5 +33,5 @@ pub mod validation;
 
 pub use ledger::{CostSummary, Ledger, PriceEvent};
 pub use methodology::{per_user_costs, UserCost};
-pub use monitor::{DropStats, YourAdValue};
+pub use monitor::{DropStats, ObserveScratch, YourAdValue};
 pub use validation::{ArpuEstimate, MarketFactors};

@@ -10,12 +10,61 @@
 use crate::ledger::{Ledger, PriceEvent};
 use yav_analyzer::taxonomy;
 use yav_analyzer::ua::parse_user_agent;
-use yav_nurl::fields::PricePayload;
-use yav_nurl::{template, Url};
+use yav_nurl::fields::{NurlFields, PricePayload};
+use yav_nurl::{template, UrlRef, UrlScratch};
 use yav_pme::engine::{ContributionBatch, Pme};
-use yav_pme::model::{ClientModel, CoreContext, EstimateScratch};
-use yav_types::{City, PriceVisibility, SimTime};
+use yav_pme::model::{self, ClientModel, CoreContext, EstimateScratch};
+use yav_types::{City, Cpm, PriceVisibility, SimTime};
 use yav_weblog::HttpRequest;
+
+/// Pre-resolved telemetry handles for the ingestion path. Looking a
+/// metric up by name costs a registry lock; the monitor observes every
+/// HTTP request the device makes, so it pays that cost once at
+/// construction instead of per request.
+#[derive(Debug, Clone)]
+struct MonitorMetrics {
+    parse_error: yav_telemetry::Counter,
+    not_notification: yav_telemetry::Counter,
+    rejected_total: yav_telemetry::Counter,
+    skipped_no_model: yav_telemetry::Counter,
+    events: yav_telemetry::Counter,
+    ledger_cleartext_cpm: yav_telemetry::Gauge,
+    ledger_estimated_cpm: yav_telemetry::Gauge,
+    observe_us: yav_telemetry::Histogram,
+    /// Mirror of the counter [`EstimateScratch`] bumps per serial
+    /// estimate; the batch path adds its whole count at once.
+    predictions: yav_telemetry::Counter,
+}
+
+impl Default for MonitorMetrics {
+    fn default() -> MonitorMetrics {
+        MonitorMetrics {
+            parse_error: yav_telemetry::counter("core.monitor.nurl.parse_error"),
+            not_notification: yav_telemetry::counter("core.monitor.nurl.not_notification"),
+            rejected_total: yav_telemetry::counter("ingest.rejected_total"),
+            skipped_no_model: yav_telemetry::counter("core.monitor.skipped_no_model"),
+            events: yav_telemetry::counter("core.monitor.events"),
+            ledger_cleartext_cpm: yav_telemetry::gauge("core.monitor.ledger_cleartext_cpm"),
+            ledger_estimated_cpm: yav_telemetry::gauge("core.monitor.ledger_estimated_cpm"),
+            observe_us: yav_telemetry::histogram("ingest.observe.us"),
+            predictions: yav_telemetry::counter("pme.predictions_total"),
+        }
+    }
+}
+
+/// Reusable buffers for the zero-copy ingestion path: URL decode
+/// scratch shared by every observed request, plus the flat feature
+/// matrix and slot map [`YourAdValue::observe_batch`] stages encrypted
+/// notifications into. Capacity grows to the high-water mark and stays.
+#[derive(Debug, Default)]
+pub struct ObserveScratch {
+    /// Percent-decode storage for the one URL currently being sifted.
+    url: UrlScratch,
+    /// Row-major encoded features, one row per staged encrypted event.
+    rows: Vec<f64>,
+    /// For each feature row, the index of its staged event.
+    slots: Vec<usize>,
+}
 
 /// The client-side monitor.
 #[derive(Debug, Default)]
@@ -37,6 +86,10 @@ pub struct YourAdValue {
     /// estimation (the extension values every encrypted notification, so
     /// the estimate path must not allocate).
     scratch: EstimateScratch,
+    /// Reusable ingestion buffers (URL decoding, batch staging).
+    obs: ObserveScratch,
+    /// Pre-resolved telemetry handles.
+    metrics: MonitorMetrics,
 }
 
 /// Why observed requests were silently discarded — the monitor's own
@@ -84,41 +137,59 @@ impl YourAdValue {
         }
     }
 
-    /// Observes one HTTP request. Returns the stored event if it was a
-    /// winning-price notification.
-    pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
-        // Fast-reject before the allocating full parse: most monitored
-        // traffic is not an nURL. Scheme-less strings could never parse
-        // (a parse error); anything on a non-exchange host is ordinary
-        // traffic regardless of whether it would parse.
+    /// Screens one request down to its notification payload over the
+    /// zero-copy parser, maintaining drop accounting. Shared by
+    /// [`YourAdValue::observe`] and [`YourAdValue::observe_batch`] so the
+    /// two paths cannot drift.
+    ///
+    /// Non-nURL traffic — the overwhelming majority — leaves through one
+    /// of the early rejects without touching the heap: [`UrlRef::parse`]
+    /// borrows subslices of the raw request and the exchange-host check
+    /// compares in place.
+    fn sift(&mut self, req: &HttpRequest) -> Option<(NurlFields, CoreContext)> {
+        // Host screen before any structural parsing: it inspects only the
+        // scheme prefix and authority, so the overwhelming ordinary-
+        // traffic case rejects on a fraction of the URL's bytes — and
+        // produces zero `nurl.template.*` counter traffic.
         if let Err(reject) = yav_nurl::screen(&req.url) {
             match reject {
                 yav_nurl::FastReject::Scheme => {
+                    // Scheme-less strings could never parse as URLs.
                     self.drops.parse_error += 1;
-                    yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
+                    self.metrics.parse_error.inc();
                 }
                 yav_nurl::FastReject::Host => {
                     self.drops.not_notification += 1;
-                    yav_telemetry::counter("core.monitor.nurl.not_notification").inc();
+                    self.metrics.not_notification.inc();
                 }
             }
+            self.metrics.rejected_total.inc();
             return None;
         }
-        let Ok(url) = Url::parse(&req.url) else {
-            self.drops.parse_error += 1;
-            yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
-            return None;
+        let url = match UrlRef::parse(&req.url) {
+            Ok(url) => url,
+            Err(_) => {
+                // Post-screen structural failure: the scheme and host
+                // already passed, so this is unreachable in practice, but
+                // the accounting stays total.
+                self.drops.parse_error += 1;
+                self.metrics.parse_error.inc();
+                self.metrics.rejected_total.inc();
+                return None;
+            }
         };
-        let fields = match template::parse(&url) {
+        let fields = match template::parse_borrowed(&url, &mut self.obs.url) {
             Ok(Some(fields)) => fields,
             Ok(None) => {
                 self.drops.not_notification += 1;
-                yav_telemetry::counter("core.monitor.nurl.not_notification").inc();
+                self.metrics.not_notification.inc();
+                self.metrics.rejected_total.inc();
                 return None;
             }
             Err(_) => {
                 self.drops.parse_error += 1;
-                yav_telemetry::counter("core.monitor.nurl.parse_error").inc();
+                self.metrics.parse_error.inc();
+                self.metrics.rejected_total.inc();
                 return None;
             }
         };
@@ -135,7 +206,26 @@ impl YourAdValue {
             iab: fields.publisher.as_deref().and_then(taxonomy::categorize),
             publisher: fields.publisher.clone(),
         };
+        Some((fields, ctx))
+    }
 
+    /// Stores one finished event: ledger, event counter, running totals
+    /// split the way the paper splits them.
+    fn commit(&mut self, event: PriceEvent) -> PriceEvent {
+        self.ledger.push(event.clone());
+        self.metrics.events.inc();
+        if event.estimated {
+            self.metrics.ledger_estimated_cpm.add(event.amount.as_f64());
+        } else {
+            self.metrics.ledger_cleartext_cpm.add(event.amount.as_f64());
+        }
+        event
+    }
+
+    /// Observes one HTTP request. Returns the stored event if it was a
+    /// winning-price notification.
+    pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
+        let (fields, ctx) = self.sift(req)?;
         let event = match &fields.price {
             PricePayload::Cleartext(price) => {
                 self.pending.cleartext.push((ctx, *price));
@@ -152,7 +242,7 @@ impl YourAdValue {
                     // No model yet: the price is counted as an encrypted
                     // sighting but cannot be valued.
                     self.skipped_no_model += 1;
-                    yav_telemetry::counter("core.monitor.skipped_no_model").inc();
+                    self.metrics.skipped_no_model.inc();
                     self.pending.encrypted.push(ctx);
                     return None;
                 };
@@ -167,16 +257,98 @@ impl YourAdValue {
                 }
             }
         };
-        self.ledger.push(event.clone());
-        yav_telemetry::counter("core.monitor.events").inc();
-        // Running ledger totals, split the way the paper splits them.
-        yav_telemetry::gauge(if event.estimated {
-            "core.monitor.ledger_estimated_cpm"
-        } else {
-            "core.monitor.ledger_cleartext_cpm"
-        })
-        .add(event.amount.as_f64());
-        Some(event)
+        Some(self.commit(event))
+    }
+
+    /// Observes a batch of HTTP requests, returning the stored events in
+    /// request order. Bit-identical side effects to calling
+    /// [`YourAdValue::observe`] per request — same ledger, drop stats and
+    /// pending contributions — but encrypted notifications are valued
+    /// through `CompiledForest::predict_batch`'s level-synchronous
+    /// traversal instead of row-at-a-time tree walks,
+    /// and all scratch (URL decode buffers, the feature matrix) is
+    /// reused across the batch.
+    ///
+    /// Batches record one `ingest.observe.us` sample and add their
+    /// prediction count to `pme.predictions_total` in one step; the
+    /// per-prediction `pme.predict.us` histogram is a serial-path-only
+    /// metric.
+    pub fn observe_batch(&mut self, reqs: &[HttpRequest]) -> Vec<PriceEvent> {
+        let _timer = self.metrics.observe_us.time_us();
+        // The staging buffers move out of `self` for the duration of the
+        // borrow-heavy first pass and return before exit.
+        let mut rows = std::mem::take(&mut self.obs.rows);
+        let mut slots = std::mem::take(&mut self.obs.slots);
+        rows.clear();
+        slots.clear();
+        let mut staged: Vec<PriceEvent> = Vec::new();
+
+        // Pass 1: sift every request in order, staging events and (for
+        // encrypted notifications under a model) one encoded feature row
+        // each, with a placeholder amount until pass 2 fills it in.
+        for req in reqs {
+            let Some((fields, ctx)) = self.sift(req) else {
+                continue;
+            };
+            match &fields.price {
+                PricePayload::Cleartext(price) => {
+                    self.pending.cleartext.push((ctx, *price));
+                    staged.push(PriceEvent {
+                        time: req.time,
+                        adx: fields.adx,
+                        visibility: PriceVisibility::Cleartext,
+                        amount: *price,
+                        estimated: false,
+                    });
+                }
+                PricePayload::Encrypted(_) => {
+                    let Some(model) = &self.model else {
+                        self.skipped_no_model += 1;
+                        self.metrics.skipped_no_model.inc();
+                        self.pending.encrypted.push(ctx);
+                        continue;
+                    };
+                    model::encode_append(&ctx, model.with_publisher, &mut rows);
+                    slots.push(staged.len());
+                    self.pending.encrypted.push(ctx);
+                    staged.push(PriceEvent {
+                        time: req.time,
+                        adx: fields.adx,
+                        visibility: PriceVisibility::Encrypted,
+                        amount: Cpm::ZERO,
+                        estimated: true,
+                    });
+                }
+            }
+        }
+
+        // Pass 2: one batched forest traversal values every staged
+        // encrypted event.
+        if !slots.is_empty() {
+            if let Some(model) = &self.model {
+                let classes = model
+                    .compiled
+                    .predict_batch(&rows, model.compiled.n_features());
+                for (&slot, &class) in slots.iter().zip(&classes) {
+                    if let (Some(event), Some(&price)) =
+                        (staged.get_mut(slot), model.class_prices.get(class))
+                    {
+                        event.amount = Cpm::from_f64(price);
+                    }
+                }
+                self.metrics.predictions.add(slots.len() as u64);
+            }
+        }
+
+        // Pass 3: commit in request order, so ledger contents, counters
+        // and the running gauge sums match the serial path exactly.
+        let mut out = Vec::with_capacity(staged.len());
+        for event in staged {
+            out.push(self.commit(event));
+        }
+        self.obs.rows = rows;
+        self.obs.slots = slots;
+        out
     }
 
     /// Convenience for URL-only observation (no headers available).

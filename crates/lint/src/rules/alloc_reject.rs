@@ -1,0 +1,90 @@
+//! `alloc-in-reject-path`: no heap allocation in the borrowed URL
+//! parser.
+//!
+//! The zero-copy ingestion contract (DESIGN.md §13) is that rejecting an
+//! ordinary request costs no allocation: `urlref.rs` parses by slicing
+//! the raw string, and the only buffers in the borrowed pipeline live in
+//! `scratch.rs`, which callers own and reuse. This rule keeps `urlref.rs`
+//! honest token by token — allocating method calls, allocating macros,
+//! and constructor paths on the owning collection types are all findings.
+//! The `no_alloc` counting-allocator test proves the property end to end;
+//! this lint points at the offending line when someone breaks it.
+
+use crate::engine::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// Method calls that allocate their result.
+const ALLOC_METHODS: &[&str] = &[
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "to_ascii_lowercase",
+    "to_ascii_uppercase",
+    "to_lowercase",
+    "to_uppercase",
+    "into_owned",
+    "collect",
+];
+
+/// Macros that expand to heap allocation.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Owning collection types whose associated functions (`::new`,
+/// `::with_capacity`, `::from`, …) allocate or exist to allocate.
+const ALLOC_TYPES: &[&str] = &["String", "Vec", "VecDeque", "Box", "BTreeMap", "HashMap"];
+
+/// The rule object.
+pub struct AllocInRejectPath;
+
+fn in_scope(file: &SourceFile) -> bool {
+    file.rel.ends_with("nurl/src/urlref.rs")
+}
+
+impl Rule for AllocInRejectPath {
+    fn name(&self) -> &'static str {
+        "alloc-in-reject-path"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file) {
+            return;
+        }
+        let report = |tok: &crate::lexer::Token, what: String, out: &mut Vec<Diagnostic>| {
+            out.push(Diagnostic {
+                rule: "alloc-in-reject-path",
+                rel: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "{what} allocates in the borrowed URL parser: `urlref` must reject \
+                     ordinary traffic without touching the heap — decode into a caller's \
+                     `UrlScratch` instead (DESIGN.md §13)"
+                ),
+            });
+        };
+        for w in file.tokens.windows(3) {
+            if file.in_test_code(w[0].line) {
+                continue;
+            }
+            // `.to_owned(` and friends — method calls only.
+            if w[0].is_punct('.')
+                && ALLOC_METHODS.iter().any(|m| w[1].is_ident(m))
+                && w[2].is_punct('(')
+            {
+                report(&w[1], format!(".{}()", w[1].text), out);
+            }
+            // `format!(` / `vec![`.
+            if ALLOC_MACROS.iter().any(|m| w[0].is_ident(m)) && w[1].is_punct('!') {
+                report(&w[0], format!("{}!", w[0].text), out);
+            }
+            // `String::from(`, `Vec::new(`, … — any associated call on an
+            // owning collection. Type positions (`Vec<u8>`) don't match.
+            if ALLOC_TYPES.iter().any(|t| w[0].is_ident(t))
+                && w[1].is_punct(':')
+                && w[2].is_punct(':')
+            {
+                report(&w[0], format!("{}::", w[0].text), out);
+            }
+        }
+    }
+}

@@ -18,7 +18,9 @@ use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 use std::collections::BTreeMap;
 
-/// Valid first segments: one per workspace crate, plus the root facade.
+/// Valid first segments: one per workspace crate, plus the root facade
+/// and `ingest` (the cross-crate request-ingestion surface: the monitor
+/// and analyzer both report under it).
 const AREAS: &[&str] = &[
     "analyzer",
     "auction",
@@ -27,6 +29,7 @@ const AREAS: &[&str] = &[
     "core",
     "crypto",
     "exec",
+    "ingest",
     "ml",
     "nurl",
     "pme",

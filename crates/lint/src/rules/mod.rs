@@ -2,6 +2,7 @@
 //! token stream; adding one means writing its module, listing its name
 //! here, and adding it to [`all`].
 
+pub mod alloc_reject;
 pub mod forbid_unsafe;
 pub mod metric_name;
 pub mod money_cast;
@@ -19,6 +20,7 @@ pub const RULE_NAMES: &[&str] = &[
     "forbid-unsafe-coverage",
     "metric-name-hygiene",
     "money-cast",
+    "alloc-in-reject-path",
     "bad-suppression",
 ];
 
@@ -31,5 +33,6 @@ pub fn all() -> Vec<Box<dyn crate::engine::Rule>> {
         Box::new(panic_policy::PanicPolicy),
         Box::new(forbid_unsafe::ForbidUnsafeCoverage),
         Box::new(money_cast::MoneyCast),
+        Box::new(alloc_reject::AllocInRejectPath),
     ]
 }

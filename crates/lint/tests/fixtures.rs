@@ -68,6 +68,14 @@ const CASES: &[Case] = &[
         rel: "crates/analyzer/src/fixture.rs",
         min_findings: 3,
     },
+    Case {
+        rule: "alloc-in-reject-path",
+        positive: "alloc_pos.rs",
+        negative: "alloc_neg.rs",
+        crate_name: "nurl",
+        rel: "crates/nurl/src/urlref.rs",
+        min_findings: 6,
+    },
 ];
 
 fn lint_fixture(case: &Case, name: &str) -> Vec<Diagnostic> {

@@ -1,0 +1,29 @@
+//! Negative fixture for `alloc-in-reject-path`: borrowing and slicing
+//! only in non-test code — the shape `urlref.rs` must keep. Test code
+//! may allocate freely (`to_owned` names in doc comments are fine too).
+
+/// Splits a raw URL at its query delimiter without copying either half.
+pub fn split_query(raw: &str) -> (&str, &str) {
+    match raw.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (raw, ""),
+    }
+}
+
+/// Borrow-only iterator over `&`-separated segments.
+pub fn segments(query: &str) -> impl Iterator<Item = &str> {
+    query.split('&').filter(|s| !s.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_without_copying_the_input() {
+        let owned = "p?a=1&b=2".to_owned();
+        let rendered = format!("{}", split_query(&owned).1);
+        let parts: Vec<&str> = segments(&rendered).collect();
+        assert_eq!(parts.len(), 2);
+    }
+}

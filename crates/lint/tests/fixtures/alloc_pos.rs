@@ -1,0 +1,15 @@
+//! Positive fixture for `alloc-in-reject-path`: linted as
+//! `crates/nurl/src/urlref.rs`, where every heap allocation is a
+//! finding. Each statement below trips one pattern class.
+
+pub fn screen_host(host: &str) -> usize {
+    let lowered = host.to_ascii_lowercase();
+    let copy = lowered.to_owned();
+    let rendered = format!("{copy}!");
+    let parts: Vec<&str> = rendered.split('.').collect();
+    let label = String::from("exchange");
+    let mut scratch = Vec::new();
+    scratch.push(parts.len());
+    let boxed = vec![label];
+    boxed.len() + scratch.len()
+}

@@ -336,16 +336,21 @@ impl CompiledForest {
         let n_rows = rows.len() / n_features;
         let k = self.n_classes;
         let mut out = Vec::with_capacity(n_rows);
-        let mut votes = vec![0.0f64; BLOCK * k];
-        let mut cols = vec![0.0f64; BLOCK * n_features];
+        // Scratch is sized to the largest block this call will actually
+        // see, not to BLOCK: small batches (the monitor stages a few
+        // hundred encrypted rows per observe_batch chunk) must not pay
+        // for allocating and zeroing full-block buffers.
+        let cap = n_rows.min(BLOCK);
+        let mut votes = vec![0.0f64; cap * k];
+        let mut cols = vec![0.0f64; cap * n_features];
         // Row-index buffers for the partition: a segment plus the two
         // destinations its rows split into. The three rotate roles down
         // the recursion (a consumed parent segment becomes free space
         // for its grandchildren), so three block-sized buffers suffice
         // for any tree shape.
-        let mut seg = vec![0u32; BLOCK];
-        let mut buf_a = vec![0u32; BLOCK];
-        let mut buf_b = vec![0u32; BLOCK];
+        let mut seg = vec![0u32; cap];
+        let mut buf_a = vec![0u32; cap];
+        let mut buf_b = vec![0u32; cap];
         let n_trees = self.roots.len() as f64;
         for block in rows.chunks(BLOCK * n_features) {
             let block_rows = block.len() / n_features;

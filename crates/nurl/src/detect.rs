@@ -8,8 +8,10 @@
 //! observation is cleartext or encrypted, and echoed bid prices are
 //! ignored per §4.1.
 
+use crate::scratch::UrlScratch;
 use crate::template;
 use crate::url::Url;
+use crate::urlref::UrlRef;
 use yav_crypto::EncryptedPrice;
 use yav_types::{Adx, Cpm};
 
@@ -81,14 +83,78 @@ pub fn screen(raw: &str) -> Result<(), FastReject> {
     };
     let authority = rest.split('/').next().unwrap_or(rest);
     let host = authority.split(':').next().unwrap_or("");
-    if Adx::ALL
-        .iter()
-        .any(|a| host.eq_ignore_ascii_case(a.domain()))
-    {
+    if exchange_host(host).is_some() {
         Ok(())
     } else {
         Err(FastReject::Host)
     }
+}
+
+/// One entry of the precomputed host-dispatch table: the domain length
+/// and lowercase first byte let [`exchange_host`] skip an exchange
+/// without touching the domain string itself.
+#[derive(Clone, Copy)]
+struct HostEntry {
+    len: u8,
+    first: u8,
+    domain: &'static str,
+    adx: Adx,
+}
+
+const fn host_entry(adx: Adx) -> HostEntry {
+    let domain = adx.domain();
+    HostEntry {
+        len: domain.len() as u8,
+        first: domain.as_bytes()[0],
+        domain,
+        adx,
+    }
+}
+
+/// The exchange roster as a flat dispatch table, computed at compile
+/// time from `Adx::ALL` so it cannot drift from the enum.
+const HOST_TABLE: [HostEntry; Adx::ALL.len()] = {
+    let mut table = [host_entry(Adx::ALL[0]); Adx::ALL.len()];
+    let mut i = 1;
+    while i < Adx::ALL.len() {
+        table[i] = host_entry(Adx::ALL[i]);
+        i += 1;
+    }
+    table
+};
+
+/// Bitmask of the domain lengths occurring in [`HOST_TABLE`] (all are
+/// well under 64 bytes). A host whose length bit is clear cannot match
+/// any exchange, which rejects most ordinary traffic with one bit test.
+const HOST_LEN_MASK: u64 = {
+    let mut mask = 0u64;
+    let mut i = 0;
+    while i < HOST_TABLE.len() {
+        mask |= 1 << HOST_TABLE[i].len;
+        i += 1;
+    }
+    mask
+};
+
+/// The exchange whose notification domain equals `host`, matched
+/// case-insensitively (raw hosts from [`UrlRef`] keep their original
+/// case; the owned parser lowercases). Exact-match only — subdomains of
+/// an exchange domain are *not* notification hosts.
+///
+/// This sits on the reject path of every monitored request, so the
+/// roster scan hides behind two prefilters: the length bitmask, then a
+/// per-entry length + first-byte check before any string comparison.
+pub fn exchange_host(host: &str) -> Option<Adx> {
+    if host.len() >= 64 || HOST_LEN_MASK & (1u64 << host.len()) == 0 {
+        return None;
+    }
+    let first = host.as_bytes().first()?.to_ascii_lowercase();
+    HOST_TABLE
+        .iter()
+        .find(|e| {
+            e.len as usize == host.len() && e.first == first && host.eq_ignore_ascii_case(e.domain)
+        })
+        .map(|e| e.adx)
 }
 
 /// True when [`screen`] accepts `raw` — the one-word form.
@@ -125,12 +191,38 @@ impl NurlDetector {
         })
     }
 
-    /// Classifies a raw URL string, fast-rejecting non-candidates via
-    /// [`screen`] before any parse allocation. Returns `None` for
-    /// ordinary traffic and for URLs that do not parse.
+    /// Classifies a borrowed URL, decoding its query into `scratch` only
+    /// after host and path both match a notification template — the
+    /// zero-copy twin of [`NurlDetector::detect`]. Ordinary traffic is
+    /// rejected without touching the scratch (or the heap).
+    pub fn detect_ref(&self, url: &UrlRef<'_>, scratch: &mut UrlScratch) -> Option<Detection> {
+        let adx = exchange_host(url.host_raw())?;
+        if url.path() != template::notification_path(adx) {
+            return None;
+        }
+        let pairs = scratch.decode(url).ok()?;
+        let raw = pairs.get(template::price_param(adx))?;
+        let price = Self::classify_price(raw);
+        Some(Detection {
+            adx,
+            price,
+            bidder_domain: pairs.get("bidder").map(str::to_owned),
+        })
+    }
+
+    /// Classifies a raw URL string on the borrowed pipeline. Returns
+    /// `None` for ordinary traffic and for URLs that do not parse.
+    /// Allocates a transient scratch; hot loops should hold their own
+    /// and call [`NurlDetector::detect_str_with`].
     pub fn detect_str(&self, raw: &str) -> Option<Detection> {
-        screen(raw).ok()?;
-        self.detect(&Url::parse(raw).ok()?)
+        let mut scratch = UrlScratch::new();
+        self.detect_str_with(raw, &mut scratch)
+    }
+
+    /// [`NurlDetector::detect_str`] with a caller-owned scratch — the
+    /// steady-state zero-allocation form for rejected URLs.
+    pub fn detect_str_with(&self, raw: &str, scratch: &mut UrlScratch) -> Option<Detection> {
+        self.detect_ref(&UrlRef::parse(raw).ok()?, scratch)
     }
 
     /// Shape-classifies a raw price value: decimal ⇒ cleartext; 28-byte
@@ -222,6 +314,7 @@ mod tests {
         // The screen may only reject URLs the detector would also reject:
         // every detectable emission must survive it.
         let d = NurlDetector::new();
+        let mut raw = String::new();
         for adx in [Adx::MoPub, Adx::DoubleClick, Adx::Rubicon] {
             let fields = NurlFields::minimal(
                 adx,
@@ -230,13 +323,42 @@ mod tests {
                 ImpressionId(9),
                 AuctionId(9),
             );
-            let raw = emit(&fields).to_string();
+            crate::template::emit_into(&fields, &mut raw);
             assert!(is_candidate(&raw), "{raw}");
             assert_eq!(d.detect_str(&raw), d.detect(&Url::parse(&raw).unwrap()));
             assert!(d.detect_str(&raw).is_some());
         }
         assert_eq!(d.detect_str("http://cdn.example.com/lib.js"), None);
         assert_eq!(d.detect_str("nonsense"), None);
+    }
+
+    #[test]
+    fn borrowed_detection_agrees_with_owned() {
+        let d = NurlDetector::new();
+        let mut scratch = UrlScratch::new();
+        let mut raw = String::new();
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(0.42)),
+                PricePayload::Encrypted(token()),
+            ] {
+                let fields =
+                    NurlFields::minimal(adx, DspId(1), price, ImpressionId(7), AuctionId(7));
+                crate::template::emit_into(&fields, &mut raw);
+                let owned = d.detect(&Url::parse(&raw).unwrap());
+                let borrowed = d.detect_str_with(&raw, &mut scratch);
+                assert_eq!(owned, borrowed, "{raw}");
+            }
+        }
+        // Ordinary and hostile inputs reject identically.
+        for s in [
+            "http://www.elmundo.es/index.html",
+            "http://cpp.imp.mpx.mopub.com/robots.txt",
+            "http://cpp.imp.mpx.mopub.com/imp?charge_price=%zz",
+            "nonsense",
+        ] {
+            assert_eq!(d.detect_str_with(s, &mut scratch), None, "{s}");
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //!
 //! * [`url`] — a strict, allocation-conscious URL parser/builder with
 //!   percent-encoding, sufficient for HTTP(S) query-string URLs;
+//! * [`urlref`] / [`scratch`] — the zero-copy layer underneath it: a
+//!   borrowed [`urlref::UrlRef`] whose components are subslices of the
+//!   raw request string, with percent-decoding deferred into a
+//!   caller-owned reusable [`scratch::UrlScratch`]. The owned parser is
+//!   a thin wrapper over this layer; the monitor rejects non-nURL
+//!   traffic on it without touching the heap;
 //! * [`fields`] — the typed payload of a notification
 //!   ([`fields::NurlFields`]) with its cleartext-or-encrypted price;
 //! * [`template`] — per-exchange emitters and parsers: every exchange has
@@ -25,10 +31,14 @@
 
 pub mod detect;
 pub mod fields;
+pub mod scratch;
 pub mod template;
 pub mod url;
+pub mod urlref;
 
-pub use detect::{is_candidate, screen, DetectedPrice, FastReject, NurlDetector};
+pub use detect::{exchange_host, is_candidate, screen, DetectedPrice, FastReject, NurlDetector};
 pub use fields::{NurlFields, PricePayload};
-pub use template::{emit, parse, NurlParseError};
+pub use scratch::{DecodedPairs, UrlScratch};
+pub use template::{emit, emit_into, parse, parse_borrowed, NurlParseError, NurlRefError};
 pub use url::{Url, UrlParseError};
+pub use urlref::{QueryIter, UrlRef};

@@ -16,8 +16,11 @@
 //! undecryptable price field — is identical.
 
 use crate::fields::{NurlFields, PricePayload};
-use crate::url::Url;
+use crate::scratch::{DecodedPairs, UrlScratch};
+use crate::url::{Url, UrlParseError};
+use crate::urlref::UrlRef;
 use std::fmt;
+use std::fmt::Write as _;
 use yav_crypto::{hex_decode, hex_encode, EncryptedPrice};
 use yav_types::{AdSlotSize, Adx, AuctionId, CampaignId, Cpm, DspId, ImpressionId};
 
@@ -47,6 +50,29 @@ impl fmt::Display for NurlParseError {
 }
 
 impl std::error::Error for NurlParseError {}
+
+/// Errors from [`parse_borrowed`]: either the deferred percent-decoding
+/// failed (what `Url::parse` would have rejected up front) or the
+/// notification payload was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NurlRefError {
+    /// A query component failed percent-decoding — the borrowed
+    /// pipeline's equivalent of an owned-parse failure.
+    Url(UrlParseError),
+    /// Decoded fine, but the notification payload was malformed.
+    Payload(NurlParseError),
+}
+
+impl fmt::Display for NurlRefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NurlRefError::Url(e) => write!(f, "query decode failed: {e}"),
+            NurlRefError::Payload(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NurlRefError {}
 
 /// How a template encodes its opaque price token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +316,15 @@ pub fn emit(fields: &NurlFields) -> Url {
     b.finish()
 }
 
+/// Renders a notification URL into a caller-owned buffer, reusing its
+/// allocation — the hot-loop form of `emit(fields).to_string()`. The
+/// buffer is cleared first.
+pub fn emit_into(fields: &NurlFields, out: &mut String) {
+    out.clear();
+    // Writing into a `String` cannot fail.
+    let _ = write!(out, "{}", emit(fields));
+}
+
 /// Attempts to parse a URL as a winning-price notification.
 ///
 /// * `Ok(None)` — not a notification URL (unknown host or path): ordinary
@@ -298,60 +333,150 @@ pub fn emit(fields: &NurlFields) -> Url {
 /// * `Err(_)` — hosted on a known exchange's notification endpoint but the
 ///   payload is malformed; the analyzer counts these separately.
 pub fn parse(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
-    yav_telemetry::counter("nurl.template.urls_seen").inc();
+    let c = template_counters();
+    c.urls_seen.inc();
     let result = parse_inner(url);
-    yav_telemetry::counter(match &result {
-        Ok(Some(_)) => "nurl.template.matched",
-        Ok(None) => "nurl.template.not_notification",
-        Err(_) => "nurl.template.malformed_dropped",
-    })
-    .inc();
+    match &result {
+        Ok(Some(_)) => c.matched.inc(),
+        Ok(None) => c.not_notification.inc(),
+        Err(_) => c.malformed_dropped.inc(),
+    }
     result
+}
+
+/// Pre-resolved `nurl.template.*` counter handles. Template parsing is
+/// the per-URL hot path; resolving handles once spares it a registry
+/// lock + name lookup per counter per URL. The registry keeps cached
+/// handles valid across [`yav_telemetry::Registry::clear`].
+struct TemplateCounters {
+    urls_seen: yav_telemetry::Counter,
+    matched: yav_telemetry::Counter,
+    not_notification: yav_telemetry::Counter,
+    malformed_dropped: yav_telemetry::Counter,
+}
+
+fn template_counters() -> &'static TemplateCounters {
+    static COUNTERS: std::sync::OnceLock<TemplateCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| TemplateCounters {
+        urls_seen: yav_telemetry::counter("nurl.template.urls_seen"),
+        matched: yav_telemetry::counter("nurl.template.matched"),
+        not_notification: yav_telemetry::counter("nurl.template.not_notification"),
+        malformed_dropped: yav_telemetry::counter("nurl.template.malformed_dropped"),
+    })
 }
 
 fn parse_inner(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
     let Some(adx) = Adx::from_domain(url.host()) else {
         return Ok(None);
     };
-    let t = template_for(adx);
-    if url.path() != t.path {
+    if url.path() != template_for(adx).path {
         return Ok(None);
     }
+    fields_from_query(adx, url).map(Some)
+}
 
-    let raw_price = url
-        .query(t.price_param)
+/// Attempts to parse a *borrowed* URL as a winning-price notification —
+/// the zero-copy twin of [`parse`], with identical result semantics and
+/// identical `nurl.template.*` accounting. Stage order is deliberate:
+/// host screen first (ordinary traffic returns `Ok(None)` without
+/// touching the scratch), then query decode into `scratch` (so a
+/// notification-host URL with an undecodable query reports the same
+/// escape error the owned pipeline reports from `Url::parse`), then the
+/// path check and field extraction.
+///
+/// The exchange-host match is case-insensitive, mirroring the owned
+/// pipeline where the host was lowercased at parse time.
+pub fn parse_borrowed(
+    url: &UrlRef<'_>,
+    scratch: &mut UrlScratch,
+) -> Result<Option<NurlFields>, NurlRefError> {
+    let c = template_counters();
+    c.urls_seen.inc();
+    let result = parse_borrowed_inner(url, scratch);
+    match &result {
+        Ok(Some(_)) => c.matched.inc(),
+        Ok(None) => c.not_notification.inc(),
+        Err(_) => c.malformed_dropped.inc(),
+    }
+    result
+}
+
+fn parse_borrowed_inner(
+    url: &UrlRef<'_>,
+    scratch: &mut UrlScratch,
+) -> Result<Option<NurlFields>, NurlRefError> {
+    let Some(adx) = crate::detect::exchange_host(url.host_raw()) else {
+        return Ok(None);
+    };
+    let pairs = scratch.decode(url).map_err(NurlRefError::Url)?;
+    if url.path() != template_for(adx).path {
+        return Ok(None);
+    }
+    fields_from_query(adx, &pairs)
+        .map(Some)
+        .map_err(NurlRefError::Payload)
+}
+
+/// The one query surface both pipelines share: first decoded value for a
+/// key. Implemented by the owned [`Url`] and by scratch-decoded
+/// [`DecodedPairs`], so field extraction is a single function and the
+/// owned/borrowed parsers agree by construction.
+trait QueryLookup {
+    fn get_param(&self, key: &str) -> Option<&str>;
+}
+
+impl QueryLookup for Url {
+    fn get_param(&self, key: &str) -> Option<&str> {
+        self.query(key)
+    }
+}
+
+impl QueryLookup for DecodedPairs<'_> {
+    fn get_param(&self, key: &str) -> Option<&str> {
+        self.get(key)
+    }
+}
+
+/// Extracts the typed payload once host and path have matched `adx`'s
+/// template — shared verbatim by the owned and borrowed parsers.
+fn fields_from_query<Q: QueryLookup>(adx: Adx, q: &Q) -> Result<NurlFields, NurlParseError> {
+    let t = template_for(adx);
+    let raw_price = q
+        .get_param(t.price_param)
         .ok_or(NurlParseError::MissingPrice)?;
     let price = decode_price(t, raw_price)?;
 
-    let impression = ImpressionId(wire_id(url.query("imp")).ok_or(NurlParseError::BadId("imp"))?);
-    let auction = AuctionId(wire_id(url.query("auc")).ok_or(NurlParseError::BadId("auc"))?);
-    let dsp = url
-        .query("bidder")
-        .and_then(dsp_from_domain)
+    let impression = ImpressionId(wire_id(q.get_param("imp")).ok_or(NurlParseError::BadId("imp"))?);
+    let auction = AuctionId(wire_id(q.get_param("auc")).ok_or(NurlParseError::BadId("auc"))?);
+    let dsp = q
+        .get_param("bidder")
+        .and_then(DspId::from_domain)
         .ok_or(NurlParseError::BadId("bidder"))?;
 
     let bid_price = t
         .bid_param
-        .and_then(|p| url.query(p))
+        .and_then(|p| q.get_param(p))
         .and_then(|v| v.parse::<Cpm>().ok());
 
-    Ok(Some(NurlFields {
+    Ok(NurlFields {
         adx,
         dsp,
         price,
         bid_price,
         impression,
         auction,
-        campaign: wire_id(url.query("cmpid")).map(|v| CampaignId(v as u32)),
-        slot: url.query("size").and_then(|s| s.parse::<AdSlotSize>().ok()),
-        publisher: url.query("pub_name").map(str::to_owned),
-        country: url.query("country").map(str::to_owned),
-        latency_ms: url
-            .query("latency")
+        campaign: wire_id(q.get_param("cmpid")).map(|v| CampaignId(v as u32)),
+        slot: q
+            .get_param("size")
+            .and_then(|s| s.parse::<AdSlotSize>().ok()),
+        publisher: q.get_param("pub_name").map(str::to_owned),
+        country: q.get_param("country").map(str::to_owned),
+        latency_ms: q
+            .get_param("latency")
             .and_then(|s| s.parse::<f64>().ok())
             .map(|secs| (secs * 1000.0).round() as u32),
-        ad_domain: url.query("ad_domain").map(str::to_owned),
-    }))
+        ad_domain: q.get_param("ad_domain").map(str::to_owned),
+    })
 }
 
 /// Decodes the price parameter: decimal CPM, hex token or base64 token.
@@ -403,18 +528,6 @@ fn splitmix64_inverse(mut z: u64) -> u64 {
     z = z.wrapping_mul(0x96de1b173f119089); // modular inverse of 0xbf58476d1ce4e5b9
     z = z ^ (z >> 30) ^ (z >> 60);
     z.wrapping_sub(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Maps a bidder callback domain back to a [`DspId`].
-fn dsp_from_domain(domain: &str) -> Option<DspId> {
-    // Synthetic names encode their id directly.
-    if let Some(rest) = domain.strip_prefix("dsp") {
-        if let Some(num) = rest.strip_suffix(".bid.example.com") {
-            return num.parse().ok().map(DspId);
-        }
-    }
-    // Roster names: probe the first dozen ids.
-    (0..12u32).map(DspId).find(|id| id.domain() == domain)
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! the subset is tiny, and we want total control over what counts as
 //! malformed (a mis-parsed price is a corrupted measurement).
 
+use crate::urlref::UrlRef;
+use std::borrow::Cow;
 use std::fmt;
 
 /// Errors from [`Url::parse`].
@@ -44,58 +46,23 @@ pub struct Url {
 impl Url {
     /// Parses a URL string. Query keys/values are percent-decoded; the
     /// path is kept as-is (nURL detection matches on raw path segments).
+    ///
+    /// A thin owning wrapper over [`UrlRef::parse`]: the borrowed parser
+    /// defines the grammar, this constructor materialises its subslices
+    /// (lowercasing the host) and eagerly decodes the query pairs.
     pub fn parse(input: &str) -> Result<Url, UrlParseError> {
-        let (https, rest) = if let Some(r) = input.strip_prefix("https://") {
-            (true, r)
-        } else if let Some(r) = input.strip_prefix("http://") {
-            (false, r)
-        } else {
-            return Err(UrlParseError::Scheme);
-        };
-
-        let (authority, path_query) = match rest.find('/') {
-            Some(i) => (&rest[..i], &rest[i..]),
-            None => (rest, "/"),
-        };
-        // Strip an optional port; reject empty hosts and whitespace.
-        let host = authority.split(':').next().unwrap_or("");
-        if host.is_empty()
-            || !host
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
-        {
-            return Err(UrlParseError::Host);
-        }
-
-        // Split off a fragment first (never used, but must not pollute the
-        // query), then the query.
-        let path_query = match path_query.find('#') {
-            Some(i) => &path_query[..i],
-            None => path_query,
-        };
-        let (path, query_str) = match path_query.find('?') {
-            Some(i) => (&path_query[..i], &path_query[i + 1..]),
-            None => (path_query, ""),
-        };
-
+        let r = UrlRef::parse(input)?;
         let mut query = Vec::new();
-        if !query_str.is_empty() {
-            for pair in query_str.split('&') {
-                if pair.is_empty() {
-                    continue;
-                }
-                let (k, v) = match pair.find('=') {
-                    Some(i) => (&pair[..i], &pair[i + 1..]),
-                    None => (pair, ""),
-                };
-                query.push((percent_decode(k)?, percent_decode(v)?));
-            }
+        for (k, v) in r.query_pairs() {
+            query.push((
+                percent_decode(k)?.into_owned(),
+                percent_decode(v)?.into_owned(),
+            ));
         }
-
         Ok(Url {
-            https,
-            host: host.to_ascii_lowercase(),
-            path: path.to_owned(),
+            https: r.is_https(),
+            host: r.host_raw().to_ascii_lowercase(),
+            path: r.path().to_owned(),
             query,
         })
     }
@@ -238,7 +205,12 @@ pub fn percent_encode(s: &str) -> String {
 
 /// Percent-decodes a query component. `+` decodes to space (the
 /// `application/x-www-form-urlencoded` convention real trackers use).
-pub fn percent_decode(s: &str) -> Result<String, UrlParseError> {
+/// Components without escapes — the overwhelmingly common case — are
+/// returned borrowed; only components containing `%` or `+` allocate.
+pub fn percent_decode(s: &str) -> Result<Cow<'_, str>, UrlParseError> {
+    if !s.bytes().any(|b| b == b'%' || b == b'+') {
+        return Ok(Cow::Borrowed(s));
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -268,7 +240,9 @@ pub fn percent_decode(s: &str) -> Result<String, UrlParseError> {
             }
         }
     }
-    String::from_utf8(out).map_err(|e| UrlParseError::Escape(e.utf8_error().valid_up_to()))
+    String::from_utf8(out)
+        .map(Cow::Owned)
+        .map_err(|e| UrlParseError::Escape(e.utf8_error().valid_up_to()))
 }
 
 #[cfg(test)]

@@ -95,6 +95,13 @@ pub fn encode(ctx: &CoreContext, with_publisher: bool) -> Vec<f64> {
 /// form of [`encode`] (same row, same order).
 pub fn encode_into(ctx: &CoreContext, with_publisher: bool, out: &mut Vec<f64>) {
     out.clear();
+    encode_append(ctx, with_publisher, out);
+}
+
+/// Appends one encoded row to `out` without clearing it first — the
+/// building block for flat row-major feature matrices in batch
+/// prediction (`rows.len() == n * n_features`).
+pub fn encode_append(ctx: &CoreContext, with_publisher: bool, out: &mut Vec<f64>) {
     out.extend_from_slice(&[
         ctx.city.map(|c| c.index() as f64).unwrap_or(10.0),
         ctx.time.time_of_day() as usize as f64,

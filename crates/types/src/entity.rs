@@ -101,7 +101,9 @@ impl Adx {
     }
 
     /// The exchange's notification domain as it appears in nURLs.
-    pub fn domain(self) -> &'static str {
+    /// `const` so host screens can precompute dispatch tables over the
+    /// roster at compile time.
+    pub const fn domain(self) -> &'static str {
         match self {
             Adx::MoPub => "cpp.imp.mpx.mopub.com",
             Adx::OpenX => "rtb.openx.net",
@@ -183,29 +185,45 @@ impl fmt::Display for Adx {
 pub struct DspId(pub u32);
 
 impl DspId {
+    /// A stable, realistic-looking roster for the first few ids, then
+    /// synthetic names. Keeping real-world names here makes analyzer
+    /// output and figures legible.
+    const ROSTER: [&'static str; 12] = [
+        "mediamath.com",
+        "bidder.criteo.com",
+        "doubleclickbygoogle.com",
+        "appnexus.com",
+        "invitemedia.com",
+        "adserver-ir-p.mythings.com",
+        "tags.mathtag.com",
+        "rtb.adform.net",
+        "dsp.turn.com",
+        "bid.rocketfuel.com",
+        "x.dataxu.com",
+        "engine.adzerk.net",
+    ];
+
     /// The DSP's callback domain as embedded in nURLs.
     pub fn domain(self) -> String {
-        // A stable, realistic-looking roster for the first few ids, then
-        // synthetic names. Keeping real-world names here makes analyzer
-        // output and figures legible.
-        const ROSTER: [&str; 12] = [
-            "mediamath.com",
-            "bidder.criteo.com",
-            "doubleclickbygoogle.com",
-            "appnexus.com",
-            "invitemedia.com",
-            "adserver-ir-p.mythings.com",
-            "tags.mathtag.com",
-            "rtb.adform.net",
-            "dsp.turn.com",
-            "bid.rocketfuel.com",
-            "x.dataxu.com",
-            "engine.adzerk.net",
-        ];
-        match ROSTER.get(self.0 as usize) {
+        match Self::ROSTER.get(self.0 as usize) {
             Some(d) => (*d).to_owned(),
             None => format!("dsp{}.bid.example.com", self.0),
         }
+    }
+
+    /// Maps a callback domain back to its id — the allocation-free
+    /// inverse of [`DspId::domain`], used by the nURL parser on the
+    /// per-URL hot path.
+    pub fn from_domain(domain: &str) -> Option<DspId> {
+        if let Some(i) = Self::ROSTER.iter().position(|d| *d == domain) {
+            return Some(DspId(i as u32));
+        }
+        domain
+            .strip_prefix("dsp")?
+            .strip_suffix(".bid.example.com")?
+            .parse()
+            .ok()
+            .map(DspId)
     }
 }
 
@@ -253,5 +271,15 @@ mod tests {
     fn dsp_domains_stable() {
         assert_eq!(DspId(0).domain(), "mediamath.com");
         assert_eq!(DspId(100).domain(), "dsp100.bid.example.com");
+    }
+
+    #[test]
+    fn dsp_domain_round_trips() {
+        for id in [0u32, 5, 11, 12, 100, 4_000_000] {
+            let id = DspId(id);
+            assert_eq!(DspId::from_domain(&id.domain()), Some(id));
+        }
+        assert_eq!(DspId::from_domain("not-a-dsp.example"), None);
+        assert_eq!(DspId::from_domain("dspX.bid.example.com"), None);
     }
 }
