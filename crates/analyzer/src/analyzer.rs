@@ -235,9 +235,11 @@ impl WeblogAnalyzer {
                 // Decode errors cannot reach here (`ingest` validated
                 // the query), so this is a malformed payload.
                 self.report.malformed_nurls += 1;
+                yav_trace::trace_instant!("analyzer.malformed_nurl");
                 return None;
             }
         };
+        yav_trace::trace_instant!("analyzer.detect", fields.adx as u64);
 
         // Build the enriched detection.
         let visibility = fields.price.visibility();
@@ -334,6 +336,7 @@ impl WeblogAnalyzer {
     /// analyzers can promote it to a merge step
     /// ([`crate::userstate::GlobalState::merge`]).
     pub fn finish_with_state(mut self) -> (AnalyzerReport, GlobalState) {
+        let _trace = yav_trace::trace_span!("analyzer.finish", self.report.total_requests);
         self.report.users_seen = self.users.len();
         (self.report, self.global)
     }

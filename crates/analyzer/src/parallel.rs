@@ -34,6 +34,7 @@ pub fn analyze_parallel(requests: &[HttpRequest], exec: &ExecConfig) -> Parallel
     yav_telemetry::gauge("exec.analyzer.shards").set(shards as f64);
 
     let parts = yav_exec::par_map_indexed(exec, shards, |shard| {
+        let _trace = yav_trace::trace_span!("analyzer.ingest_shard", shard);
         let mut analyzer = WeblogAnalyzer::new();
         // Input index of each detection, for the order-restoring merge.
         let mut order: Vec<usize> = Vec::new();

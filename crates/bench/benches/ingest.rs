@@ -112,15 +112,17 @@ fn ingest_owned(urls: &[String]) -> usize {
     matched
 }
 
-/// Screened owned ingestion: host screen first, owned parse on survivors.
+/// Screened owned ingestion: host screen first, owned parse on
+/// survivors. The screen's verdict (which exchange matched) carries
+/// into the parse, so the host roster is scanned once per URL.
 fn ingest_screened(urls: &[String]) -> usize {
     let mut matched = 0;
     for raw in urls {
-        if yav_nurl::screen(raw).is_err() {
+        let Ok(adx) = yav_nurl::screen_adx(raw) else {
             continue;
-        }
+        };
         let Ok(url) = Url::parse(raw) else { continue };
-        if let Ok(Some(_)) = template::parse(&url) {
+        if let Ok(Some(_)) = template::parse_screened(adx, &url) {
             matched += 1;
         }
     }
@@ -128,17 +130,18 @@ fn ingest_screened(urls: &[String]) -> usize {
 }
 
 /// Borrowed zero-copy ingestion with a reusable scratch — the monitor's
-/// sift shape: authority-only screen, borrowed parse on survivors.
+/// sift shape: authority-only screen carrying its verdict into the
+/// borrowed parse, so survivors never re-scan the host roster.
 fn ingest_borrowed(urls: &[String], scratch: &mut UrlScratch) -> usize {
     let mut matched = 0;
     for raw in urls {
-        if yav_nurl::screen(raw).is_err() {
+        let Ok(adx) = yav_nurl::screen_adx(raw) else {
             continue;
-        }
+        };
         let Ok(url) = UrlRef::parse(raw) else {
             continue;
         };
-        if let Ok(Some(_)) = template::parse_borrowed(&url, scratch) {
+        if let Ok(Some(_)) = template::parse_borrowed_screened(adx, &url, scratch) {
             matched += 1;
         }
     }
@@ -238,7 +241,17 @@ fn bench_baseline(_c: &mut Criterion) {
 
         let mut batched = YourAdValue::new(None);
         batched.install_model(model.clone());
-        let observe_batch = per_req(requests.len(), 5, &mut || {
+        // The staged batch path times each pass into
+        // `ingest.batch.{sift,predict,commit}.us`; delta the exact sums
+        // around the run for a per-request phase breakdown.
+        let phases = [
+            yav_telemetry::histogram("ingest.batch.sift.us"),
+            yav_telemetry::histogram("ingest.batch.predict.us"),
+            yav_telemetry::histogram("ingest.batch.commit.us"),
+        ];
+        let sums_before: Vec<f64> = phases.iter().map(|h| h.snapshot().sum).collect();
+        let passes = 5;
+        let observe_batch = per_req(requests.len(), passes, &mut || {
             let mut events = 0;
             for chunk in requests.chunks(4096) {
                 events += batched.observe_batch(chunk).len();
@@ -246,12 +259,21 @@ fn bench_baseline(_c: &mut Criterion) {
             drop(batched.take_contributions());
             events
         });
+        let total_reqs = (requests.len() * passes) as f64;
+        let phase_ns: Vec<f64> = phases
+            .iter()
+            .zip(&sums_before)
+            .map(|(h, before)| (h.snapshot().sum - before) * 1e3 / total_reqs)
+            .collect();
         println!(
             "ingest/observe_{stream_name}: per-req ns serial {observe_serial:.0}, \
-             batch {observe_batch:.0} ({:.2}x)",
-            observe_serial / observe_batch
+             batch {observe_batch:.0} ({:.2}x; sift {:.0} + predict {:.0} + commit {:.0})",
+            observe_serial / observe_batch,
+            phase_ns[0],
+            phase_ns[1],
+            phase_ns[2]
         );
-        observe_rows.push((stream_name, observe_serial, observe_batch));
+        observe_rows.push((stream_name, observe_serial, observe_batch, phase_ns));
     }
 
     let mut json = String::from("[\n");
@@ -264,7 +286,7 @@ fn bench_baseline(_c: &mut Criterion) {
             owned / borrowed
         ));
     }
-    for (i, (stream_name, serial, batch)) in observe_rows.iter().enumerate() {
+    for (i, (stream_name, serial, batch, phase_ns)) in observe_rows.iter().enumerate() {
         let tail = if i + 1 == observe_rows.len() {
             "\n]\n"
         } else {
@@ -273,8 +295,12 @@ fn bench_baseline(_c: &mut Criterion) {
         json.push_str(&format!(
             "  {{\"bench\":\"observe_serial_{stream_name}\",\"ns_per_req\":{serial:.1}}},\n  \
              {{\"bench\":\"observe_batch_{stream_name}\",\"ns_per_req\":{batch:.1},\
-             \"speedup_vs_serial\":{:.2}}}{tail}",
-            serial / batch
+             \"speedup_vs_serial\":{:.2},\"sift_ns\":{:.1},\"predict_ns\":{:.1},\
+             \"commit_ns\":{:.1}}}{tail}",
+            serial / batch,
+            phase_ns[0],
+            phase_ns[1],
+            phase_ns[2]
         ));
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");

@@ -1,0 +1,155 @@
+//! Tracing overhead: the yav-trace kill switch and the enabled record
+//! path, measured on the monitor's ingest hot loop.
+//!
+//! The acceptance bar for the tracing work is ≤ 2 % added cost on the
+//! borrowed-ingest hot path with tracing *disabled* (the switch is one
+//! relaxed atomic load and a branch; nothing is named, interned or
+//! allocated on the cold side). The enabled rows are informational —
+//! tracing on costs real work per record and is a debugging mode, not a
+//! steady state. Results land in `BENCH_trace.json`; like the other
+//! bench smokes, CI runs this non-gating because shared-runner timing
+//! is too noisy to fail a build on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use yav_core::YourAdValue;
+use yav_nurl::{NurlFields, PricePayload};
+use yav_types::{Adx, AuctionId, Cpm, DspId, ImpressionId, SimTime};
+use yav_weblog::HttpRequest;
+
+/// ~95 % ordinary traffic, ~5 % well-formed cleartext notifications —
+/// the monitor's steady-state diet (tracing records a span per observe
+/// and a drop instant per rejection, so the enabled path works on every
+/// request either way).
+fn mixed_requests(n: usize) -> Vec<HttpRequest> {
+    let t = SimTime::from_ymd_hm(2015, 10, 1, 12, 0);
+    (0..n)
+        .map(|i| {
+            let url = if i % 20 == 7 {
+                let fields = NurlFields::minimal(
+                    Adx::ALL[i % Adx::ALL.len()],
+                    DspId((i % 11) as u32),
+                    PricePayload::Cleartext(Cpm::from_f64(0.10 + (i % 90) as f64 / 100.0)),
+                    ImpressionId(i as u64),
+                    AuctionId(i as u64 + 1_000_000),
+                );
+                yav_nurl::emit(&fields).to_string()
+            } else {
+                format!(
+                    "http://www.dailynoticias{}.example/articles/{}?ref=home",
+                    i % 9,
+                    i
+                )
+            };
+            HttpRequest::bare(t, &url)
+        })
+        .collect()
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    let requests = mixed_requests(20_000);
+    let mut yav = YourAdValue::new(None);
+
+    yav_trace::set_enabled(false);
+    g.bench_function("observe_mixed_20k_tracing_off", |b| {
+        b.iter(|| {
+            let mut events = 0usize;
+            for req in black_box(&requests) {
+                events += yav.observe(req).is_some() as usize;
+            }
+            drop(yav.take_contributions());
+            events
+        })
+    });
+
+    yav_trace::set_enabled(true);
+    g.bench_function("observe_mixed_20k_tracing_on", |b| {
+        b.iter(|| {
+            let mut events = 0usize;
+            for req in black_box(&requests) {
+                events += yav.observe(req).is_some() as usize;
+            }
+            drop(yav.take_contributions());
+            events
+        })
+    });
+    yav_trace::set_enabled(false);
+    drop(yav_trace::drain());
+
+    g.finish();
+}
+
+fn bench_baseline(_c: &mut Criterion) {
+    // The BENCH_trace.json baseline: best-of wall clock for the raw
+    // span primitive and for the end-to-end observe loop, off vs on.
+    let best_of = |passes: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        let mut sink = 0usize;
+        for _ in 0..passes {
+            let t0 = std::time::Instant::now();
+            sink = sink.wrapping_add(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        black_box(sink);
+        best
+    };
+
+    // Raw primitive: one span open/close per iteration.
+    let spans = 2_000_000usize;
+    let mut spin = || -> usize {
+        for i in 0..spans {
+            let _s = yav_trace::trace_span!("bench.overhead_probe", i as u64);
+        }
+        spans
+    };
+    yav_trace::set_enabled(false);
+    let span_off_ns = best_of(10, &mut spin) / spans as f64 * 1e9;
+    yav_trace::set_enabled(true);
+    let span_on_ns = best_of(10, &mut spin) / spans as f64 * 1e9;
+    yav_trace::set_enabled(false);
+    drop(yav_trace::drain());
+
+    // End to end: the monitor's serial observe loop over mixed traffic.
+    let requests = mixed_requests(200_000);
+    let mut yav = YourAdValue::new(None);
+    let mut run = || -> usize {
+        let mut events = 0usize;
+        for req in &requests {
+            events += yav.observe(req).is_some() as usize;
+        }
+        drop(yav.take_contributions());
+        events
+    };
+    yav_trace::set_enabled(false);
+    let off_ns = best_of(10, &mut run) / requests.len() as f64 * 1e9;
+    yav_trace::set_enabled(true);
+    let on_ns = best_of(10, &mut run) / requests.len() as f64 * 1e9;
+    yav_trace::set_enabled(false);
+    let trace = yav_trace::drain();
+
+    let overhead_pct = (on_ns / off_ns - 1.0) * 100.0;
+    println!(
+        "trace_overhead: span off {span_off_ns:.2} ns, on {span_on_ns:.2} ns; \
+         observe/req off {off_ns:.0} ns, on {on_ns:.0} ns ({overhead_pct:+.1} %); \
+         {} records drained ({} dropped to ring wrap)",
+        trace.len(),
+        trace.dropped()
+    );
+
+    let json = format!(
+        "[\n  {{\"bench\":\"span_open_close_tracing_off\",\"ns\":{span_off_ns:.3}}},\n  \
+         {{\"bench\":\"span_open_close_tracing_on\",\"ns\":{span_on_ns:.3}}},\n  \
+         {{\"bench\":\"observe_mixed_tracing_off\",\"ns_per_req\":{off_ns:.1}}},\n  \
+         {{\"bench\":\"observe_mixed_tracing_on\",\"ns_per_req\":{on_ns:.1},\
+         \"overhead_pct\":{overhead_pct:.2}}}\n]\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+    } else {
+        println!("trace overhead baseline written to {path}");
+    }
+}
+
+criterion_group!(benches, bench_switch, bench_baseline);
+criterion_main!(benches);

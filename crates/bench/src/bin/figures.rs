@@ -80,6 +80,7 @@ fn main() {
     let mut scale = Scale::Mid;
     let mut exec = ExecConfig::default();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -109,18 +110,28 @@ fn main() {
                 }
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--trace" => {
+                let path = iter.next().map(String::as_str).unwrap_or("");
+                if path.is_empty() {
+                    eprintln!("--trace needs an output path (Chrome trace JSON)");
+                    std::process::exit(2);
+                }
+                trace_out = Some(std::path::PathBuf::from(path));
+            }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
     }
     ids.dedup();
-    if ids.is_empty() {
+    if ids.is_empty() && trace_out.is_none() {
         eprintln!(
-            "usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--threads N] [--out DIR]"
+            "usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--threads N] [--out DIR] [--trace FILE]"
         );
         eprintln!("experiments: {}", ALL.join(" "));
         eprintln!("--threads N   worker threads for world building (default: all cores, <= 16);");
         eprintln!("              results are identical for every N — only wall-clock changes");
+        eprintln!("--trace FILE  record a causal trace of the world build: Chrome trace JSON to");
+        eprintln!("              FILE (open in Perfetto) and folded stacks to FILE.folded");
         std::process::exit(2);
     }
     if let Some(dir) = &out_dir {
@@ -134,8 +145,36 @@ fn main() {
         "building world at {scale:?} scale on {} thread(s) …",
         exec.threads()
     );
+    if trace_out.is_some() {
+        yav_trace::set_enabled(true);
+    }
     let t0 = std::time::Instant::now();
     let world = World::build_with(scale, &exec);
+    if let Some(path) = &trace_out {
+        yav_trace::set_enabled(false);
+        let trace = yav_trace::drain();
+        if let Err(e) = std::fs::write(path, yav_trace::chrome_trace_json(&trace)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        let folded = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".folded");
+            std::path::PathBuf::from(p)
+        };
+        if let Err(e) = std::fs::write(&folded, yav_trace::folded_stacks(&trace)) {
+            eprintln!("cannot write {}: {e}", folded.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} records in {} streams ({} lost to ring wrap) -> {} + {}",
+            trace.len(),
+            trace.streams.len(),
+            trace.dropped(),
+            path.display(),
+            folded.display()
+        );
+    }
     eprintln!(
         "world ready in {:.1}s: {} HTTP requests, {} detections, A1 {} rows, A2 {} rows\n",
         t0.elapsed().as_secs_f64(),

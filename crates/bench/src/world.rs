@@ -141,6 +141,7 @@ impl World {
     /// serial `generator.run` stream, which stays available unchanged.
     pub fn build_with(scale: Scale, exec: &ExecConfig) -> World {
         let _span = yav_telemetry::span!("bench.world.build");
+        let _trace = yav_trace::trace_span!("bench.world_build");
         let config = WeblogConfig {
             exec: *exec,
             ..scale.weblog()

@@ -31,6 +31,12 @@ struct MonitorMetrics {
     ledger_cleartext_cpm: yav_telemetry::Gauge,
     ledger_estimated_cpm: yav_telemetry::Gauge,
     observe_us: yav_telemetry::Histogram,
+    /// Per-phase wall time of [`YourAdValue::observe_batch`]'s three
+    /// passes — the breakdown that explains where a batch's
+    /// `ingest.observe.us` actually goes.
+    sift_us: yav_telemetry::Histogram,
+    predict_us: yav_telemetry::Histogram,
+    commit_us: yav_telemetry::Histogram,
     /// Mirror of the counter [`EstimateScratch`] bumps per serial
     /// estimate; the batch path adds its whole count at once.
     predictions: yav_telemetry::Counter,
@@ -47,6 +53,9 @@ impl Default for MonitorMetrics {
             ledger_cleartext_cpm: yav_telemetry::gauge("core.monitor.ledger_cleartext_cpm"),
             ledger_estimated_cpm: yav_telemetry::gauge("core.monitor.ledger_estimated_cpm"),
             observe_us: yav_telemetry::histogram("ingest.observe.us"),
+            sift_us: yav_telemetry::histogram("ingest.batch.sift.us"),
+            predict_us: yav_telemetry::histogram("ingest.batch.predict.us"),
+            commit_us: yav_telemetry::histogram("ingest.batch.commit.us"),
             predictions: yav_telemetry::counter("pme.predictions_total"),
         }
     }
@@ -91,6 +100,12 @@ pub struct YourAdValue {
     /// Pre-resolved telemetry handles.
     metrics: MonitorMetrics,
 }
+
+/// Trace payload code on `ingest.drop` instants: malformed URL or
+/// payload.
+const DROP_PARSE_ERROR: u64 = 1;
+/// Trace payload code on `ingest.drop` instants: ordinary traffic.
+const DROP_NOT_NOTIFICATION: u64 = 2;
 
 /// Why observed requests were silently discarded — the monitor's own
 /// loss accounting (every non-notification or malformed URL used to
@@ -150,22 +165,29 @@ impl YourAdValue {
         // Host screen before any structural parsing: it inspects only the
         // scheme prefix and authority, so the overwhelming ordinary-
         // traffic case rejects on a fraction of the URL's bytes — and
-        // produces zero `nurl.template.*` counter traffic.
-        if let Err(reject) = yav_nurl::screen(&req.url) {
-            match reject {
-                yav_nurl::FastReject::Scheme => {
-                    // Scheme-less strings could never parse as URLs.
-                    self.drops.parse_error += 1;
-                    self.metrics.parse_error.inc();
+        // produces zero `nurl.template.*` counter traffic. The verdict
+        // carries the matched exchange into the full parse, so true
+        // nURLs scan the host roster exactly once.
+        let adx = match yav_nurl::screen_adx(&req.url) {
+            Ok(adx) => adx,
+            Err(reject) => {
+                match reject {
+                    yav_nurl::FastReject::Scheme => {
+                        // Scheme-less strings could never parse as URLs.
+                        self.drops.parse_error += 1;
+                        self.metrics.parse_error.inc();
+                        yav_trace::trace_instant!("ingest.drop", DROP_PARSE_ERROR);
+                    }
+                    yav_nurl::FastReject::Host => {
+                        self.drops.not_notification += 1;
+                        self.metrics.not_notification.inc();
+                        yav_trace::trace_instant!("ingest.drop", DROP_NOT_NOTIFICATION);
+                    }
                 }
-                yav_nurl::FastReject::Host => {
-                    self.drops.not_notification += 1;
-                    self.metrics.not_notification.inc();
-                }
+                self.metrics.rejected_total.inc();
+                return None;
             }
-            self.metrics.rejected_total.inc();
-            return None;
-        }
+        };
         let url = match UrlRef::parse(&req.url) {
             Ok(url) => url,
             Err(_) => {
@@ -175,21 +197,24 @@ impl YourAdValue {
                 self.drops.parse_error += 1;
                 self.metrics.parse_error.inc();
                 self.metrics.rejected_total.inc();
+                yav_trace::trace_instant!("ingest.drop", DROP_PARSE_ERROR);
                 return None;
             }
         };
-        let fields = match template::parse_borrowed(&url, &mut self.obs.url) {
+        let fields = match template::parse_borrowed_screened(adx, &url, &mut self.obs.url) {
             Ok(Some(fields)) => fields,
             Ok(None) => {
                 self.drops.not_notification += 1;
                 self.metrics.not_notification.inc();
                 self.metrics.rejected_total.inc();
+                yav_trace::trace_instant!("ingest.drop", DROP_NOT_NOTIFICATION);
                 return None;
             }
             Err(_) => {
                 self.drops.parse_error += 1;
                 self.metrics.parse_error.inc();
                 self.metrics.rejected_total.inc();
+                yav_trace::trace_instant!("ingest.drop", DROP_PARSE_ERROR);
                 return None;
             }
         };
@@ -225,6 +250,7 @@ impl YourAdValue {
     /// Observes one HTTP request. Returns the stored event if it was a
     /// winning-price notification.
     pub fn observe(&mut self, req: &HttpRequest) -> Option<PriceEvent> {
+        let _trace = yav_trace::trace_span!("ingest.observe");
         let (fields, ctx) = self.sift(req)?;
         let event = match &fields.price {
             PricePayload::Cleartext(price) => {
@@ -275,6 +301,7 @@ impl YourAdValue {
     /// metric.
     pub fn observe_batch(&mut self, reqs: &[HttpRequest]) -> Vec<PriceEvent> {
         let _timer = self.metrics.observe_us.time_us();
+        let _trace = yav_trace::trace_span!("ingest.observe_batch", reqs.len());
         // The staging buffers move out of `self` for the duration of the
         // borrow-heavy first pass and return before exit.
         let mut rows = std::mem::take(&mut self.obs.rows);
@@ -286,38 +313,42 @@ impl YourAdValue {
         // Pass 1: sift every request in order, staging events and (for
         // encrypted notifications under a model) one encoded feature row
         // each, with a placeholder amount until pass 2 fills it in.
-        for req in reqs {
-            let Some((fields, ctx)) = self.sift(req) else {
-                continue;
-            };
-            match &fields.price {
-                PricePayload::Cleartext(price) => {
-                    self.pending.cleartext.push((ctx, *price));
-                    staged.push(PriceEvent {
-                        time: req.time,
-                        adx: fields.adx,
-                        visibility: PriceVisibility::Cleartext,
-                        amount: *price,
-                        estimated: false,
-                    });
-                }
-                PricePayload::Encrypted(_) => {
-                    let Some(model) = &self.model else {
-                        self.skipped_no_model += 1;
-                        self.metrics.skipped_no_model.inc();
+        {
+            let _phase = yav_trace::trace_span!("ingest.sift", reqs.len());
+            let _phase_us = self.metrics.sift_us.time_us();
+            for req in reqs {
+                let Some((fields, ctx)) = self.sift(req) else {
+                    continue;
+                };
+                match &fields.price {
+                    PricePayload::Cleartext(price) => {
+                        self.pending.cleartext.push((ctx, *price));
+                        staged.push(PriceEvent {
+                            time: req.time,
+                            adx: fields.adx,
+                            visibility: PriceVisibility::Cleartext,
+                            amount: *price,
+                            estimated: false,
+                        });
+                    }
+                    PricePayload::Encrypted(_) => {
+                        let Some(model) = &self.model else {
+                            self.skipped_no_model += 1;
+                            self.metrics.skipped_no_model.inc();
+                            self.pending.encrypted.push(ctx);
+                            continue;
+                        };
+                        model::encode_append(&ctx, model.with_publisher, &mut rows);
+                        slots.push(staged.len());
                         self.pending.encrypted.push(ctx);
-                        continue;
-                    };
-                    model::encode_append(&ctx, model.with_publisher, &mut rows);
-                    slots.push(staged.len());
-                    self.pending.encrypted.push(ctx);
-                    staged.push(PriceEvent {
-                        time: req.time,
-                        adx: fields.adx,
-                        visibility: PriceVisibility::Encrypted,
-                        amount: Cpm::ZERO,
-                        estimated: true,
-                    });
+                        staged.push(PriceEvent {
+                            time: req.time,
+                            adx: fields.adx,
+                            visibility: PriceVisibility::Encrypted,
+                            amount: Cpm::ZERO,
+                            estimated: true,
+                        });
+                    }
                 }
             }
         }
@@ -325,6 +356,8 @@ impl YourAdValue {
         // Pass 2: one batched forest traversal values every staged
         // encrypted event.
         if !slots.is_empty() {
+            let _phase = yav_trace::trace_span!("ingest.predict", slots.len());
+            let _phase_us = self.metrics.predict_us.time_us();
             if let Some(model) = &self.model {
                 let classes = model
                     .compiled
@@ -343,8 +376,12 @@ impl YourAdValue {
         // Pass 3: commit in request order, so ledger contents, counters
         // and the running gauge sums match the serial path exactly.
         let mut out = Vec::with_capacity(staged.len());
-        for event in staged {
-            out.push(self.commit(event));
+        {
+            let _phase = yav_trace::trace_span!("ingest.commit", staged.len());
+            let _phase_us = self.metrics.commit_us.time_us();
+            for event in staged {
+                out.push(self.commit(event));
+            }
         }
         self.obs.rows = rows;
         self.obs.slots = slots;

@@ -94,12 +94,35 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let _span = yav_telemetry::span!("exec.pool.par_map");
+    let _trace = yav_trace::trace_span!("exec.par_map", n);
     yav_telemetry::counter("exec.pool.tasks").add(n as u64);
     let workers = exec.threads().min(n.max(1));
     yav_telemetry::gauge("exec.pool.workers").set(workers as f64);
 
+    // Each shard task records into its own trace stream, keyed by this
+    // fan-out's generation and the shard index — never by worker thread
+    // — so the merged trace is canonical across thread counts. The
+    // generation is taken here, on the coordinating thread, keeping it
+    // deterministic for a deterministic call sequence.
+    let trace_group = if yav_trace::enabled() {
+        Some((yav_trace::next_group(), yav_trace::current_ctx()))
+    } else {
+        None
+    };
+    let run_shard = |i: usize| match trace_group {
+        Some((group, origin)) => yav_trace::stream_scope(
+            yav_trace::StreamId {
+                group,
+                index: i as u32,
+            },
+            origin,
+            || f(i),
+        ),
+        None => f(i),
+    };
+
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_shard).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -108,7 +131,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
-                let f = &f;
+                let run_shard = &run_shard;
                 scope.spawn(move |_| {
                     let mut out: Vec<(usize, T)> = Vec::new();
                     loop {
@@ -116,7 +139,7 @@ where
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        out.push((i, run_shard(i)));
                     }
                     out
                 })
@@ -195,6 +218,34 @@ mod tests {
         assert_eq!(ExecConfig::serial().threads(), 1);
         assert_eq!(ExecConfig::with_threads(0).threads(), 1);
         assert!(default_threads() <= MAX_AUTO_THREADS);
+    }
+
+    #[test]
+    fn traced_shards_merge_canonically() {
+        yav_trace::set_enabled(true);
+        let marker = yav_trace::span_name("exec.test_marker");
+        let out = par_map_indexed(&ExecConfig::with_threads(4), 6, |i| {
+            yav_trace::instant(marker, i as u64);
+            i
+        });
+        yav_trace::set_enabled(false);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        let trace = yav_trace::drain();
+        // Other tests in this binary may have traced concurrently; look
+        // only at the streams carrying our marker.
+        let mine: Vec<_> = trace
+            .streams
+            .iter()
+            .filter(|s| s.records.iter().any(|r| r.name == marker.id()))
+            .collect();
+        assert_eq!(mine.len(), 6, "one stream per shard");
+        let group = mine[0].stream.group;
+        assert!(group > 0, "shards get a scoped (non-zero) group");
+        for (i, s) in mine.iter().enumerate() {
+            assert_eq!(s.stream.group, group, "one generation per par_map");
+            assert_eq!(s.stream.index, i as u32, "canonical shard order");
+            assert!(s.records.iter().any(|r| r.arg == i as u64));
+        }
     }
 
     #[test]

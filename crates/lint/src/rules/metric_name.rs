@@ -18,10 +18,11 @@ use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 use std::collections::BTreeMap;
 
-/// Valid first segments: one per workspace crate, plus the root facade
-/// and `ingest` (the cross-crate request-ingestion surface: the monitor
-/// and analyzer both report under it).
-const AREAS: &[&str] = &[
+/// Valid first segments: one per workspace crate, plus the root facade,
+/// `ingest` (the cross-crate request-ingestion surface: the monitor and
+/// analyzer both report under it) and `health` (the SLO engine's
+/// cross-area reporting surface).
+pub(crate) const AREAS: &[&str] = &[
     "analyzer",
     "auction",
     "bench",
@@ -29,6 +30,7 @@ const AREAS: &[&str] = &[
     "core",
     "crypto",
     "exec",
+    "health",
     "ingest",
     "ml",
     "nurl",
@@ -36,6 +38,7 @@ const AREAS: &[&str] = &[
     "root",
     "stats",
     "telemetry",
+    "trace",
     "types",
     "weblog",
 ];
@@ -143,7 +146,9 @@ impl Default for MetricNameRule {
 }
 
 /// Why a name violates `area.name[.unit]`, or `None` when it is fine.
-fn bad_name(name: &str) -> Option<&'static str> {
+/// Shared with `span-hygiene`: trace span names follow the same
+/// `area.op` dotted convention as metric names.
+pub(crate) fn bad_name(name: &str) -> Option<&'static str> {
     let segments: Vec<&str> = name.split('.').collect();
     if !(2..=4).contains(&segments.len()) {
         return Some("must have 2–4 dot-separated segments (`area.name[.unit]`)");

@@ -8,6 +8,7 @@ pub mod metric_name;
 pub mod money_cast;
 pub mod nondet_iteration;
 pub mod panic_policy;
+pub mod span_hygiene;
 pub mod wall_clock;
 
 /// Every valid rule name (for `allow(...)` validation). The pseudo-rule
@@ -21,6 +22,7 @@ pub const RULE_NAMES: &[&str] = &[
     "metric-name-hygiene",
     "money-cast",
     "alloc-in-reject-path",
+    "span-hygiene",
     "bad-suppression",
 ];
 
@@ -34,5 +36,6 @@ pub fn all() -> Vec<Box<dyn crate::engine::Rule>> {
         Box::new(forbid_unsafe::ForbidUnsafeCoverage),
         Box::new(money_cast::MoneyCast),
         Box::new(alloc_reject::AllocInRejectPath),
+        Box::new(span_hygiene::SpanHygiene),
     ]
 }

@@ -76,6 +76,14 @@ const CASES: &[Case] = &[
         rel: "crates/nurl/src/urlref.rs",
         min_findings: 6,
     },
+    Case {
+        rule: "span-hygiene",
+        positive: "span_pos.rs",
+        negative: "span_neg.rs",
+        crate_name: "core",
+        rel: "crates/core/src/fixture.rs",
+        min_findings: 5,
+    },
 ];
 
 fn lint_fixture(case: &Case, name: &str) -> Vec<Diagnostic> {

@@ -1,0 +1,18 @@
+//! Negative span-hygiene fixture: idiomatic tracing, nothing to flag.
+
+pub fn observe(reqs: &[u64]) -> usize {
+    let _trace = yav_trace::trace_span!("ingest.observe");
+    let _phase = trace_span!("ingest.sift", reqs.len());
+    let mut guard = yav_trace::trace_span!("pme.train", 10);
+    let _keep = &mut guard;
+    yav_trace::trace_instant!("ingest.drop", 1);
+    reqs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_out_of_scope() {
+        yav_trace::trace_span!("anything goes in tests");
+    }
+}

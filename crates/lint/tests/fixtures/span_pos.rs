@@ -1,0 +1,15 @@
+//! Positive span-hygiene fixture: every trace call here is wrong.
+
+pub fn observe(reqs: &[u64]) -> usize {
+    // Unbound guard: the span closes on this same line.
+    yav_trace::trace_span!("ingest.observe");
+    // Bound to `_`, which also drops immediately.
+    let _ = yav_trace::trace_span!("ingest.sift", reqs.len());
+    // Name ignores the dotted `area.op` convention.
+    let _g = trace_span!("IngestObserve");
+    // Unknown area.
+    let _h = yav_trace::trace_span!("mystery.op");
+    // Instants share the name convention.
+    yav_trace::trace_instant!("ingest");
+    reqs.len()
+}

@@ -74,6 +74,14 @@ pub enum FastReject {
 /// first `/`, host at the first `:`), so a candidate's subsequent full
 /// parse sees the same host.
 pub fn screen(raw: &str) -> Result<(), FastReject> {
+    screen_adx(raw).map(|_| ())
+}
+
+/// [`screen`], but the verdict carries the matched exchange: a caller
+/// that goes on to fully parse a surviving URL hands the `Adx` to
+/// [`template::parse_borrowed_screened`] and skips the second
+/// host-roster scan — true nURLs pay the screen once, not twice.
+pub fn screen_adx(raw: &str) -> Result<Adx, FastReject> {
     let rest = if let Some(r) = raw.strip_prefix("https://") {
         r
     } else if let Some(r) = raw.strip_prefix("http://") {
@@ -83,11 +91,7 @@ pub fn screen(raw: &str) -> Result<(), FastReject> {
     };
     let authority = rest.split('/').next().unwrap_or(rest);
     let host = authority.split(':').next().unwrap_or("");
-    if exchange_host(host).is_some() {
-        Ok(())
-    } else {
-        Err(FastReject::Host)
-    }
+    exchange_host(host).ok_or(FastReject::Host)
 }
 
 /// One entry of the precomputed host-dispatch table: the domain length

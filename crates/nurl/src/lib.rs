@@ -36,9 +36,14 @@ pub mod template;
 pub mod url;
 pub mod urlref;
 
-pub use detect::{exchange_host, is_candidate, screen, DetectedPrice, FastReject, NurlDetector};
+pub use detect::{
+    exchange_host, is_candidate, screen, screen_adx, DetectedPrice, FastReject, NurlDetector,
+};
 pub use fields::{NurlFields, PricePayload};
 pub use scratch::{DecodedPairs, UrlScratch};
-pub use template::{emit, emit_into, parse, parse_borrowed, NurlParseError, NurlRefError};
+pub use template::{
+    emit, emit_into, parse, parse_borrowed, parse_borrowed_screened, parse_screened,
+    NurlParseError, NurlRefError,
+};
 pub use url::{Url, UrlParseError};
 pub use urlref::{QueryIter, UrlRef};

@@ -344,6 +344,30 @@ pub fn parse(url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
     result
 }
 
+/// [`parse`] for a URL whose raw text already passed
+/// [`crate::detect::screen_adx`]: the caller supplies the matched
+/// exchange, so the host roster is scanned exactly once per URL.
+/// Result semantics and `nurl.template.*` accounting are identical to
+/// [`parse`] — the only difference is the skipped re-lookup.
+///
+/// The contract is that `adx` came from screening *this* raw URL; the
+/// host is not re-checked here.
+pub fn parse_screened(adx: Adx, url: &Url) -> Result<Option<NurlFields>, NurlParseError> {
+    let c = template_counters();
+    c.urls_seen.inc();
+    let result = if url.path() != template_for(adx).path {
+        Ok(None)
+    } else {
+        fields_from_query(adx, url).map(Some)
+    };
+    match &result {
+        Ok(Some(_)) => c.matched.inc(),
+        Ok(None) => c.not_notification.inc(),
+        Err(_) => c.malformed_dropped.inc(),
+    }
+    result
+}
+
 /// Pre-resolved `nurl.template.*` counter handles. Template parsing is
 /// the per-URL hot path; resolving handles once spares it a registry
 /// lock + name lookup per counter per URL. The registry keeps cached
@@ -390,9 +414,35 @@ pub fn parse_borrowed(
     url: &UrlRef<'_>,
     scratch: &mut UrlScratch,
 ) -> Result<Option<NurlFields>, NurlRefError> {
+    let _trace = yav_trace::trace_span!("nurl.parse_borrowed");
     let c = template_counters();
     c.urls_seen.inc();
     let result = parse_borrowed_inner(url, scratch);
+    match &result {
+        Ok(Some(_)) => c.matched.inc(),
+        Ok(None) => c.not_notification.inc(),
+        Err(_) => c.malformed_dropped.inc(),
+    }
+    result
+}
+
+/// [`parse_borrowed`] for a URL that already passed
+/// [`crate::detect::screen_adx`]: the caller supplies the matched
+/// exchange, so the host roster is scanned exactly once per URL.
+/// Result semantics and `nurl.template.*` accounting are identical to
+/// [`parse_borrowed`] — the only difference is the skipped re-lookup.
+///
+/// The contract is that `adx` came from screening *this* raw URL; the
+/// host is not re-checked here.
+pub fn parse_borrowed_screened(
+    adx: Adx,
+    url: &UrlRef<'_>,
+    scratch: &mut UrlScratch,
+) -> Result<Option<NurlFields>, NurlRefError> {
+    let _trace = yav_trace::trace_span!("nurl.parse_borrowed");
+    let c = template_counters();
+    c.urls_seen.inc();
+    let result = parse_screened_inner(adx, url, scratch);
     match &result {
         Ok(Some(_)) => c.matched.inc(),
         Ok(None) => c.not_notification.inc(),
@@ -408,6 +458,14 @@ fn parse_borrowed_inner(
     let Some(adx) = crate::detect::exchange_host(url.host_raw()) else {
         return Ok(None);
     };
+    parse_screened_inner(adx, url, scratch)
+}
+
+fn parse_screened_inner(
+    adx: Adx,
+    url: &UrlRef<'_>,
+    scratch: &mut UrlScratch,
+) -> Result<Option<NurlFields>, NurlRefError> {
     let pairs = scratch.decode(url).map_err(NurlRefError::Url)?;
     if url.path() != template_for(adx).path {
         return Ok(None);
@@ -538,6 +596,73 @@ mod tests {
 
     fn sample_token(seed: u8) -> EncryptedPrice {
         PriceCrypter::new(PriceKeys::derive("test")).encrypt(1_234_000, [seed; 16])
+    }
+
+    #[test]
+    fn screened_parse_agrees_with_borrowed() {
+        // The screened fast path must be observably identical to the
+        // full borrowed parse whenever its precondition (adx came from
+        // screening this URL) holds.
+        let mut scratch = UrlScratch::new();
+        let mut scratch2 = UrlScratch::new();
+        let mut raw = String::new();
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(0.42)),
+                PricePayload::Encrypted(sample_token(9)),
+            ] {
+                let fields =
+                    NurlFields::minimal(adx, DspId(1), price, ImpressionId(7), AuctionId(7));
+                emit_into(&fields, &mut raw);
+                let screened_adx = crate::detect::screen_adx(&raw).expect("emitted nURL screens");
+                assert_eq!(screened_adx, adx);
+                let url = UrlRef::parse(&raw).expect("emitted nURL parses");
+                let full = parse_borrowed(&url, &mut scratch);
+                let fast = parse_borrowed_screened(screened_adx, &url, &mut scratch2);
+                assert_eq!(full, fast, "{raw}");
+            }
+        }
+        // Malformed payload on a screened host: same error either way.
+        let bad = "http://cpp.imp.mpx.mopub.com/imp?currency=USD";
+        let adx = crate::detect::screen_adx(bad).expect("host screens");
+        let url = UrlRef::parse(bad).expect("parses structurally");
+        assert_eq!(
+            parse_borrowed(&url, &mut scratch),
+            parse_borrowed_screened(adx, &url, &mut scratch2),
+        );
+        // Screened host with a non-notification path: ordinary traffic.
+        let robots = "http://cpp.imp.mpx.mopub.com/robots.txt";
+        let adx = crate::detect::screen_adx(robots).expect("host screens");
+        let url = UrlRef::parse(robots).expect("parses structurally");
+        assert_eq!(parse_borrowed_screened(adx, &url, &mut scratch2), Ok(None));
+    }
+
+    #[test]
+    fn screened_parse_agrees_with_owned() {
+        // Same contract for the owned pipeline: carrying the screen
+        // verdict must not change any parse outcome.
+        let mut raw = String::new();
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(0.42)),
+                PricePayload::Encrypted(sample_token(9)),
+            ] {
+                let fields =
+                    NurlFields::minimal(adx, DspId(1), price, ImpressionId(7), AuctionId(7));
+                emit_into(&fields, &mut raw);
+                let screened_adx = crate::detect::screen_adx(&raw).expect("emitted nURL screens");
+                let url = Url::parse(&raw).expect("emitted nURL parses");
+                assert_eq!(parse(&url), parse_screened(screened_adx, &url), "{raw}");
+            }
+        }
+        for raw in [
+            "http://cpp.imp.mpx.mopub.com/imp?currency=USD", // malformed payload
+            "http://cpp.imp.mpx.mopub.com/robots.txt",       // ordinary traffic
+        ] {
+            let adx = crate::detect::screen_adx(raw).expect("host screens");
+            let url = Url::parse(raw).expect("parses structurally");
+            assert_eq!(parse(&url), parse_screened(adx, &url), "{raw}");
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl Pme {
     /// version. Returns the new version.
     pub fn train_from_campaign(&self, rows: &[ProbeImpression], config: &TrainConfig) -> u32 {
         let _span = yav_telemetry::span!("pme.engine.train");
+        let _trace = yav_trace::trace_span!("pme.train", rows.len());
         let trained = model::train(rows, config);
         Self::record_training_metrics(&trained);
         let mut state = self.state.write();
@@ -149,6 +150,7 @@ impl Pme {
         let state = self.state.read();
         let model = state.model.as_ref()?;
         let _span = yav_telemetry::span!("pme.engine.estimate_batch");
+        let _trace = yav_trace::trace_span!("pme.estimate_batch", contexts.len());
         let with_publisher = model.client.with_publisher;
         let n_features = model.compiled.n_features();
         let mut flat = Vec::with_capacity(contexts.len() * n_features);
@@ -241,6 +243,7 @@ impl Pme {
             );
         }
         let _span = yav_telemetry::span!("pme.engine.train");
+        let _trace = yav_trace::trace_span!("pme.train", pairs.len());
         let trained = model::train_pairs(&pairs, config);
         Self::record_training_metrics(&trained);
         let mut state = self.state.write();

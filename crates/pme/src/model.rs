@@ -315,6 +315,7 @@ impl ClientModel {
         scratch.probs.resize(self.compiled.n_classes(), 0.0);
         let class = self.compiled.predict_with(&scratch.row, &mut scratch.probs);
         scratch.predictions.inc();
+        yav_trace::trace_instant!("pme.predict", class);
         Cpm::from_f64(self.class_prices[class])
     }
 }

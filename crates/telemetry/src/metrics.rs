@@ -220,6 +220,26 @@ impl Histogram {
         }
     }
 
+    /// The non-empty log buckets as `(geometric midpoint, cumulative
+    /// count)` pairs, midpoints ascending.
+    ///
+    /// Counts are cumulative since process start, like every other
+    /// metric read; rolling-window consumers (the `yav-trace` health
+    /// engine) difference successive calls to recover per-window
+    /// distributions. The underflow bucket is excluded, matching the
+    /// quantile semantics of [`Histogram::snapshot`].
+    pub fn bucket_counts(&self) -> Vec<(f64, u64)> {
+        self.inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_mid(i), c))
+            })
+            .collect()
+    }
+
     /// A point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let core = &*self.inner;

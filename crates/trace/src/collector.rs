@@ -1,0 +1,252 @@
+//! The process-wide collector: kill switch, per-thread rings, shard
+//! stream scopes, RAII span guards and the canonical drain.
+//!
+//! Ownership model: every ring has exactly one writer. Free-running
+//! threads own a thread-local ring (stream group 0); a
+//! [`stream_scope`] temporarily swaps in a fresh ring for one shard
+//! task, then submits it to the finished list. [`drain`] flushes the
+//! calling thread's ring, takes every finished ring, and sorts streams
+//! by `(group, index)` — a canonical order independent of worker
+//! scheduling, so traces of a deterministic run are byte-stable across
+//! thread counts.
+//!
+//! When tracing is disabled (the default), [`SpanGuard::begin`],
+//! [`instant`] and [`stream_scope`] cost one relaxed atomic load and a
+//! branch — no allocation, no TLS write.
+
+use crate::record::{span_name, SpanName};
+use crate::ring::{StreamId, StreamTrace, Trace, TraceRing};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use yav_telemetry::Counter;
+
+/// Tracing starts **off**: the monitor's default posture is zero
+/// observability overhead, mirroring the paper's in-browser deployment.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Capacity for rings created after the last [`set_ring_capacity`].
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+/// Default per-stream ring capacity (records).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Next stream index for free-running (group-0) threads.
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+/// Next `par_map` generation; 0 is reserved for free-running threads.
+static NEXT_GROUP: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceRing>> = const { RefCell::new(None) };
+}
+
+fn finished() -> &'static Mutex<Vec<StreamTrace>> {
+    static FINISHED: OnceLock<Mutex<Vec<StreamTrace>>> = OnceLock::new();
+    FINISHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct TraceMetrics {
+    records: Counter,
+    streams: Counter,
+    dropped: Counter,
+}
+
+fn trace_metrics() -> &'static TraceMetrics {
+    static METRICS: OnceLock<TraceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TraceMetrics {
+        records: yav_telemetry::counter("trace.records_flushed"),
+        streams: yav_telemetry::counter("trace.streams_flushed"),
+        dropped: yav_telemetry::counter("trace.records_dropped"),
+    })
+}
+
+/// Turns span recording on or off process-wide. Off is the default and
+/// the zero-cost path; flipping mid-run is safe (open guards still pop
+/// their stack entry, they just stop emitting records).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when spans record.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the capacity (records) of rings created from now on. Existing
+/// rings keep their size.
+pub fn set_ring_capacity(records: usize) {
+    RING_CAPACITY.store(records.max(8), Ordering::Relaxed);
+}
+
+fn capacity() -> usize {
+    RING_CAPACITY.load(Ordering::Relaxed)
+}
+
+fn with_ring<R>(f: impl FnOnce(&mut TraceRing) -> R) -> R {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let ring = cur.get_or_insert_with(|| {
+            let index = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            TraceRing::new(StreamId { group: 0, index }, capacity())
+        });
+        f(ring)
+    })
+}
+
+/// The current thread's innermost open span as a cross-stream context
+/// (`(stream, begin seq)`), or `None` when untraced. `par_map` captures
+/// this before fanning out so shard streams carry their causal origin.
+pub fn current_ctx() -> Option<(StreamId, u32)> {
+    if !enabled() {
+        return None;
+    }
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let ring = cur.as_ref()?;
+        Some((ring.stream(), ring.current_span()?))
+    })
+}
+
+/// Reserves the next fan-out generation number. Called once per
+/// `par_map` invocation (on the coordinating thread, so generations are
+/// deterministic for a deterministic call sequence).
+pub fn next_group() -> u32 {
+    NEXT_GROUP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Runs `f` with a fresh ring for `stream`, then submits that ring to
+/// the finished list and restores the thread's previous ring. This is
+/// how `yav-exec` gives each shard task its own stream no matter which
+/// worker thread runs it. No-op wrapper when tracing is disabled.
+pub fn stream_scope<R>(
+    stream: StreamId,
+    origin: Option<(StreamId, u32)>,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !enabled() {
+        return f();
+    }
+    let mut ring = TraceRing::new(stream, capacity());
+    ring.set_origin(origin);
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ring));
+    let out = f();
+    let ring = CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let ring = cur.take();
+        *cur = prev;
+        ring
+    });
+    if let Some(ring) = ring {
+        submit(ring);
+    }
+    out
+}
+
+fn submit(ring: TraceRing) {
+    let s = ring.into_stream();
+    let m = trace_metrics();
+    m.records.add(s.records.len() as u64);
+    m.dropped.add(s.dropped);
+    m.streams.inc();
+    finished().lock().push(s);
+}
+
+/// Flushes the calling thread's ring (if it recorded anything) to the
+/// finished list. [`drain`] does this implicitly for its caller;
+/// long-lived helper threads that trace outside stream scopes must call
+/// it themselves before the coordinator drains.
+pub fn flush_thread() {
+    let ring = CURRENT.with(|c| c.borrow_mut().take());
+    if let Some(ring) = ring {
+        submit(ring);
+    }
+}
+
+/// Takes everything traced so far — finished shard streams plus the
+/// calling thread's own ring — as one [`Trace`] in canonical stream
+/// order. Leaves the collector empty.
+pub fn drain() -> Trace {
+    flush_thread();
+    let mut streams: Vec<StreamTrace> = std::mem::take(&mut *finished().lock());
+    streams.sort_by_key(|s| s.stream);
+    Trace { streams }
+}
+
+/// Discards all collected records and resets stream numbering. Call on
+/// the coordinating thread between runs (tests, repeated world builds)
+/// so stream ids start from `t0`/`g1` again.
+pub fn clear() {
+    CURRENT.with(|c| c.borrow_mut().take());
+    finished().lock().clear();
+    NEXT_THREAD.store(0, Ordering::Relaxed);
+    NEXT_GROUP.store(1, Ordering::Relaxed);
+}
+
+/// An open span; records its `End` on drop. Obtain via
+/// [`crate::trace_span!`] or [`SpanGuard::begin`].
+#[derive(Debug)]
+#[must_use = "binding to _ drops the guard immediately and traces nothing"]
+pub struct SpanGuard {
+    open: Option<(SpanName, u32)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (the disabled path).
+    pub fn inert() -> SpanGuard {
+        SpanGuard { open: None }
+    }
+
+    /// Opens a span with a pre-resolved name. One branch and no
+    /// allocation when tracing is disabled.
+    #[inline]
+    pub fn begin(name: SpanName, arg: u64) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard::inert();
+        }
+        let seq = with_ring(|r| r.begin(name, arg));
+        SpanGuard {
+            open: Some((name, seq)),
+        }
+    }
+
+    /// Macro support: resolves (and caches) `name` on first traced use,
+    /// then opens the span. Call sites use [`crate::trace_span!`].
+    #[inline]
+    pub fn enter(cell: &'static OnceLock<SpanName>, name: &'static str, arg: u64) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard::inert();
+        }
+        SpanGuard::begin(*cell.get_or_init(|| span_name(name)), arg)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, seq)) = self.open.take() {
+            with_ring(|r| r.end(seq, name));
+        }
+    }
+}
+
+/// Records a point event with a pre-resolved name. One branch when
+/// disabled.
+#[inline]
+pub fn instant(name: SpanName, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    with_ring(|r| r.instant(name, arg));
+}
+
+/// Macro support for [`crate::trace_instant!`]: cached name resolution,
+/// then [`instant`].
+#[inline]
+pub fn instant_cached(cell: &'static OnceLock<SpanName>, name: &'static str, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    instant(*cell.get_or_init(|| span_name(name)), arg);
+}

@@ -1,0 +1,186 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! folded-stack flamegraph text.
+//!
+//! JSON is hand-rolled like `yav-telemetry`'s exporter — this crate
+//! stays a leaf so instrumenting `yav-nurl` never widens its dependency
+//! tree. Timestamps are logical sequence numbers: Perfetto renders each
+//! stream as a thread track whose x-axis is *event order*, not wall
+//! time, which is exactly the determinism contract of the journal.
+
+use crate::record::{name_of, EventKind, NO_PARENT};
+use crate::ring::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a drained trace in the Chrome trace-event JSON format
+/// (`chrome://tracing` / Perfetto "Open trace file").
+///
+/// Mapping: one fake process (`pid` 0); each stream is a thread whose
+/// `tid` is its canonical rank and whose name is the stream label
+/// (`t0`, `g1.s3`, ...); spans are `B`/`E` pairs, point events are
+/// scoped instants (`i`), and `ts` is the record's logical seq. Each
+/// event's `args` carry the raw payload and the causal parent seq.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, stream) in trace.streams.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut label = stream.stream.label();
+        if let Some((origin, seq)) = stream.origin {
+            let _ = write!(label, " (from {}#{})", origin.label(), seq);
+        }
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&label)
+        );
+        for r in &stream.records {
+            out.push(',');
+            let name = json_escape(&name_of(r.name));
+            let parent = if r.parent == NO_PARENT {
+                "null".to_owned()
+            } else {
+                r.parent.to_string()
+            };
+            match r.kind {
+                EventKind::Begin => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"name\":\"{name}\",\
+                         \"args\":{{\"arg\":{},\"parent\":{parent}}}}}",
+                        r.seq, r.arg
+                    );
+                }
+                EventKind::End => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"name\":\"{name}\"}}",
+                        r.seq
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"name\":\"{name}\",\
+                         \"s\":\"t\",\"args\":{{\"arg\":{},\"parent\":{parent}}}}}",
+                        r.seq, r.arg
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a drained trace as folded stacks (`a;b;c <count>` lines,
+/// sorted) for `flamegraph.pl` / speedscope / inferno.
+///
+/// Weights are **logical ticks** — each record attributes one tick to
+/// the stack active when it fired — so frame width reads as "events
+/// under this span", a causal profile rather than a time profile.
+/// Streams are merged; the stream label is the root frame.
+pub fn folded_stacks(trace: &Trace) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for stream in &trace.streams {
+        let root = stream.stream.label();
+        let mut stack: Vec<String> = Vec::new();
+        for r in &stream.records {
+            let name = name_of(r.name);
+            match r.kind {
+                EventKind::Begin => {
+                    stack.push(name);
+                    *weights.entry(fold(&root, &stack, None)).or_insert(0) += 1;
+                }
+                EventKind::End => {
+                    // A wrapped ring can surface an End whose Begin was
+                    // overwritten; treat it as closing nothing.
+                    *weights.entry(fold(&root, &stack, None)).or_insert(0) += 1;
+                    if stack.last() == Some(&name) {
+                        stack.pop();
+                    }
+                }
+                EventKind::Instant => {
+                    *weights.entry(fold(&root, &stack, Some(&name))).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (frames, weight) in weights {
+        let _ = writeln!(out, "{frames} {weight}");
+    }
+    out
+}
+
+fn fold(root: &str, stack: &[String], leaf: Option<&str>) -> String {
+    let mut frames = String::from(root);
+    for f in stack {
+        frames.push(';');
+        frames.push_str(f);
+    }
+    if let Some(leaf) = leaf {
+        frames.push(';');
+        frames.push_str(leaf);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::span_name;
+    use crate::ring::{StreamId, TraceRing};
+
+    fn demo_trace() -> Trace {
+        let mut r = TraceRing::new(StreamId { group: 0, index: 0 }, 64);
+        let build = span_name("test.build");
+        let shard = span_name("test.shard");
+        let a = r.begin(build, 0);
+        let b = r.begin(shard, 3);
+        r.instant(span_name("test.drop"), 1);
+        r.end(b, shard);
+        r.end(a, build);
+        Trace {
+            streams: vec![r.into_stream()],
+        }
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = chrome_trace_json(&demo_trace());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"test.build\""));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn folded_stacks_nest() {
+        let folded = folded_stacks(&demo_trace());
+        assert!(folded.contains("t0;test.build;test.shard;test.drop 1"));
+        assert!(folded.lines().all(|l| l.rsplit(' ').next().is_some()));
+    }
+}

@@ -1,0 +1,175 @@
+//! Compact trace records and the global span-name interner.
+//!
+//! A [`TraceRecord`] is 24 bytes in memory and 20 on the wire: logical
+//! sequence numbers instead of wall-clock timestamps (so traces of a
+//! deterministic run are themselves deterministic, and the
+//! wall-clock-in-sim lint rule holds for every traced crate), and an
+//! interned [`NameId`] instead of a string. Call sites resolve names
+//! once into [`SpanName`] handles — the same pre-resolved-handle idiom
+//! `yav-telemetry` uses for counters — so the record path never touches
+//! the interner lock.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// An interned span name: index into the process-wide name table.
+pub type NameId = u16;
+
+/// A pre-resolved span name handle; `Copy`, cheap to store in metric
+/// bundles next to telemetry handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanName(pub(crate) NameId);
+
+impl SpanName {
+    /// The interned id.
+    pub fn id(self) -> NameId {
+        self.0
+    }
+}
+
+/// What a record marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A span opened; `parent` is the enclosing span's begin sequence.
+    Begin = 0,
+    /// A span closed; `parent` is the matching begin sequence.
+    End = 1,
+    /// A point event (drop, detection, phase marker).
+    Instant = 2,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        match v {
+            0 => Some(EventKind::Begin),
+            1 => Some(EventKind::End),
+            2 => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel `parent` for records with no enclosing span.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One journal entry. `seq` is a logical clock local to its stream;
+/// the pair `(stream, seq)` orders the whole trace canonically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Stream-local logical sequence number (0-based, dense).
+    pub seq: u32,
+    /// Begin-seq of the causal parent, or [`NO_PARENT`].
+    pub parent: u32,
+    /// Interned span name.
+    pub name: NameId,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Free payload: batch size, drop reason, row count.
+    pub arg: u64,
+}
+
+/// Bytes per encoded record.
+pub const WIRE_SIZE: usize = 20;
+
+impl TraceRecord {
+    /// Encodes to the 20-byte little-endian wire form:
+    /// `[seq:4][parent:4][name:2][kind:1][pad:1][arg:8]`.
+    pub fn to_bytes(&self) -> [u8; WIRE_SIZE] {
+        let mut out = [0u8; WIRE_SIZE];
+        out[0..4].copy_from_slice(&self.seq.to_le_bytes());
+        out[4..8].copy_from_slice(&self.parent.to_le_bytes());
+        out[8..10].copy_from_slice(&self.name.to_le_bytes());
+        out[10] = self.kind as u8;
+        out[12..20].copy_from_slice(&self.arg.to_le_bytes());
+        out
+    }
+
+    /// Decodes the wire form; `None` on an unknown event kind.
+    pub fn from_bytes(b: &[u8; WIRE_SIZE]) -> Option<TraceRecord> {
+        Some(TraceRecord {
+            seq: u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            parent: u32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+            name: u16::from_le_bytes([b[8], b[9]]),
+            kind: EventKind::from_u8(b[10])?,
+            arg: u64::from_le_bytes([b[12], b[13], b[14], b[15], b[16], b[17], b[18], b[19]]),
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Interner {
+    by_name: BTreeMap<String, NameId>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static NAMES: OnceLock<RwLock<Interner>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Interns `name` and returns its handle. Call once per site (cache the
+/// result, e.g. in a `OnceLock` as [`crate::trace_span!`] does); the
+/// record path then never locks. The table is append-only and capped at
+/// `u16::MAX` distinct names — far above the workspace's span
+/// vocabulary; later names saturate onto the last slot rather than
+/// panicking.
+pub fn span_name(name: &str) -> SpanName {
+    if let Some(&id) = interner().read().by_name.get(name) {
+        return SpanName(id);
+    }
+    let mut w = interner().write();
+    if let Some(&id) = w.by_name.get(name) {
+        return SpanName(id);
+    }
+    let id = w.names.len().min(NameId::MAX as usize) as NameId;
+    if (id as usize) == w.names.len() {
+        w.names.push(name.to_owned());
+    }
+    w.by_name.insert(name.to_owned(), id);
+    SpanName(id)
+}
+
+/// The string for an interned id (`"?"` for an id this process never
+/// interned — e.g. a record decoded from another process's journal).
+pub fn name_of(id: NameId) -> String {
+    interner()
+        .read()
+        .names
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_else(|| "?".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = TraceRecord {
+            seq: 7,
+            parent: NO_PARENT,
+            name: 3,
+            kind: EventKind::Instant,
+            arg: 0xDEAD_BEEF_0BAD_F00D,
+        };
+        assert_eq!(TraceRecord::from_bytes(&r.to_bytes()), Some(r));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut b = [0u8; WIRE_SIZE];
+        b[10] = 9;
+        assert_eq!(TraceRecord::from_bytes(&b), None);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = span_name("test.roundtrip");
+        let b = span_name("test.roundtrip");
+        assert_eq!(a, b);
+        assert_eq!(name_of(a.id()), "test.roundtrip");
+    }
+}

@@ -1,0 +1,85 @@
+//! Trace demo: record a causal trace of a miniature world build and
+//! watch pipeline health while a panel streams through the client.
+//!
+//! ```sh
+//! cargo run --release --example trace_world
+//! ```
+//!
+//! Enables yav-trace, replays the quickstart pipeline (campaign →
+//! training → panel streaming), ticks the SLO health engine once per
+//! simulated month, then exports the trace as Chrome trace-event JSON
+//! (open in Perfetto / `chrome://tracing`) and as folded stacks
+//! (`flamegraph.pl`-compatible), and prints the final health report.
+
+use your_ad_value::prelude::*;
+use your_ad_value::trace;
+
+fn main() {
+    // Tracing is off by default; the demo opts in before any work runs.
+    // The world stays bit-identical either way — spans only observe.
+    trace::set_enabled(true);
+
+    let mut market = Market::new(MarketConfig::default());
+    let generator = WeblogGenerator::new(WeblogConfig::small());
+    let universe = generator.universe().clone();
+
+    println!("probing campaign + training (traced) …");
+    let a1 = campaign::execute(&mut market, &universe, &Campaign::a1().scaled(40));
+    let pme = Pme::new();
+    pme.train_from_campaign(&a1.rows, &TrainConfig::quick());
+
+    let mut yav = YourAdValue::new(Some(City::Madrid));
+    assert!(yav.refresh_model(&pme));
+
+    // Stream the panel through the client in batches (the staged
+    // `observe_batch` path is what records `ingest.observe.us`), ticking
+    // the health engine once per batch so its rolling window sees a
+    // sequence of load snapshots rather than one cumulative blob.
+    println!("streaming panel traffic, ticking health per batch …");
+    let mut health = trace::HealthEngine::with_defaults();
+    let mut batch: Vec<_> = Vec::with_capacity(512);
+    generator.run(
+        &mut market,
+        |req| {
+            batch.push(req);
+            if batch.len() == batch.capacity() {
+                yav.observe_batch(&batch);
+                batch.clear();
+                health.tick();
+            }
+        },
+        |_| {},
+    );
+    yav.observe_batch(&batch);
+    let report = health.tick();
+
+    trace::set_enabled(false);
+    let t = trace::drain();
+    let dir = std::env::temp_dir();
+    let chrome = dir.join("yav_trace_world.json");
+    let folded = dir.join("yav_trace_world.folded");
+    std::fs::write(&chrome, trace::chrome_trace_json(&t)).expect("write chrome trace");
+    std::fs::write(&folded, trace::folded_stacks(&t)).expect("write folded stacks");
+
+    println!(
+        "\ntrace: {} records in {} streams ({} lost to ring wrap)",
+        t.len(),
+        t.streams.len(),
+        t.dropped()
+    );
+    println!(
+        "  chrome trace : {} (load in https://ui.perfetto.dev)",
+        chrome.display()
+    );
+    println!(
+        "  folded stacks: {} (flamegraph.pl input)",
+        folded.display()
+    );
+
+    println!(
+        "\nhealth after {} ticks: {}",
+        report.ticks,
+        report.status().label()
+    );
+    println!("{}", report.to_json());
+}

@@ -58,6 +58,51 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number (mirroring
+    /// `serde_json::Value::as_f64`, which widens integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by key (`None` on non-objects and
+    /// missing keys, like `serde_json::Value::get`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
 }
 
 impl Serialize for Value {

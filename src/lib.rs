@@ -66,6 +66,7 @@ pub use yav_nurl as nurl;
 pub use yav_pme as pme;
 pub use yav_stats as stats;
 pub use yav_telemetry as telemetry;
+pub use yav_trace as trace;
 pub use yav_types as types;
 pub use yav_weblog as weblog;
 
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use yav_pme::model::TrainConfig;
     pub use yav_pme::{Pme, TimeShift};
     pub use yav_telemetry as telemetry;
+    pub use yav_trace as trace;
     pub use yav_types::{Adx, City, Cpm, PriceVisibility, SimTime, UserId};
     pub use yav_weblog::{WeblogConfig, WeblogGenerator};
 }
