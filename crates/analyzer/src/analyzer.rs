@@ -5,6 +5,7 @@ use crate::classify::{classify_domain_lower, TrafficClass};
 use crate::features::{self, FeatureSchema, NurlTransport};
 use crate::geoip::GeoDb;
 use crate::pairs::PairTracker;
+use crate::summary::DetectionSummary;
 use crate::taxonomy;
 use crate::ua::parse_user_agent;
 use crate::userstate::{GlobalState, UserState};
@@ -68,11 +69,34 @@ pub struct ImpressionRecord {
     pub features: Vec<f64>,
 }
 
+/// What the analyzer retains about individual detections.
+///
+/// [`Retention::Full`] keeps every enriched [`DetectedImpression`] in the
+/// report (the default, and what every figure experiment expects).
+/// [`Retention::Bounded`] drops the list and relies on the always-recorded
+/// [`DetectionSummary`] — constant memory per analyzer, which is what lets
+/// the streaming world builder run million-user populations. Every other
+/// aggregate (class counts, pairs, state folds, returned
+/// [`ImpressionRecord`]s) is identical in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep the full detection list (default).
+    #[default]
+    Full,
+    /// Keep only constant-size aggregates; `report.detections` stays
+    /// empty.
+    Bounded,
+}
+
 /// Aggregates the analyzer keeps beyond the detection list.
 #[derive(Debug, Clone, Default)]
 pub struct AnalyzerReport {
-    /// Every detection, in ingestion order.
+    /// Every detection, in ingestion order (empty under
+    /// [`Retention::Bounded`]).
     pub detections: Vec<DetectedImpression>,
+    /// Constant-size aggregates over all detections (recorded in both
+    /// retention modes).
+    pub summary: DetectionSummary,
     /// Notifications that matched an exchange endpoint but were malformed.
     pub malformed_nurls: u64,
     /// Requests per traffic class.
@@ -95,6 +119,7 @@ impl AnalyzerReport {
     /// only way the parallel pipeline shards).
     pub fn merge(&mut self, other: AnalyzerReport) {
         self.detections.extend(other.detections);
+        self.summary.merge(&other.summary);
         self.malformed_nurls += other.malformed_nurls;
         for (class, n) in other.class_counts {
             *self.class_counts.entry(class).or_insert(0) += n;
@@ -121,6 +146,7 @@ pub struct WeblogAnalyzer {
     users: HashMap<UserId, UserState>,
     global: GlobalState,
     report: AnalyzerReport,
+    retention: Retention,
     /// Reusable lowercased-host buffer (classification is
     /// case-insensitive; the borrowed parser keeps the raw case).
     host_lower: String,
@@ -138,12 +164,20 @@ impl WeblogAnalyzer {
     /// Creates an analyzer with the built-in blacklist, geo database and
     /// taxonomy.
     pub fn new() -> WeblogAnalyzer {
+        WeblogAnalyzer::with_retention(Retention::Full)
+    }
+
+    /// Creates an analyzer with an explicit [`Retention`] policy. The
+    /// streaming world builder uses [`Retention::Bounded`] so per-shard
+    /// analyzer memory stays constant at any population size.
+    pub fn with_retention(retention: Retention) -> WeblogAnalyzer {
         WeblogAnalyzer {
             geo: GeoDb::open(),
             // yav-lint: allow(nondet-iteration) — same map as the field above: lookup-only, never iterated
             users: HashMap::new(),
             global: GlobalState::default(),
             report: AnalyzerReport::default(),
+            retention,
             host_lower: String::new(),
             url_scratch: UrlScratch::new(),
         }
@@ -320,7 +354,12 @@ impl WeblogAnalyzer {
             }
         }
 
-        self.report.detections.push(meta.clone());
+        self.report
+            .summary
+            .record(meta.adx, visibility, meta.cleartext_cpm, meta.iab);
+        if self.retention == Retention::Full {
+            self.report.detections.push(meta.clone());
+        }
         Some(ImpressionRecord {
             meta,
             features: row,

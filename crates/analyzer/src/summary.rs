@@ -1,0 +1,267 @@
+//! Bounded commutative detection aggregates.
+//!
+//! The materialised pipeline keeps every [`crate::DetectedImpression`] in
+//! `AnalyzerReport::detections`; at a million users that list alone is
+//! gigabytes. `DetectionSummary` is the constant-size shadow of that list:
+//! plain counters, exact micro-CPM sums, and fixed-bin price histograms —
+//! all of which merge commutatively, so per-shard summaries fold in any
+//! grouping to the same totals. The streaming builder's bounded retention
+//! mode drops the detection list and answers its scale-level questions
+//! (volumes, price levels, the §6.2 time-shift strata) from this summary
+//! instead.
+
+use serde::{Deserialize, Serialize};
+use yav_types::{Adx, Cpm, IabCategory, PriceVisibility};
+
+/// Histogram bin width in micro-CPM: 0.01 CPM. 2015 mobile RTB clearing
+/// prices live below ~10 CPM, so ~4000 bins cover the mass and the tail
+/// folds into the overflow bin.
+pub const PRICE_BIN_MICROS: i64 = 10_000;
+
+/// Number of regular bins; prices at or above `BINS × 0.01` CPM land in
+/// the final overflow bin.
+pub const PRICE_BINS: usize = 4000;
+
+/// Fixed-bin histogram of cleartext prices, exact to 0.01 CPM.
+///
+/// Bin sums are commutative and associative, so shard histograms merge to
+/// the same histogram in any order — unlike capped samples or reservoirs,
+/// whose merges depend on grouping. The buffer is lazily allocated: an
+/// empty histogram is 24 bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceHist {
+    /// Per-bin counts (`PRICE_BINS + 1` entries once touched).
+    bins: Vec<u32>,
+    /// Total recorded prices.
+    count: u64,
+}
+
+impl PriceHist {
+    /// Records one cleartext price.
+    pub fn record(&mut self, price: Cpm) {
+        if self.bins.is_empty() {
+            self.bins = vec![0; PRICE_BINS + 1];
+        }
+        let idx = (price.micros().max(0) / PRICE_BIN_MICROS) as usize;
+        self.bins[idx.min(PRICE_BINS)] += 1;
+        self.count += 1;
+    }
+
+    /// Total recorded prices.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Deterministic histogram median: the midpoint (in CPM) of the bin
+    /// holding the middle observation. Quantised to half a bin width —
+    /// the documented precision loss of bounded retention.
+    pub fn median(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mid = self.count.div_ceil(2);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n as u64;
+            if seen >= mid {
+                let lo = i as i64 * PRICE_BIN_MICROS;
+                return Some((lo as f64 + PRICE_BIN_MICROS as f64 / 2.0) / 1_000_000.0);
+            }
+        }
+        None
+    }
+
+    /// Folds another histogram in (bin-wise sum).
+    pub fn merge(&mut self, other: &PriceHist) {
+        if other.bins.is_empty() {
+            return;
+        }
+        if self.bins.is_empty() {
+            self.bins = other.bins.clone();
+        } else {
+            for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+                *a += b;
+            }
+        }
+        self.count += other.count;
+    }
+}
+
+/// Constant-size aggregates over every detection the analyzer saw.
+///
+/// Always recorded (Full retention keeps the detection list *as well*),
+/// so the streaming and materialised pipelines agree on it bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionSummary {
+    /// Every detection.
+    pub total: u64,
+    /// Detections with a readable price.
+    pub cleartext: u64,
+    /// Detections with an encrypted price token.
+    pub encrypted: u64,
+    /// Exact sum of cleartext prices in micro-CPM (i64 sums stay exact
+    /// where f64 accumulation would drift at 10^6-user volumes).
+    pub cleartext_micros: i64,
+    /// Detections per exchange ([`Adx::index`]-indexed).
+    pub by_adx: Vec<u64>,
+    /// MoPub cleartext prices per IAB stratum ([`IabCategory::index`]-
+    /// indexed) — the historical side of the §6.2 time-shift fit.
+    pub mopub_iab_prices: Vec<PriceHist>,
+}
+
+impl DetectionSummary {
+    /// Folds one detection's observable facts in. `iab`/`price` mirror
+    /// the fields of the enriched detection.
+    pub fn record(
+        &mut self,
+        adx: Adx,
+        visibility: PriceVisibility,
+        cleartext_cpm: Option<Cpm>,
+        iab: Option<IabCategory>,
+    ) {
+        if self.by_adx.is_empty() {
+            self.by_adx = vec![0; Adx::ALL.len()];
+            self.mopub_iab_prices = vec![PriceHist::default(); IabCategory::ALL.len()];
+        }
+        self.total += 1;
+        self.by_adx[adx.index()] += 1;
+        match visibility {
+            PriceVisibility::Cleartext => self.cleartext += 1,
+            PriceVisibility::Encrypted => self.encrypted += 1,
+        }
+        if let Some(p) = cleartext_cpm {
+            self.cleartext_micros = self.cleartext_micros.saturating_add(p.micros());
+            if adx == Adx::MoPub {
+                if let Some(iab) = iab {
+                    self.mopub_iab_prices[iab.index()].record(p);
+                }
+            }
+        }
+    }
+
+    /// Mean cleartext price in CPM.
+    pub fn mean_cleartext_cpm(&self) -> Option<f64> {
+        (self.cleartext > 0)
+            .then(|| self.cleartext_micros as f64 / 1_000_000.0 / self.cleartext as f64)
+    }
+
+    /// Pooled MoPub cleartext histogram across every IAB stratum.
+    pub fn mopub_all_prices(&self) -> PriceHist {
+        let mut all = PriceHist::default();
+        for h in &self.mopub_iab_prices {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// Folds another summary in (the shard merge). Commutative and
+    /// associative: any merge tree yields the same summary.
+    pub fn merge(&mut self, other: &DetectionSummary) {
+        if other.by_adx.is_empty() {
+            return;
+        }
+        if self.by_adx.is_empty() {
+            self.by_adx = vec![0; Adx::ALL.len()];
+            self.mopub_iab_prices = vec![PriceHist::default(); IabCategory::ALL.len()];
+        }
+        self.total += other.total;
+        self.cleartext += other.cleartext;
+        self.encrypted += other.encrypted;
+        self.cleartext_micros = self.cleartext_micros.saturating_add(other.cleartext_micros);
+        for (a, b) in self.by_adx.iter_mut().zip(&other.by_adx) {
+            *a += b;
+        }
+        for (a, b) in self
+            .mopub_iab_prices
+            .iter_mut()
+            .zip(&other.mopub_iab_prices)
+        {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpm(f: f64) -> Cpm {
+        Cpm::from_f64(f)
+    }
+
+    #[test]
+    fn hist_median_is_bin_midpoint() {
+        let mut h = PriceHist::default();
+        assert_eq!(h.median(), None);
+        for p in [0.50, 1.00, 2.00] {
+            h.record(cpm(p));
+        }
+        // Middle observation is 1.00 → bin [1.00, 1.01) midpoint.
+        let m = h.median().unwrap();
+        assert!((m - 1.005).abs() < 1e-9, "median {m}");
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn hist_overflow_and_negative_clamp() {
+        let mut h = PriceHist::default();
+        h.record(cpm(1_000_000.0)); // overflow bin
+        h.record(Cpm::from_micros(-5)); // clamps to bin 0
+        assert_eq!(h.count(), 2);
+        assert!(h.median().is_some());
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let mut whole = DetectionSummary::default();
+        let mut parts = [DetectionSummary::default(), DetectionSummary::default()];
+        let detections = [
+            (Adx::MoPub, Some(cpm(1.2)), Some(IabCategory::Sports)),
+            (Adx::MoPub, Some(cpm(0.4)), Some(IabCategory::News)),
+            (Adx::DoubleClick, None, None),
+            (Adx::MoPub, Some(cpm(2.0)), None),
+        ];
+        for (i, (adx, price, iab)) in detections.iter().enumerate() {
+            let vis = if price.is_some() {
+                PriceVisibility::Cleartext
+            } else {
+                PriceVisibility::Encrypted
+            };
+            whole.record(*adx, vis, *price, *iab);
+            parts[i % 2].record(*adx, vis, *price, *iab);
+        }
+        let mut merged = DetectionSummary::default();
+        // Either merge order gives the whole-pass summary.
+        merged.merge(&parts[1]);
+        merged.merge(&parts[0]);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.total, 4);
+        assert_eq!(merged.cleartext, 3);
+        assert_eq!(merged.encrypted, 1);
+        assert_eq!(merged.by_adx[Adx::MoPub.index()], 3);
+        // Only IAB-categorised MoPub cleartext prices enter the strata.
+        assert_eq!(merged.mopub_all_prices().count(), 2);
+        let mean = merged.mean_cleartext_cpm().unwrap();
+        assert!((mean - 1.2).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_merges_are_identity() {
+        let mut s = DetectionSummary::default();
+        s.merge(&DetectionSummary::default());
+        assert_eq!(s, DetectionSummary::default());
+        let mut t = DetectionSummary::default();
+        t.record(
+            Adx::Rubicon,
+            PriceVisibility::Cleartext,
+            Some(cpm(0.8)),
+            None,
+        );
+        let before = t.clone();
+        t.merge(&DetectionSummary::default());
+        assert_eq!(t, before);
+        let mut u = DetectionSummary::default();
+        u.merge(&before);
+        assert_eq!(u, before);
+    }
+}

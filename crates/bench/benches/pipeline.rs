@@ -110,13 +110,13 @@ fn bench_generator(c: &mut Criterion) {
 fn bench_world(_c: &mut Criterion) {
     // A Small-scale world build runs for seconds — far past the harness's
     // minimum sample count — so this benchmark wall-clocks single builds
-    // manually, once serial and once at the machine's parallelism, and
-    // emits the BENCH_world.json baseline at the workspace root.
+    // manually, once serial and once at the machine's parallelism. The
+    // BENCH_world.json baseline is owned by `benches/world_stream.rs`,
+    // which records the streaming builder's 10k/100k/1M ladder.
     use yav_bench::{Scale, World};
     use yav_exec::{default_threads, ExecConfig};
     let mut counts = vec![1usize, default_threads()];
     counts.dedup();
-    let mut entries = Vec::new();
     for &threads in &counts {
         let t0 = std::time::Instant::now();
         let world = World::build_with(Scale::Small, &ExecConfig::with_threads(threads));
@@ -128,16 +128,6 @@ fn bench_world(_c: &mut Criterion) {
             world.report.detections.len(),
             world.a1.rows.len()
         );
-        entries.push(format!(
-            "{{\"bench\":\"world_build\",\"scale\":\"small\",\"threads\":{threads},\"seconds\":{secs:.3}}}"
-        ));
-    }
-    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
-    if let Err(e) = std::fs::write(path, json) {
-        eprintln!("cannot write {path}: {e}");
-    } else {
-        println!("world_build baseline written to {path}");
     }
 }
 

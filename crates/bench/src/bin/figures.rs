@@ -9,7 +9,7 @@
 //! `table3`, `fig5`–`fig14`, `table4`, `dimred`, `table5`, `samplesize`,
 //! `fig15`, `fig16`, `model`, `fig17`–`fig19`, `arpu`, `truth`.
 
-use yav_bench::{figs_dataset as fd, figs_model as fm, figs_user as fu, Scale, World};
+use yav_bench::{figs_dataset as fd, figs_model as fm, figs_user as fu, Scale, StreamWorld, World};
 use yav_exec::ExecConfig;
 
 const ALL: &[&str] = &[
@@ -75,6 +75,34 @@ fn run(world: &World, id: &str) -> Option<String> {
     })
 }
 
+/// Stops tracing, drains the ring and writes the Chrome trace JSON plus
+/// folded stacks next to it.
+fn dump_trace(path: &std::path::Path) {
+    yav_trace::set_enabled(false);
+    let trace = yav_trace::drain();
+    if let Err(e) = std::fs::write(path, yav_trace::chrome_trace_json(&trace)) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let folded = {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".folded");
+        std::path::PathBuf::from(p)
+    };
+    if let Err(e) = std::fs::write(&folded, yav_trace::folded_stacks(&trace)) {
+        eprintln!("cannot write {}: {e}", folded.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "trace: {} records in {} streams ({} lost to ring wrap) -> {} + {}",
+        trace.len(),
+        trace.streams.len(),
+        trace.dropped(),
+        path.display(),
+        folded.display()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Mid;
@@ -88,7 +116,7 @@ fn main() {
             "--scale" => {
                 let name = iter.next().map(String::as_str).unwrap_or("");
                 scale = Scale::parse(name).unwrap_or_else(|| {
-                    eprintln!("unknown scale {name:?}; use small|mid|paper");
+                    eprintln!("unknown scale {name:?}; use small|mid|paper|huge");
                     std::process::exit(2);
                 });
             }
@@ -123,11 +151,11 @@ fn main() {
         }
     }
     ids.dedup();
-    if ids.is_empty() && trace_out.is_none() {
+    if ids.is_empty() && trace_out.is_none() && scale != Scale::Huge {
         eprintln!(
-            "usage: figures [all | <experiment ids>] [--scale small|mid|paper] [--threads N] [--out DIR] [--trace FILE]"
+            "usage: figures [all | stream | <experiment ids>] [--scale small|mid|paper|huge] [--threads N] [--out DIR] [--trace FILE]"
         );
-        eprintln!("experiments: {}", ALL.join(" "));
+        eprintln!("experiments: {} stream", ALL.join(" "));
         eprintln!("--threads N   worker threads for world building (default: all cores, <= 16);");
         eprintln!("              results are identical for every N — only wall-clock changes");
         eprintln!("--trace FILE  record a causal trace of the world build: Chrome trace JSON to");
@@ -141,6 +169,55 @@ fn main() {
         }
     }
 
+    // `stream` runs the constant-memory streaming builder. It is the
+    // only experiment at `--scale huge`: the figure experiments walk a
+    // materialised detection list, which bounded retention drops.
+    let stream_requested = ids.iter().any(|id| id == "stream") || scale == Scale::Huge;
+    ids.retain(|id| id != "stream");
+    if scale == Scale::Huge && !ids.is_empty() {
+        eprintln!(
+            "--scale huge streams with bounded retention; figure experiments need \
+             materialised detections. Only `stream` runs at this scale (got: {})",
+            ids.join(" ")
+        );
+        std::process::exit(2);
+    }
+    if stream_requested {
+        let trace_this = trace_out.as_ref().filter(|_| ids.is_empty());
+        eprintln!(
+            "streaming world at {scale:?} scale on {} thread(s) …",
+            exec.threads()
+        );
+        if trace_this.is_some() {
+            yav_trace::set_enabled(true);
+        }
+        let t0 = std::time::Instant::now();
+        let world = StreamWorld::build_with(scale, &exec);
+        let secs = t0.elapsed().as_secs_f64();
+        if let Some(path) = trace_this {
+            dump_trace(path);
+        }
+        eprintln!(
+            "stream done in {secs:.1}s ({:.0} events/s)\n",
+            world.http_requests as f64 / secs
+        );
+        let text = yav_bench::stream::report(&world);
+        println!("──────────────────────────────────────────── stream");
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join("stream.txt");
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+        if ids.is_empty() {
+            if let Some(dir) = &out_dir {
+                eprintln!("experiment artifacts written to {}", dir.display());
+            }
+            return;
+        }
+    }
+
     eprintln!(
         "building world at {scale:?} scale on {} thread(s) …",
         exec.threads()
@@ -151,29 +228,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let world = World::build_with(scale, &exec);
     if let Some(path) = &trace_out {
-        yav_trace::set_enabled(false);
-        let trace = yav_trace::drain();
-        if let Err(e) = std::fs::write(path, yav_trace::chrome_trace_json(&trace)) {
-            eprintln!("cannot write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        let folded = {
-            let mut p = path.as_os_str().to_owned();
-            p.push(".folded");
-            std::path::PathBuf::from(p)
-        };
-        if let Err(e) = std::fs::write(&folded, yav_trace::folded_stacks(&trace)) {
-            eprintln!("cannot write {}: {e}", folded.display());
-            std::process::exit(1);
-        }
-        eprintln!(
-            "trace: {} records in {} streams ({} lost to ring wrap) -> {} + {}",
-            trace.len(),
-            trace.streams.len(),
-            trace.dropped(),
-            path.display(),
-            folded.display()
-        );
+        dump_trace(path);
     }
     eprintln!(
         "world ready in {:.1}s: {} HTTP requests, {} detections, A1 {} rows, A2 {} rows\n",

@@ -14,9 +14,11 @@
 pub mod figs_dataset;
 pub mod figs_model;
 pub mod figs_user;
+pub mod stream;
 pub mod world;
 
 #[cfg(test)]
 mod smoke_tests;
 
+pub use stream::{StreamWorld, TruthStats};
 pub use world::{Scale, World};

@@ -8,7 +8,7 @@ use yav_ml::RandomForestConfig;
 use yav_pme::model::TrainConfig;
 use yav_pme::{Pme, TimeShift};
 use yav_types::Adx;
-use yav_weblog::{GroundTruth, WeblogConfig, WeblogGenerator};
+use yav_weblog::{GroundTruth, HttpRequest, Weblog, WeblogConfig, WeblogGenerator};
 
 /// Experiment scales. Every scale runs the same code; only sizes differ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +23,11 @@ pub enum Scale {
     /// A1/A2 at 4 394/2 215 impressions per setup (≈632 k/319 k rows).
     /// Tens of minutes.
     Paper,
+    /// One million users over one simulated day (~11 M HTTP events).
+    /// Only the constant-memory streaming builder
+    /// ([`crate::stream::StreamWorld`]) runs this scale — the
+    /// materialising builders would hold the whole weblog in RAM.
+    Huge,
 }
 
 impl Scale {
@@ -32,11 +37,12 @@ impl Scale {
             "small" => Some(Scale::Small),
             "mid" => Some(Scale::Mid),
             "paper" => Some(Scale::Paper),
+            "huge" => Some(Scale::Huge),
             _ => None,
         }
     }
 
-    fn weblog(self) -> WeblogConfig {
+    pub(crate) fn weblog(self) -> WeblogConfig {
         match self {
             Scale::Small => WeblogConfig::small(),
             Scale::Mid => WeblogConfig {
@@ -48,12 +54,18 @@ impl Scale {
                 ..WeblogConfig::paper()
             },
             Scale::Paper => WeblogConfig::paper(),
+            Scale::Huge => WeblogConfig::huge(),
         }
     }
 
-    fn campaign_impressions(self) -> (u32, u32) {
+    /// Panel size at this scale.
+    pub fn users(self) -> u32 {
+        self.weblog().users
+    }
+
+    pub(crate) fn campaign_impressions(self) -> (u32, u32) {
         match self {
-            Scale::Small => (40, 30),
+            Scale::Small | Scale::Huge => (40, 30),
             Scale::Mid => (200, 120),
             Scale::Paper => (4394, 2215),
         }
@@ -63,7 +75,10 @@ impl Scale {
     /// ×10-run protocol at full size; lighter below).
     pub fn train_config(self) -> TrainConfig {
         match self {
-            Scale::Small => TrainConfig::quick(),
+            // Huge spends its budget on the million-user stream, not on
+            // campaign training — the quick forest is plenty for the
+            // estimator the tenant monitors share.
+            Scale::Small | Scale::Huge => TrainConfig::quick(),
             Scale::Mid => TrainConfig {
                 cv_folds: 10,
                 cv_runs: 2,
@@ -114,14 +129,87 @@ pub struct World {
 /// What one weblog shard contributes to the world: its analyzer pass,
 /// its ground truth, and its cleartext feature rows (keyed for the
 /// canonical merge order).
-struct ShardPart {
-    report: AnalyzerReport,
-    truth: Vec<GroundTruth>,
-    http_requests: u64,
+pub(crate) struct ShardPart {
+    pub(crate) report: AnalyzerReport,
+    pub(crate) truth: Vec<GroundTruth>,
+    pub(crate) http_requests: u64,
     /// `(minutes, user, features, price)` per cleartext detection.
-    clear_rows: Vec<(i64, u32, Vec<f64>, f64)>,
+    pub(crate) clear_rows: Vec<(i64, u32, Vec<f64>, f64)>,
     /// Input-order detection keys for the canonical re-sort.
-    detection_keys: Vec<(i64, u32)>,
+    pub(crate) detection_keys: Vec<(i64, u32)>,
+}
+
+impl ShardPart {
+    pub(crate) fn new() -> ShardPart {
+        ShardPart {
+            report: AnalyzerReport::default(),
+            truth: Vec::new(),
+            http_requests: 0,
+            clear_rows: Vec::new(),
+            detection_keys: Vec::new(),
+        }
+    }
+
+    /// Feeds one HTTP request through `analyzer`, folding any detection
+    /// into this part. The single per-request step both builders (fused
+    /// streaming and materialise-then-analyze) share — which is *why*
+    /// their outputs are bit-identical: same requests in the same order
+    /// through the same code.
+    pub(crate) fn ingest(&mut self, analyzer: &mut WeblogAnalyzer, req: &HttpRequest) {
+        self.http_requests += 1;
+        if let Some(rec) = analyzer.ingest(req) {
+            let key = (req.time.minutes(), req.user.0);
+            self.detection_keys.push(key);
+            if let Some(p) = rec.meta.cleartext_cpm {
+                self.clear_rows
+                    .push((key.0, key.1, rec.features, p.as_f64()));
+            }
+        }
+    }
+}
+
+/// Runs both Table-5 probe campaigns at `scale` and trains the PME on
+/// A1. Shared by the materialising and streaming builders (campaigns
+/// never depend on the weblog).
+pub(crate) fn campaigns_and_pme(
+    scale: Scale,
+    exec: &ExecConfig,
+    market_config: &MarketConfig,
+    universe: &yav_weblog::PublisherUniverse,
+) -> (CampaignReport, CampaignReport, Pme) {
+    let (a1_imps, a2_imps) = scale.campaign_impressions();
+    let a1 = yav_campaign::execute_parallel(
+        market_config,
+        universe,
+        &Campaign::a1().scaled(a1_imps),
+        exec,
+    );
+    let a2 = yav_campaign::execute_parallel(
+        market_config,
+        universe,
+        &Campaign::a2().scaled(a2_imps),
+        exec,
+    );
+    let pme = Pme::new();
+    let mut train = scale.train_config();
+    train.forest.threads = exec.threads();
+    pme.train_from_campaign(&a1.rows, &train);
+    (a1, a2, pme)
+}
+
+/// A2's cleartext prices per IAB stratum — the *recent* side of the §6.2
+/// time-shift fit, shared by both fit paths.
+pub(crate) fn a2_strata(a2: &CampaignReport) -> Vec<Vec<f64>> {
+    yav_types::IabCategory::ALL
+        .iter()
+        .map(|&iab| {
+            a2.rows
+                .iter()
+                .filter(|r| r.iab == iab)
+                .map(|r| r.charge.as_f64())
+                .collect()
+        })
+        .collect()
 }
 
 impl World {
@@ -154,34 +242,81 @@ impl World {
         let parts = yav_exec::par_map_indexed(exec, shards, |s| {
             let mut market = Market::new_shard(market_config.clone(), s as u64);
             let mut analyzer = WeblogAnalyzer::new();
-            let mut part = ShardPart {
-                report: AnalyzerReport::default(),
-                truth: Vec::new(),
-                http_requests: 0,
-                clear_rows: Vec::new(),
-                detection_keys: Vec::new(),
-            };
+            let mut part = ShardPart::new();
+            let mut truth = Vec::new();
             generator.run_shard(
                 s,
                 &mut market,
-                |req| {
-                    part.http_requests += 1;
-                    if let Some(rec) = analyzer.ingest(&req) {
-                        let key = (req.time.minutes(), req.user.0);
-                        part.detection_keys.push(key);
-                        if let Some(p) = rec.meta.cleartext_cpm {
-                            part.clear_rows
-                                .push((key.0, key.1, rec.features, p.as_f64()));
-                        }
-                    }
-                },
-                |t| part.truth.push(t),
+                |req| part.ingest(&mut analyzer, &req),
+                |t| truth.push(t),
             );
+            part.truth = truth;
             let (report, _global) = analyzer.finish_with_state();
             part.report = report;
             part
         });
 
+        World::assemble(scale, exec, &generator, &market_config, parts)
+    }
+
+    /// The legacy materialise-then-analyze reference: phase 1 collects
+    /// every shard's full weblog into memory, phase 2 analyzes the
+    /// collected logs. Same shard structure, same shard markets, same
+    /// per-request analyzer walk as [`World::build_with`] — so the output
+    /// is **bit-identical** to the fused builder (the stream-equivalence
+    /// suite pins this). Holds the entire weblog at its peak: use at test
+    /// scales only; the fused/streaming paths exist so nothing else has
+    /// to.
+    pub fn build_materialized(scale: Scale, exec: &ExecConfig) -> World {
+        let _span = yav_telemetry::span!("bench.world.build_materialized");
+        let config = WeblogConfig {
+            exec: *exec,
+            ..scale.weblog()
+        };
+        let generator = WeblogGenerator::new(config);
+        let market_config = MarketConfig::default();
+        let shards = generator.shard_count();
+
+        // Phase 1: materialise the full weblog, one log per shard, in
+        // per-shard emission order (the exact order the fused builder
+        // feeds its analyzer).
+        let logs: Vec<Weblog> = yav_exec::par_map_indexed(exec, shards, |s| {
+            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut log = Weblog::default();
+            generator.run_shard(
+                s,
+                &mut market,
+                |r| log.requests.push(r),
+                |t| log.truth.push(t),
+            );
+            log
+        });
+
+        // Phase 2: analyze the materialised logs.
+        let parts = yav_exec::par_map_indexed(exec, shards, |s| {
+            let mut analyzer = WeblogAnalyzer::new();
+            let mut part = ShardPart::new();
+            for req in &logs[s].requests {
+                part.ingest(&mut analyzer, req);
+            }
+            part.truth = logs[s].truth.clone();
+            let (report, _global) = analyzer.finish_with_state();
+            part.report = report;
+            part
+        });
+
+        World::assemble(scale, exec, &generator, &market_config, parts)
+    }
+
+    /// Merges shard parts and finishes the world: canonical re-sort,
+    /// feature sampling, campaigns, PME training, time-shift fit.
+    fn assemble(
+        scale: Scale,
+        exec: &ExecConfig,
+        generator: &WeblogGenerator,
+        market_config: &MarketConfig,
+        parts: Vec<ShardPart>,
+    ) -> World {
         // Merge: commutative aggregates fold in; ordered streams are
         // restored to the canonical (time, user) order. Ties share a user
         // (users never span shards), so the stable sort keeps their
@@ -222,42 +357,19 @@ impl World {
             }
         }
 
-        let (a1_imps, a2_imps) = scale.campaign_impressions();
-        let universe = generator.universe().clone();
-        let a1 = yav_campaign::execute_parallel(
-            &market_config,
-            &universe,
-            &Campaign::a1().scaled(a1_imps),
-            exec,
-        );
-        let a2 = yav_campaign::execute_parallel(
-            &market_config,
-            &universe,
-            &Campaign::a2().scaled(a2_imps),
-            exec,
-        );
-
-        let pme = Pme::new();
-        let mut train = scale.train_config();
-        train.forest.threads = exec.threads();
-        pme.train_from_campaign(&a1.rows, &train);
+        let (a1, a2, pme) = campaigns_and_pme(scale, exec, market_config, generator.universe());
         // §6.2: time shift fitted within matched IAB strata (A2 vs the
         // MoPub side of D) so content-mix differences between the
         // campaign and organic traffic cancel out.
         let strata: Vec<(Vec<f64>, Vec<f64>)> = yav_types::IabCategory::ALL
             .iter()
-            .map(|&iab| {
+            .zip(a2_strata(&a2))
+            .map(|(&iab, recent)| {
                 let hist: Vec<f64> = report
                     .detections
                     .iter()
                     .filter(|d| d.adx == Adx::MoPub && d.iab == Some(iab))
                     .filter_map(|d| d.cleartext_cpm.map(|p| p.as_f64()))
-                    .collect();
-                let recent: Vec<f64> = a2
-                    .rows
-                    .iter()
-                    .filter(|r| r.iab == iab)
-                    .map(|r| r.charge.as_f64())
                     .collect();
                 (hist, recent)
             })

@@ -1,0 +1,126 @@
+//! Equivalence proofs between the three world builders.
+//!
+//! * [`World::build_materialized`] (collect the full weblog, then
+//!   analyze) and [`World::build_with`] (fused generate→analyze) must be
+//!   **bit-identical**: same shard structure, same shard markets, same
+//!   per-request analyzer walk — materialisation is a memory strategy,
+//!   never a semantic input.
+//! * [`StreamWorld::build_with`] (constant-memory fold, bounded
+//!   retention) must agree exactly on every aggregate it retains, for
+//!   any thread count.
+//!
+//! Together with `determinism.rs` this pins the tentpole claim: you can
+//! swap builders (and thread counts) freely and every figure that can
+//! still be computed comes out the same bytes.
+
+use yav_bench::{Scale, StreamWorld, World};
+use yav_exec::ExecConfig;
+
+/// Field-by-field bit-identity between two materialising worlds.
+fn assert_worlds_identical(a: &World, b: &World) {
+    assert_eq!(a.http_requests, b.http_requests);
+    assert_eq!(a.report.detections, b.report.detections);
+    assert_eq!(a.report.summary, b.report.summary);
+    assert_eq!(a.report.class_counts, b.report.class_counts);
+    assert_eq!(a.report.monthly_os_requests, b.report.monthly_os_requests);
+    assert_eq!(a.report.total_requests, b.report.total_requests);
+    assert_eq!(a.report.users_seen, b.report.users_seen);
+    assert_eq!(a.report.malformed_nurls, b.report.malformed_nurls);
+    assert_eq!(a.report.pairs.figure2(), b.report.pairs.figure2());
+    assert_eq!(a.report.pairs.figure3(), b.report.pairs.figure3());
+    assert_eq!(a.truth, b.truth);
+    assert_eq!(a.a1.rows, b.a1.rows);
+    assert_eq!(a.a2.rows, b.a2.rows);
+    assert_eq!(a.a1.spent, b.a1.spent);
+    assert_eq!(a.a2.spent, b.a2.spent);
+    assert_eq!(a.feature_sample, b.feature_sample);
+    assert_eq!(a.shift, b.shift);
+}
+
+#[test]
+fn materialized_equals_fused_at_small() {
+    let exec = ExecConfig::with_threads(2);
+    let fused = World::build_with(Scale::Small, &exec);
+    let materialized = World::build_materialized(Scale::Small, &exec);
+    assert!(
+        fused.report.detections.len() > 500,
+        "small world too thin to prove anything"
+    );
+    assert_worlds_identical(&fused, &materialized);
+}
+
+#[test]
+fn materialized_equals_fused_across_thread_counts() {
+    // The cross product: materialisation strategy × thread count. All
+    // four corners must be the same bytes.
+    let serial = World::build_with(Scale::Small, &ExecConfig::serial());
+    for threads in [1usize, 4] {
+        let exec = ExecConfig::with_threads(threads);
+        assert_worlds_identical(&serial, &World::build_with(Scale::Small, &exec));
+        assert_worlds_identical(&serial, &World::build_materialized(Scale::Small, &exec));
+    }
+}
+
+#[test]
+fn stream_aggregates_equal_materialized_at_small() {
+    // The streaming builder drops the detection list; everything it
+    // keeps must match the materialising reference exactly — and the
+    // figures computable from summaries must therefore match too.
+    let exec = ExecConfig::with_threads(2);
+    let stream = StreamWorld::build_with(Scale::Small, &exec);
+    let world = World::build_materialized(Scale::Small, &exec);
+
+    assert!(stream.report.detections.is_empty());
+    assert_eq!(stream.report.summary, world.report.summary);
+    assert_eq!(stream.report.class_counts, world.report.class_counts);
+    assert_eq!(
+        stream.report.monthly_os_requests,
+        world.report.monthly_os_requests
+    );
+    assert_eq!(stream.report.total_requests, world.report.total_requests);
+    assert_eq!(stream.report.users_seen, world.report.users_seen);
+    assert_eq!(stream.report.malformed_nurls, world.report.malformed_nurls);
+    assert_eq!(stream.http_requests, world.http_requests);
+    assert_eq!(stream.a1.rows, world.a1.rows);
+    assert_eq!(stream.a2.rows, world.a2.rows);
+    assert_eq!(stream.truth.impressions as usize, world.truth.len());
+
+    // The summary-driven mean must equal the detection-driven mean to
+    // the last bit of the shared f64 arithmetic.
+    let d_clear = world.d_cleartext();
+    let mean_mat = d_clear.iter().sum::<f64>() / d_clear.len() as f64;
+    let mean_stream = stream.report.summary.mean_cleartext_cpm().unwrap();
+    assert!(
+        (mean_mat - mean_stream).abs() < 1e-9,
+        "cleartext means diverge: {mean_mat} vs {mean_stream}"
+    );
+}
+
+#[test]
+fn stream_is_thread_count_independent() {
+    let one = StreamWorld::build_with(Scale::Small, &ExecConfig::serial());
+    let many = StreamWorld::build_with(Scale::Small, &ExecConfig::with_threads(8));
+    assert_eq!(one.report.summary, many.report.summary);
+    assert_eq!(one.report.class_counts, many.report.class_counts);
+    assert_eq!(
+        one.report.monthly_os_requests,
+        many.report.monthly_os_requests
+    );
+    assert_eq!(one.truth, many.truth);
+    assert_eq!(one.tenants, many.tenants);
+    assert_eq!(one.http_requests, many.http_requests);
+    assert_eq!(one.shift, many.shift);
+}
+
+#[test]
+#[ignore = "minutes-long: run with --ignored for the mid-scale proof"]
+fn materialized_equals_fused_at_mid() {
+    let exec = ExecConfig::with_threads(2);
+    let fused = World::build_with(Scale::Mid, &exec);
+    let materialized = World::build_materialized(Scale::Mid, &exec);
+    assert_worlds_identical(&fused, &materialized);
+
+    let stream = StreamWorld::build_with(Scale::Mid, &exec);
+    assert_eq!(stream.report.summary, fused.report.summary);
+    assert_eq!(stream.http_requests, fused.http_requests);
+}

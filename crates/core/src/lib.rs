@@ -29,9 +29,11 @@
 pub mod ledger;
 pub mod methodology;
 pub mod monitor;
+pub mod tenant;
 pub mod validation;
 
 pub use ledger::{CostSummary, Ledger, PriceEvent};
 pub use methodology::{per_user_costs, UserCost};
 pub use monitor::{DropStats, ObserveScratch, YourAdValue};
+pub use tenant::{TenantReport, TenantState, TenantStore};
 pub use validation::{ArpuEstimate, MarketFactors};

@@ -20,8 +20,10 @@ use std::collections::BTreeMap;
 
 /// Valid first segments: one per workspace crate, plus the root facade,
 /// `ingest` (the cross-crate request-ingestion surface: the monitor and
-/// analyzer both report under it) and `health` (the SLO engine's
-/// cross-area reporting surface).
+/// analyzer both report under it), `health` (the SLO engine's
+/// cross-area reporting surface), `monitor` (the on-device YourAdValue
+/// monitor and its multi-tenant store) and `world` (the world builders:
+/// materialising and streaming).
 pub(crate) const AREAS: &[&str] = &[
     "analyzer",
     "auction",
@@ -33,6 +35,7 @@ pub(crate) const AREAS: &[&str] = &[
     "health",
     "ingest",
     "ml",
+    "monitor",
     "nurl",
     "pme",
     "root",
@@ -41,6 +44,7 @@ pub(crate) const AREAS: &[&str] = &[
     "trace",
     "types",
     "weblog",
+    "world",
 ];
 
 /// The telemetry crate defines the primitives (its internals mention

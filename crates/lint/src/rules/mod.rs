@@ -9,6 +9,7 @@ pub mod money_cast;
 pub mod nondet_iteration;
 pub mod panic_policy;
 pub mod span_hygiene;
+pub mod stream_materialize;
 pub mod wall_clock;
 
 /// Every valid rule name (for `allow(...)` validation). The pseudo-rule
@@ -23,6 +24,7 @@ pub const RULE_NAMES: &[&str] = &[
     "money-cast",
     "alloc-in-reject-path",
     "span-hygiene",
+    "stream-materialize",
     "bad-suppression",
 ];
 
@@ -37,5 +39,6 @@ pub fn all() -> Vec<Box<dyn crate::engine::Rule>> {
         Box::new(money_cast::MoneyCast),
         Box::new(alloc_reject::AllocInRejectPath),
         Box::new(span_hygiene::SpanHygiene),
+        Box::new(stream_materialize::StreamMaterialize),
     ]
 }

@@ -84,6 +84,14 @@ const CASES: &[Case] = &[
         rel: "crates/core/src/fixture.rs",
         min_findings: 5,
     },
+    Case {
+        rule: "stream-materialize",
+        positive: "stream_pos.rs",
+        negative: "stream_neg.rs",
+        crate_name: "bench",
+        rel: "crates/bench/src/stream.rs",
+        min_findings: 5,
+    },
 ];
 
 fn lint_fixture(case: &Case, name: &str) -> Vec<Diagnostic> {

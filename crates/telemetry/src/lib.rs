@@ -78,3 +78,20 @@ pub fn json_snapshot_of(registry: &Registry) -> String {
 pub fn report_of(registry: &Registry) -> String {
     export::report(registry)
 }
+
+/// The process's peak resident set size (high-water mark) in bytes.
+///
+/// Reads `VmHWM` from `/proc/self/status`, so it is Linux-only and
+/// returns `None` elsewhere. The value is monotone over the process
+/// lifetime: benchmarks that report it must run their measurements in
+/// ascending memory order.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}

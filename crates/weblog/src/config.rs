@@ -33,6 +33,13 @@ pub struct WeblogConfig {
     /// ([`crate::WeblogGenerator::collect_parallel`]). Scheduling only —
     /// the generated stream is identical for every thread count.
     pub exec: ExecConfig,
+    /// Materialise panel users per shard block instead of up front.
+    /// Lazy panels draw each user independently from `(seed, id)` (a
+    /// *different* — equally valid — panel than the eager sequential
+    /// draw), so a million-user run never holds more than one shard's
+    /// users in memory. Leave `false` wherever byte-compatibility with
+    /// the eager presets matters.
+    pub lazy_panel: bool,
 }
 
 impl WeblogConfig {
@@ -52,6 +59,29 @@ impl WeblogConfig {
             web_publishers: 1800,
             app_publishers: 700,
             exec: ExecConfig::default(),
+            lazy_panel: false,
+        }
+    }
+
+    /// Huge streaming scale: one simulated day of a million-user panel.
+    /// Only meaningful through the constant-memory streaming builder —
+    /// the panel is lazy (per-shard blocks) and the full weblog is never
+    /// materialised. One day keeps the event count (~11 M HTTP requests)
+    /// tractable on one core while exercising population-scale state.
+    pub fn huge() -> WeblogConfig {
+        WeblogConfig {
+            seed: 0xD474,
+            users: 1_000_000,
+            start: SimTime::EPOCH,
+            days: 1,
+            views_per_user_day: 2.2,
+            rtb_slot_prob: 0.072,
+            aux_requests_per_view: 4.0,
+            cookie_sync_prob: 0.03,
+            web_publishers: 1800,
+            app_publishers: 700,
+            exec: ExecConfig::default(),
+            lazy_panel: true,
         }
     }
 
@@ -70,6 +100,7 @@ impl WeblogConfig {
             web_publishers: 300,
             app_publishers: 120,
             exec: ExecConfig::default(),
+            lazy_panel: false,
         }
     }
 
@@ -87,6 +118,7 @@ impl WeblogConfig {
             web_publishers: 80,
             app_publishers: 40,
             exec: ExecConfig::default(),
+            lazy_panel: false,
         }
     }
 

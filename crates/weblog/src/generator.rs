@@ -70,15 +70,23 @@ impl Weblog {
 /// The streaming generator.
 pub struct WeblogGenerator {
     config: WeblogConfig,
-    panel: Panel,
+    /// `None` when `config.lazy_panel`: shard blocks are materialised on
+    /// demand inside [`Self::run_shard`] and dropped with the shard.
+    panel: Option<Panel>,
     universe: PublisherUniverse,
 }
 
 impl WeblogGenerator {
     /// Builds the generator (panel and publisher universe are derived
-    /// deterministically from the config seed).
+    /// deterministically from the config seed). With
+    /// [`WeblogConfig::lazy_panel`] set, no panel is materialised here —
+    /// each shard draws its own 32-user block.
     pub fn new(config: WeblogConfig) -> WeblogGenerator {
-        let panel = Panel::build(config.seed, config.users);
+        let panel = if config.lazy_panel {
+            None
+        } else {
+            Some(Panel::build(config.seed, config.users))
+        };
         let universe =
             PublisherUniverse::build(config.seed, config.web_publishers, config.app_publishers);
         WeblogGenerator {
@@ -89,8 +97,14 @@ impl WeblogGenerator {
     }
 
     /// The panel (for experiment harnesses that need user metadata).
+    ///
+    /// # Panics
+    /// In lazy-panel mode there is no whole panel to hand out; use
+    /// [`Panel::build_block`] for the block you need instead.
     pub fn panel(&self) -> &Panel {
-        &self.panel
+        self.panel
+            .as_ref()
+            .expect("lazy_panel generators hold no materialised panel; use Panel::build_block")
     }
 
     /// The publisher universe.
@@ -101,7 +115,9 @@ impl WeblogGenerator {
     /// Number of logical generation shards (fixed blocks of
     /// [`USERS_PER_SHARD`] users in panel-id order).
     pub fn shard_count(&self) -> usize {
-        self.panel.users().len().div_ceil(USERS_PER_SHARD).max(1)
+        (self.config.users as usize)
+            .div_ceil(USERS_PER_SHARD)
+            .max(1)
     }
 
     /// Runs the full simulation, streaming every HTTP request to `on_req`
@@ -135,10 +151,21 @@ impl WeblogGenerator {
             requests.inc();
             inner(r)
         };
-        let users = self.panel.users();
-        let lo = (shard * USERS_PER_SHARD).min(users.len());
-        let hi = (lo + USERS_PER_SHARD).min(users.len());
-        for user in &users[lo..hi] {
+        let n = self.config.users as usize;
+        let lo = (shard * USERS_PER_SHARD).min(n);
+        let hi = (lo + USERS_PER_SHARD).min(n);
+        // Lazy mode draws just this shard's block and drops it with the
+        // shard; eager mode borrows the shared panel (byte-compatible
+        // with the pre-lazy builds).
+        let block;
+        let users: &[PanelUser] = match &self.panel {
+            Some(panel) => &panel.users()[lo..hi],
+            None => {
+                block = Panel::build_block(self.config.seed, lo as u32, hi as u32);
+                &block
+            }
+        };
+        for user in users {
             // Per-user RNG: users are independent streams, so panel size
             // changes don't reshuffle existing users' behaviour.
             let mut rng =

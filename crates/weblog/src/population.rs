@@ -97,6 +97,26 @@ impl Panel {
         Panel { users }
     }
 
+    /// Builds only the users `[lo, hi)` of a *lazy* panel. Unlike
+    /// [`Panel::build`] — whose draws are sequential, so user `i` depends
+    /// on every draw before it — each lazy user gets an independent RNG
+    /// derived from `(seed, id)`. Any block can therefore be materialised
+    /// on demand in O(block) memory: the million-user streaming pipeline
+    /// builds each 32-user shard block, plays it, and drops it. The two
+    /// derivations produce *different* (equally valid) panels; lazy mode
+    /// is only used at scales where the eager panel would not fit.
+    pub fn build_block(seed: u64, lo: u32, hi: u32) -> Vec<PanelUser> {
+        (lo..hi)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(yav_exec::derive_seed(
+                    seed ^ 0x9A9E_0000_0000_0015,
+                    i as u64,
+                ));
+                Self::draw_user(&mut rng, UserId(i))
+            })
+            .collect()
+    }
+
     fn draw_user(rng: &mut StdRng, id: UserId) -> PanelUser {
         // Home city: population-weighted.
         let total_pop: f64 = City::ALL.iter().map(|c| c.population() as f64).sum();
@@ -179,6 +199,26 @@ mod tests {
         let b = Panel::build(7, 100);
         assert_eq!(a.users(), b.users());
         assert_eq!(a.users().len(), 100);
+    }
+
+    #[test]
+    fn lazy_blocks_tile_consistently() {
+        // A block materialised twice is identical, and adjacent blocks
+        // tile into the same users a wider block produces — the property
+        // the sharded streaming generator relies on.
+        let a = Panel::build_block(7, 0, 64);
+        let lo = Panel::build_block(7, 0, 32);
+        let hi = Panel::build_block(7, 32, 64);
+        assert_eq!(a[..32], lo[..]);
+        assert_eq!(a[32..], hi[..]);
+        assert_eq!(Panel::build_block(7, 32, 64), hi);
+        for (i, u) in a.iter().enumerate() {
+            assert_eq!(u.id, UserId(i as u32));
+        }
+        // Lazy users still look like panel users (shares spot-check).
+        let p = Panel::build_block(1, 0, 5000);
+        let android = p.iter().filter(|u| u.os == Os::Android).count() as f64 / 5000.0;
+        assert!((android - 0.60).abs() < 0.03, "android share {android}");
     }
 
     #[test]
