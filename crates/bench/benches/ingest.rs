@@ -148,7 +148,11 @@ fn ingest_borrowed(urls: &[String], scratch: &mut UrlScratch) -> usize {
     matched
 }
 
-fn trained_model() -> ClientModel {
+/// One training run, both client artifacts: the paper-default 40-tree
+/// forest shipped whole (`ClientArtifact::Forest`) plus the §3.2
+/// single-tree client derived from the same run. Cross-validation is cut
+/// to one 2-fold pass — the bench needs the estimator, not the CV table.
+fn trained_models() -> (ClientModel, ClientModel) {
     let mut market = yav_auction::Market::new(yav_auction::MarketConfig::default());
     let universe = yav_weblog::PublisherUniverse::build(0xD474, 300, 120);
     let rows = yav_campaign::execute(
@@ -158,8 +162,23 @@ fn trained_model() -> ClientModel {
     )
     .rows;
     let pme = yav_pme::engine::Pme::new();
-    pme.train_from_campaign(&rows, &TrainConfig::quick());
-    pme.current_model().expect("model just trained")
+    pme.train_from_campaign(
+        &rows,
+        &TrainConfig {
+            artifact: yav_pme::ClientArtifact::Forest,
+            cv_folds: 2,
+            cv_runs: 1,
+            max_rows: 6_000,
+            ..TrainConfig::default()
+        },
+    );
+    let forest = pme.current_model().expect("model just trained");
+    let tree = ClientModel {
+        artifact: yav_pme::ClientArtifact::Tree,
+        compiled: yav_ml::CompiledForest::from_tree(&forest.tree),
+        ..forest.clone()
+    };
+    (tree, forest)
 }
 
 fn bench_parsers(c: &mut Criterion) {
@@ -216,14 +235,47 @@ fn bench_baseline(_c: &mut Criterion) {
         results.push((stream_name, owned, screened, borrowed));
     }
 
-    // End-to-end monitor, serial vs batch. On the mixed stream the sift
-    // dominates (and is identical in both), so batch ≈ serial; on the
-    // all-notification stream prediction dominates and the batched
-    // level-synchronous forest walk shows through.
+    // SIMD dispatch smoke: the same borrowed ingest under every forced
+    // tier — scalar reference, SWAR portable fallback, and whatever
+    // native tiers the host offers. The cross_impl suite proves the
+    // tiers bit-identical, so any delta here is pure kernel speed.
+    let mut dispatch_rows = Vec::new();
+    for lvl in yav_simd::Level::all()
+        .iter()
+        .copied()
+        .filter(|l| l.available())
+    {
+        yav_simd::force_level(Some(lvl));
+        let mixed_ns = per_req(mixed.len(), 10, &mut || {
+            ingest_borrowed(&mixed, &mut scratch)
+        });
+        let nurl_ns = per_req(nurls.len(), 10, &mut || {
+            ingest_borrowed(&nurls, &mut scratch)
+        });
+        println!(
+            "ingest/simd_dispatch[{}]: per-req ns mixed {mixed_ns:.0}, nurl {nurl_ns:.0}",
+            lvl.name()
+        );
+        dispatch_rows.push((lvl.name(), mixed_ns, nurl_ns));
+    }
+    yav_simd::force_level(None);
+
+    // End-to-end monitor, serial vs batch, under both client artifacts.
+    // On the mixed stream the sift dominates (and is identical in both
+    // paths), so batch ≈ serial regardless of artifact; the
+    // all-notification stream is measured twice: the §3.2 single-tree
+    // client (prediction is a rounding error there) and the full-forest
+    // client, where `predict_batch`'s level-synchronous traversal is the
+    // whole story.
     let t = SimTime::from_ymd_hm(2015, 10, 1, 12, 0);
-    let model = trained_model();
+    let (tree_model, forest_model) = trained_models();
     let mut observe_rows = Vec::new();
-    for (stream_name, urls) in [("mixed", &mixed), ("nurl", &nurls)] {
+    for (stream_name, urls, model) in [
+        ("mixed", &mixed, &tree_model),
+        ("nurl", &nurls, &tree_model),
+        ("nurl", &nurls, &forest_model),
+    ] {
+        let client = model.artifact.name();
         let requests: Vec<HttpRequest> = urls.iter().map(|u| HttpRequest::bare(t, u)).collect();
 
         let mut serial = YourAdValue::new(None);
@@ -266,17 +318,18 @@ fn bench_baseline(_c: &mut Criterion) {
             .map(|(h, before)| (h.snapshot().sum - before) * 1e3 / total_reqs)
             .collect();
         println!(
-            "ingest/observe_{stream_name}: per-req ns serial {observe_serial:.0}, \
+            "ingest/observe_{stream_name}[{client}]: per-req ns serial {observe_serial:.0}, \
              batch {observe_batch:.0} ({:.2}x; sift {:.0} + predict {:.0} + commit {:.0})",
             observe_serial / observe_batch,
             phase_ns[0],
             phase_ns[1],
             phase_ns[2]
         );
-        observe_rows.push((stream_name, observe_serial, observe_batch, phase_ns));
+        observe_rows.push((stream_name, client, observe_serial, observe_batch, phase_ns));
     }
 
     let mut json = String::from("[\n");
+    json.push_str(&format!("  {},\n", yav_bench::machine_json()));
     for (stream_name, owned, screened, borrowed) in &results {
         json.push_str(&format!(
             "  {{\"bench\":\"ingest_owned_{stream_name}\",\"ns_per_req\":{owned:.1}}},\n  \
@@ -286,15 +339,34 @@ fn bench_baseline(_c: &mut Criterion) {
             owned / borrowed
         ));
     }
-    for (i, (stream_name, serial, batch, phase_ns)) in observe_rows.iter().enumerate() {
+    for (level, mixed_ns, nurl_ns) in &dispatch_rows {
+        json.push_str(&format!(
+            "  {{\"bench\":\"simd_dispatch_mixed\",\"level\":\"{level}\",\
+             \"ns_per_req\":{mixed_ns:.1}}},\n  \
+             {{\"bench\":\"simd_dispatch_nurl\",\"level\":\"{level}\",\
+             \"ns_per_req\":{nurl_ns:.1}}},\n"
+        ));
+    }
+    // Every observe row names the client artifact it ran under. The
+    // unsuffixed nurl rows are the full-forest client (the artifact the
+    // batch path exists for); the `_tree` twins keep the §3.2 default
+    // client comparable across recordings.
+    for (i, (stream_name, client, serial, batch, phase_ns)) in observe_rows.iter().enumerate() {
         let tail = if i + 1 == observe_rows.len() {
             "\n]\n"
         } else {
             ",\n"
         };
+        let suffix = if *stream_name == "nurl" && *client == "tree" {
+            "_tree"
+        } else {
+            ""
+        };
         json.push_str(&format!(
-            "  {{\"bench\":\"observe_serial_{stream_name}\",\"ns_per_req\":{serial:.1}}},\n  \
-             {{\"bench\":\"observe_batch_{stream_name}\",\"ns_per_req\":{batch:.1},\
+            "  {{\"bench\":\"observe_serial_{stream_name}{suffix}\",\"client\":\"{client}\",\
+             \"ns_per_req\":{serial:.1}}},\n  \
+             {{\"bench\":\"observe_batch_{stream_name}{suffix}\",\"client\":\"{client}\",\
+             \"ns_per_req\":{batch:.1},\
              \"speedup_vs_serial\":{:.2},\"sift_ns\":{:.1},\"predict_ns\":{:.1},\
              \"commit_ns\":{:.1}}}{tail}",
             serial / batch,

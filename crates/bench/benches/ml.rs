@@ -163,10 +163,11 @@ fn bench_compiled(_c: &mut Criterion) {
         batch * 1e9,
     );
     let json = format!(
-        "[\n  {{\"bench\":\"ml_train\",\"rows\":{n},\"trees\":{trees},\"seconds\":{train_secs:.3}}},\n  \
+        "[\n  {machine},\n  {{\"bench\":\"ml_train\",\"rows\":{n},\"trees\":{trees},\"seconds\":{train_secs:.3}}},\n  \
          {{\"bench\":\"ml_predict_arena_per_row\",\"ns_per_row\":{arena:.1}}},\n  \
          {{\"bench\":\"ml_predict_compiled_single\",\"ns_per_row\":{single:.1}}},\n  \
          {{\"bench\":\"ml_predict_compiled_batch\",\"ns_per_row\":{batch:.1},\"speedup_vs_arena\":{speedup:.2}}}\n]\n",
+        machine = yav_bench::machine_json(),
         trees = cfg.n_trees,
         arena = arena * 1e9,
         single = single * 1e9,

@@ -137,11 +137,13 @@ fn bench_baseline(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "[\n  {{\"bench\":\"span_open_close_tracing_off\",\"ns\":{span_off_ns:.3}}},\n  \
+        "[\n  {machine},\n  \
+         {{\"bench\":\"span_open_close_tracing_off\",\"ns\":{span_off_ns:.3}}},\n  \
          {{\"bench\":\"span_open_close_tracing_on\",\"ns\":{span_on_ns:.3}}},\n  \
          {{\"bench\":\"observe_mixed_tracing_off\",\"ns_per_req\":{off_ns:.1}}},\n  \
          {{\"bench\":\"observe_mixed_tracing_on\",\"ns_per_req\":{on_ns:.1},\
-         \"overhead_pct\":{overhead_pct:.2}}}\n]\n"
+         \"overhead_pct\":{overhead_pct:.2}}}\n]\n",
+        machine = yav_bench::machine_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
     if let Err(e) = std::fs::write(path, json) {

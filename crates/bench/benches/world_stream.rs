@@ -64,7 +64,7 @@ fn main() {
         entries.push(format!(
             "{{\"bench\":\"world_stream\",\"scale\":\"{}\",\"users\":{},\
              \"events_per_sec\":{events_per_sec:.0},\"peak_rss_bytes\":{peak_rss},\
-             \"seconds\":{secs:.3},\"machine\":\"1-vcpu-linux\"}}",
+             \"seconds\":{secs:.3}}}",
             rung.label, rung.users
         ));
     }
@@ -73,7 +73,11 @@ fn main() {
         println!("quick mode: BENCH_world.json left untouched");
         return;
     }
-    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    let json = format!(
+        "[\n  {},\n  {}\n]\n",
+        yav_bench::machine_json(),
+        entries.join(",\n  ")
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("cannot write {path}: {e}");

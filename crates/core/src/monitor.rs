@@ -9,9 +9,9 @@
 
 use crate::ledger::{Ledger, PriceEvent};
 use yav_analyzer::taxonomy;
-use yav_analyzer::ua::parse_user_agent;
+use yav_analyzer::ua::{parse_user_agent, UaFingerprint};
 use yav_nurl::fields::{NurlFields, PricePayload};
-use yav_nurl::{template, UrlRef, UrlScratch};
+use yav_nurl::{template, TemplateTally, UrlRef, UrlScratch};
 use yav_pme::engine::{ContributionBatch, Pme};
 use yav_pme::model::{self, ClientModel, CoreContext, EstimateScratch};
 use yav_types::{City, Cpm, PriceVisibility, SimTime};
@@ -40,6 +40,11 @@ struct MonitorMetrics {
     /// Mirror of the counter [`EstimateScratch`] bumps per serial
     /// estimate; the batch path adds its whole count at once.
     predictions: yav_telemetry::Counter,
+    /// The SIMD dispatch tier the ingest hot path resolved to, as
+    /// [`yav_simd::Level`]'s numeric value (0 scalar … 4 neon). A gauge
+    /// so dashboards can tell a portable-fallback deployment from a
+    /// native one without parsing logs.
+    simd_level: yav_telemetry::Gauge,
 }
 
 impl Default for MonitorMetrics {
@@ -57,6 +62,11 @@ impl Default for MonitorMetrics {
             predict_us: yav_telemetry::histogram("ingest.batch.predict.us"),
             commit_us: yav_telemetry::histogram("ingest.batch.commit.us"),
             predictions: yav_telemetry::counter("pme.predictions_total"),
+            simd_level: {
+                let g = yav_telemetry::gauge("ingest.simd_level");
+                g.set(yav_simd::level() as u8 as f64);
+                g
+            },
         }
     }
 }
@@ -67,8 +77,8 @@ impl Default for MonitorMetrics {
 /// notifications into. Capacity grows to the high-water mark and stays.
 #[derive(Debug, Default)]
 pub struct ObserveScratch {
-    /// Percent-decode storage for the one URL currently being sifted.
-    url: UrlScratch,
+    /// Per-request sift state (URL decode, template tally, UA memo).
+    sift: SiftScratch,
     /// Row-major encoded features, one row per staged encrypted event.
     rows: Vec<f64>,
     /// For each feature row, the index of its staged event.
@@ -77,6 +87,40 @@ pub struct ObserveScratch {
     /// across batches (the old per-call `Vec::new` was one of the batch
     /// path's losses to serial on reject-heavy streams).
     staged: Vec<PriceEvent>,
+}
+
+/// Reusable state every sift path carries: URL decode scratch, the
+/// deferred `nurl.template.*` tally, and a one-entry user-agent
+/// fingerprint memo. A device sends the same UA string on essentially
+/// every request, so repeat fingerprinting collapses to one string
+/// compare; the memo lives with the scratch so serial, batch and
+/// multi-tenant ingestion all benefit without sharing monitor state.
+///
+/// Callers own the tally flush: serial paths flush after every request
+/// (counter totals indistinguishable from per-URL accounting), batch
+/// paths once per batch.
+#[derive(Debug, Default)]
+pub(crate) struct SiftScratch {
+    url: UrlScratch,
+    pub(crate) tally: TemplateTally,
+    ua_raw: String,
+    ua_fp: Option<UaFingerprint>,
+}
+
+impl SiftScratch {
+    /// The memoized [`parse_user_agent`].
+    fn fingerprint(&mut self, ua: &str) -> UaFingerprint {
+        match self.ua_fp {
+            Some(fp) if self.ua_raw == ua => fp,
+            _ => {
+                let fp = parse_user_agent(ua);
+                self.ua_raw.clear();
+                self.ua_raw.push_str(ua);
+                self.ua_fp = Some(fp);
+                fp
+            }
+        }
+    }
 }
 
 /// Why [`sift_request`] discarded a URL. The caller owns the accounting:
@@ -104,7 +148,7 @@ pub(crate) enum SiftDrop {
 pub(crate) fn sift_request(
     home_city: Option<City>,
     req: &HttpRequest,
-    url_scratch: &mut UrlScratch,
+    scratch: &mut SiftScratch,
 ) -> Result<(NurlFields, CoreContext), SiftDrop> {
     let adx = match yav_nurl::screen_adx(&req.url) {
         Ok(adx) => adx,
@@ -116,13 +160,18 @@ pub(crate) fn sift_request(
     // passed, so this is unreachable in practice, but the accounting
     // stays total.
     let url = UrlRef::parse(&req.url).map_err(|_| SiftDrop::ParseError)?;
-    let fields = match template::parse_borrowed_screened(adx, &url, url_scratch) {
+    let fields = match template::parse_borrowed_screened_tallied(
+        adx,
+        &url,
+        &mut scratch.url,
+        &mut scratch.tally,
+    ) {
         Ok(Some(fields)) => fields,
         Ok(None) => return Err(SiftDrop::NotNotification),
         Err(_) => return Err(SiftDrop::ParseError),
     };
 
-    let fp = parse_user_agent(&req.user_agent);
+    let fp = scratch.fingerprint(&req.user_agent);
     let ctx = CoreContext {
         city: home_city,
         time: req.time,
@@ -219,7 +268,11 @@ impl YourAdValue {
     /// batch-local tally) [`YourAdValue::observe_batch`], so the two
     /// paths cannot drift.
     fn sift(&mut self, req: &HttpRequest) -> Option<(NurlFields, CoreContext)> {
-        match sift_request(self.home_city, req, &mut self.obs.url) {
+        let result = sift_request(self.home_city, req, &mut self.obs.sift);
+        // Serial calls flush the template tally immediately: counter
+        // totals at return are exactly what per-URL accounting produces.
+        self.obs.sift.tally.flush();
+        match result {
             Ok(found) => Some(found),
             Err(SiftDrop::ParseError) => {
                 self.drops.parse_error += 1;
@@ -305,6 +358,10 @@ impl YourAdValue {
     /// metric.
     pub fn observe_batch(&mut self, reqs: &[HttpRequest]) -> Vec<PriceEvent> {
         let _timer = self.metrics.observe_us.time_us();
+        // Refresh the dispatch-tier gauge: `force_level` can retier the
+        // kernels at any time (tests and the parity bench do), and one
+        // atomic store per batch is free.
+        self.metrics.simd_level.set(yav_simd::level() as u8 as f64);
         let _trace = yav_trace::trace_span!("ingest.observe_batch", reqs.len());
         // The staging buffers move out of `self` for the duration of the
         // borrow-heavy first pass and return before exit.
@@ -332,7 +389,7 @@ impl YourAdValue {
             let _phase = yav_trace::trace_span!("ingest.sift", reqs.len());
             let _phase_us = self.metrics.sift_us.time_us();
             for req in reqs {
-                let (fields, ctx) = match sift_request(self.home_city, req, &mut self.obs.url) {
+                let (fields, ctx) = match sift_request(self.home_city, req, &mut self.obs.sift) {
                     Ok(found) => found,
                     Err(SiftDrop::ParseError) => {
                         drop_parse_error += 1;
@@ -384,6 +441,7 @@ impl YourAdValue {
         self.metrics
             .rejected_total
             .add(drop_parse_error + drop_not_notification);
+        self.obs.sift.tally.flush();
 
         // Pass 2: one batched forest traversal values every staged
         // encrypted event.

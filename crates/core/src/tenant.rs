@@ -20,7 +20,7 @@
 use crate::ledger::CostSummary;
 use crate::monitor::{sift_request, DropStats, SiftDrop};
 use yav_nurl::fields::PricePayload;
-use yav_nurl::UrlScratch;
+
 use yav_pme::model::{self, ClientModel};
 use yav_types::{City, Cpm, UserId};
 use yav_weblog::HttpRequest;
@@ -209,7 +209,7 @@ pub struct TenantStore {
     /// tenant: rejected URLs never reach user routing).
     drops: DropStats,
     /// Reusable sift/staging scratch.
-    url: UrlScratch,
+    sift: crate::monitor::SiftScratch,
     rows: Vec<f64>,
     staged: Vec<(u32, Cpm)>,
     metrics: TenantMetrics,
@@ -294,7 +294,7 @@ impl TenantStore {
         let mut events = 0u64;
         for req in reqs {
             let home = self.tenant(req.user).and_then(|t| t.home);
-            let (fields, ctx) = match sift_request(home, req, &mut self.url) {
+            let (fields, ctx) = match sift_request(home, req, &mut self.sift) {
                 Ok(found) => found,
                 Err(SiftDrop::ParseError) => {
                     drop_parse_error += 1;
@@ -329,6 +329,7 @@ impl TenantStore {
         self.metrics
             .rejected
             .add(drop_parse_error + drop_not_notification);
+        self.sift.tally.flush();
 
         // Pass 2: one batched forest traversal values every staged row.
         if !staged.is_empty() {

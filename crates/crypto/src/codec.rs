@@ -15,6 +15,10 @@ pub enum CodecError {
     InvalidByte(usize),
     /// The input length is impossible for this codec.
     InvalidLength(usize),
+    /// The caller's output buffer cannot hold the decoded bytes; carries
+    /// the full decoded length the input would produce. Only the `_into`
+    /// decoders report this, and only for inputs that are otherwise valid.
+    BufferTooSmall(usize),
 }
 
 impl fmt::Display for CodecError {
@@ -22,6 +26,9 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::InvalidByte(pos) => write!(f, "invalid byte at position {pos}"),
             CodecError::InvalidLength(len) => write!(f, "invalid input length {len}"),
+            CodecError::BufferTooSmall(need) => {
+                write!(f, "output buffer too small: need {need} bytes")
+            }
         }
     }
 }
@@ -40,25 +47,45 @@ pub fn hex_encode(data: &[u8]) -> String {
     out
 }
 
+fn nibble(b: u8, pos: usize) -> Result<u8, CodecError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(CodecError::InvalidByte(pos)),
+    }
+}
+
 /// Decodes hex (either case) to bytes.
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, CodecError> {
+    let mut out = vec![0u8; s.len() / 2];
+    let n = hex_decode_into(s, &mut out)?;
+    debug_assert_eq!(n, out.len());
+    Ok(out)
+}
+
+/// Decodes hex (either case) into `out` without allocating, returning the
+/// decoded length. Validation order and error positions match
+/// [`hex_decode`] exactly; an input that is valid but does not fit yields
+/// [`CodecError::BufferTooSmall`] with the full decoded length.
+pub fn hex_decode_into(s: &str, out: &mut [u8]) -> Result<usize, CodecError> {
     let bytes = s.as_bytes();
     if !bytes.len().is_multiple_of(2) {
         return Err(CodecError::InvalidLength(bytes.len()));
     }
-    let nibble = |b: u8, pos: usize| -> Result<u8, CodecError> {
-        match b {
-            b'0'..=b'9' => Ok(b - b'0'),
-            b'a'..=b'f' => Ok(b - b'a' + 10),
-            b'A'..=b'F' => Ok(b - b'A' + 10),
-            _ => Err(CodecError::InvalidByte(pos)),
+    let n = bytes.len() / 2;
+    for i in 0..n {
+        let b = (nibble(bytes[2 * i], 2 * i)? << 4) | nibble(bytes[2 * i + 1], 2 * i + 1)?;
+        // Keep validating past the end of `out` so InvalidByte wins over
+        // BufferTooSmall at every position, as the allocating decoder would.
+        if i < out.len() {
+            out[i] = b;
         }
-    };
-    let mut out = Vec::with_capacity(bytes.len() / 2);
-    for i in (0..bytes.len()).step_by(2) {
-        out.push((nibble(bytes[i], i)? << 4) | nibble(bytes[i + 1], i + 1)?);
     }
-    Ok(out)
+    if n > out.len() {
+        return Err(CodecError::BufferTooSmall(n));
+    }
+    Ok(n)
 }
 
 const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
@@ -84,39 +111,74 @@ pub fn base64url_encode(data: &[u8]) -> String {
     out
 }
 
+/// Inverse-alphabet table: base64url value per byte, `0xFF` for bytes
+/// outside the alphabet. Valid values never set the high bit, so a
+/// fixed-width decoder can OR the looked-up values together and test
+/// `0x80` once instead of branching per character.
+pub(crate) const B64_INV: [u8; 256] = {
+    let mut t = [0xFFu8; 256];
+    let mut i = 0;
+    while i < 64 {
+        t[B64[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+};
+
+fn b64_val(b: u8, pos: usize) -> Result<u32, CodecError> {
+    match b {
+        b'A'..=b'Z' => Ok((b - b'A') as u32),
+        b'a'..=b'z' => Ok((b - b'a' + 26) as u32),
+        b'0'..=b'9' => Ok((b - b'0' + 52) as u32),
+        b'-' => Ok(62),
+        b'_' => Ok(63),
+        _ => Err(CodecError::InvalidByte(pos)),
+    }
+}
+
 /// Decodes URL-safe base64 (unpadded; trailing `=` padding is tolerated).
 pub fn base64url_decode(s: &str) -> Result<Vec<u8>, CodecError> {
+    let trimmed_len = s.trim_end_matches('=').len();
+    let cap = trimmed_len / 4 * 3 + [0usize, 0, 1, 2][trimmed_len % 4];
+    let mut out = vec![0u8; cap];
+    let n = base64url_decode_into(s, &mut out)?;
+    debug_assert_eq!(n, cap);
+    Ok(out)
+}
+
+/// Decodes URL-safe base64 into `out` without allocating, returning the
+/// decoded length. Validation order and error positions match
+/// [`base64url_decode`] exactly; an input that is valid but does not fit
+/// yields [`CodecError::BufferTooSmall`] with the full decoded length.
+pub fn base64url_decode_into(s: &str, out: &mut [u8]) -> Result<usize, CodecError> {
     let trimmed = s.trim_end_matches('=');
     let bytes = trimmed.as_bytes();
     if bytes.len() % 4 == 1 {
         return Err(CodecError::InvalidLength(s.len()));
     }
-    let val = |b: u8, pos: usize| -> Result<u32, CodecError> {
-        match b {
-            b'A'..=b'Z' => Ok((b - b'A') as u32),
-            b'a'..=b'z' => Ok((b - b'a' + 26) as u32),
-            b'0'..=b'9' => Ok((b - b'0' + 52) as u32),
-            b'-' => Ok(62),
-            b'_' => Ok(63),
-            _ => Err(CodecError::InvalidByte(pos)),
-        }
-    };
-    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    let mut n = 0usize;
     for (ci, chunk) in bytes.chunks(4).enumerate() {
         let base = ci * 4;
-        let mut n = 0u32;
+        let mut word = 0u32;
         for (i, &b) in chunk.iter().enumerate() {
-            n |= val(b, base + i)? << (18 - 6 * i);
+            word |= b64_val(b, base + i)? << (18 - 6 * i);
         }
-        out.push((n >> 16) as u8);
-        if chunk.len() > 2 {
-            out.push((n >> 8) as u8);
+        // A chunk of 2/3/4 characters carries 1/2/3 bytes. Keep
+        // validating past the end of `out` so InvalidByte wins over
+        // BufferTooSmall at every position, as the allocating decoder
+        // would.
+        let emit = chunk.len() - 1;
+        for k in 0..emit {
+            if n + k < out.len() {
+                out[n + k] = (word >> (16 - 8 * k)) as u8;
+            }
         }
-        if chunk.len() > 3 {
-            out.push(n as u8);
-        }
+        n += emit;
     }
-    Ok(out)
+    if n > out.len() {
+        return Err(CodecError::BufferTooSmall(n));
+    }
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -169,10 +231,63 @@ mod tests {
         assert_eq!(base64url_decode("Zm/v"), Err(CodecError::InvalidByte(2)));
     }
 
+    #[test]
+    fn decode_into_exact_fit() {
+        let mut buf = [0u8; 3];
+        assert_eq!(hex_decode_into("00ff5a", &mut buf), Ok(3));
+        assert_eq!(buf, [0x00, 0xff, 0x5a]);
+        let mut buf = [0u8; 4];
+        assert_eq!(base64url_decode_into("Zm9vYg==", &mut buf), Ok(4));
+        assert_eq!(&buf, b"foob");
+        // Oversized buffers report the true decoded length.
+        let mut big = [0u8; 16];
+        assert_eq!(base64url_decode_into("Zm9v", &mut big), Ok(3));
+        assert_eq!(&big[..3], b"foo");
+    }
+
+    #[test]
+    fn decode_into_reports_needed_length() {
+        let mut buf = [0u8; 2];
+        assert_eq!(
+            hex_decode_into("00ff5a", &mut buf),
+            Err(CodecError::BufferTooSmall(3))
+        );
+        assert_eq!(
+            base64url_decode_into("Zm9vYmFy", &mut buf),
+            Err(CodecError::BufferTooSmall(6))
+        );
+    }
+
+    #[test]
+    fn decode_into_invalid_byte_beats_small_buffer() {
+        // The invalid byte sits past the buffer's capacity; the position
+        // must still be reported, exactly as the allocating decoder does.
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            hex_decode_into("00ffzz", &mut buf),
+            Err(CodecError::InvalidByte(4))
+        );
+        assert_eq!(
+            base64url_decode_into("Zm9vY%", &mut buf),
+            Err(CodecError::InvalidByte(5))
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_hex_round_trip(data: Vec<u8>) {
             prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_decode_into_matches_allocating(data: Vec<u8>) {
+            let mut buf = vec![0u8; data.len()];
+            let hex = hex_encode(&data);
+            prop_assert_eq!(hex_decode_into(&hex, &mut buf), Ok(data.len()));
+            prop_assert_eq!(&buf, &data);
+            let b64 = base64url_encode(&data);
+            prop_assert_eq!(base64url_decode_into(&b64, &mut buf), Ok(data.len()));
+            prop_assert_eq!(&buf, &data);
         }
 
         #[test]

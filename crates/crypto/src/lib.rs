@@ -20,8 +20,10 @@
 //!   inside notification URLs.
 //!
 //! No third-party crypto crates are used; determinism and auditability
-//! matter more here than raw speed, though the implementation still hashes
-//! hundreds of MB/s — far beyond what the simulator needs.
+//! matter more here than raw speed. The SHA-256 compression itself comes
+//! from the workspace's [`yav_simd`] kernel crate, whose multiway variants
+//! back [`hmac::HmacKey::mac_many`] and the batch price APIs — every tier
+//! is bit-identical, so swapping kernels never changes a token.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,7 +33,10 @@ pub mod hmac;
 pub mod price;
 pub mod sha256;
 
-pub use codec::{base64url_decode, base64url_encode, hex_decode, hex_encode};
-pub use hmac::hmac_sha256;
+pub use codec::{
+    base64url_decode, base64url_decode_into, base64url_encode, hex_decode, hex_decode_into,
+    hex_encode, CodecError,
+};
+pub use hmac::{hmac_sha256, HmacKey};
 pub use price::{EncryptedPrice, PriceCrypter, PriceKeys, PriceTokenError};
 pub use sha256::{sha256, Sha256};

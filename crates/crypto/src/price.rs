@@ -20,12 +20,50 @@
 //! approach. Tokens are shipped in nURLs as unpadded URL-safe base64
 //! (38 characters).
 
-use crate::codec::{base64url_decode, base64url_encode};
-use crate::hmac::{ct_eq, hmac_sha256};
+use crate::codec::{base64url_decode_into, base64url_encode, hex_decode_into, CodecError, B64_INV};
+use crate::hmac::{ct_eq, hmac_sha256, HmacKey};
 use std::fmt;
 
 /// Byte length of the full token.
 pub const TOKEN_LEN: usize = 28;
+
+/// Length of the unpadded base64url wire form of a token:
+/// `ceil(28 / 3) * 4 - 2` characters.
+const WIRE_B64_LEN: usize = 38;
+
+/// Branchless fixed-width base64url decode of the 38-character wire
+/// form. Invalid values from [`B64_INV`] carry the high bit, so one OR
+/// accumulator replaces per-character error branches; `None` means some
+/// byte was outside the alphabet (the caller re-runs the general
+/// decoder for the exact error).
+fn decode_b64_38(b: &[u8]) -> Option<[u8; TOKEN_LEN]> {
+    debug_assert_eq!(b.len(), WIRE_B64_LEN);
+    let mut out = [0u8; TOKEN_LEN];
+    let mut bad = 0u8;
+    for g in 0..9 {
+        let (v0, v1, v2, v3) = (
+            B64_INV[b[g * 4] as usize],
+            B64_INV[b[g * 4 + 1] as usize],
+            B64_INV[b[g * 4 + 2] as usize],
+            B64_INV[b[g * 4 + 3] as usize],
+        );
+        bad |= v0 | v1 | v2 | v3;
+        let w = ((v0 as u32) << 18) | ((v1 as u32) << 12) | ((v2 as u32) << 6) | v3 as u32;
+        out[g * 3] = (w >> 16) as u8;
+        out[g * 3 + 1] = (w >> 8) as u8;
+        out[g * 3 + 2] = w as u8;
+    }
+    // Two-character tail: one final byte, low bits discarded exactly as
+    // the general decoder discards them.
+    let (v0, v1) = (B64_INV[b[36] as usize], B64_INV[b[37] as usize]);
+    bad |= v0 | v1;
+    out[27] = (v0 << 2) | (v1 >> 4);
+    if bad & 0x80 != 0 {
+        None
+    } else {
+        Some(out)
+    }
+}
 /// Byte length of the initialisation vector.
 pub const IV_LEN: usize = 16;
 /// Byte length of the encrypted price field.
@@ -84,15 +122,48 @@ pub struct EncryptedPrice {
 
 impl EncryptedPrice {
     /// Parses the wire (base64url) form. This is all an *observer* can do
-    /// with a token — shape validation, no decryption.
+    /// with a token — shape validation, no decryption. Allocation-free:
+    /// decoding lands directly in the token's own 28-byte array.
     pub fn from_wire(s: &str) -> Result<EncryptedPrice, PriceTokenError> {
-        let raw = base64url_decode(s).map_err(|_| PriceTokenError::Encoding)?;
-        if raw.len() != TOKEN_LEN {
-            return Err(PriceTokenError::Length(raw.len()));
+        // Fixed-width fast path: a well-formed token is exactly 38
+        // unpadded base64url characters. Any byte outside the alphabet
+        // (including `=` padding) falls through to the general decoder,
+        // so error values and padded inputs behave exactly as before.
+        if s.len() == WIRE_B64_LEN {
+            if let Some(bytes) = decode_b64_38(s.as_bytes()) {
+                return Ok(EncryptedPrice { bytes });
+            }
         }
         let mut bytes = [0u8; TOKEN_LEN];
-        bytes.copy_from_slice(&raw);
+        let n = match base64url_decode_into(s, &mut bytes) {
+            Ok(n) => n,
+            Err(CodecError::BufferTooSmall(n)) => n,
+            Err(_) => return Err(PriceTokenError::Encoding),
+        };
+        if n != TOKEN_LEN {
+            return Err(PriceTokenError::Length(n));
+        }
         Ok(EncryptedPrice { bytes })
+    }
+
+    /// Parses the bare-hex wire form (the `price=B6A3F3C1…` shape:
+    /// 56 hex characters), also allocation-free.
+    pub fn from_hex_wire(s: &str) -> Result<EncryptedPrice, PriceTokenError> {
+        let mut bytes = [0u8; TOKEN_LEN];
+        let n = match hex_decode_into(s, &mut bytes) {
+            Ok(n) => n,
+            Err(CodecError::BufferTooSmall(n)) => n,
+            Err(_) => return Err(PriceTokenError::Encoding),
+        };
+        if n != TOKEN_LEN {
+            return Err(PriceTokenError::Length(n));
+        }
+        Ok(EncryptedPrice { bytes })
+    }
+
+    /// Wraps raw token bytes; the fixed-size array is already shape-valid.
+    pub fn from_bytes(bytes: [u8; TOKEN_LEN]) -> EncryptedPrice {
+        EncryptedPrice { bytes }
     }
 
     /// Serialises back to the wire form (38 base64url characters).
@@ -112,15 +183,52 @@ impl EncryptedPrice {
 }
 
 /// Encrypts and decrypts price tokens for one (exchange, buyer) key pair.
-#[derive(Debug, Clone)]
+///
+/// Caches the two keys' [`HmacKey`] midstates, so each encrypt/decrypt
+/// costs four SHA-256 compressions instead of eight, and the batch
+/// methods drive those compressions through the multiway kernel. The
+/// midstates are computed on first use, not at construction: the market
+/// builds a crypter per (exchange, buyer) integration on every shard,
+/// and most integrations never seal a price — paying four compressions
+/// up front per crypter measurably slowed whole-world builds.
+#[derive(Debug)]
 pub struct PriceCrypter {
     keys: PriceKeys,
+    mids: std::sync::OnceLock<(HmacKey, HmacKey)>,
+}
+
+impl Clone for PriceCrypter {
+    fn clone(&self) -> PriceCrypter {
+        PriceCrypter {
+            keys: self.keys.clone(),
+            // Carry already-computed midstates over; a clone of an unused
+            // crypter stays lazy.
+            mids: match self.mids.get() {
+                Some(m) => std::sync::OnceLock::from(m.clone()),
+                None => std::sync::OnceLock::new(),
+            },
+        }
+    }
 }
 
 impl PriceCrypter {
-    /// Creates a crypter around a key pair.
+    /// Creates a crypter around a key pair. Cheap: the HMAC midstates
+    /// are derived lazily on the first operation.
     pub fn new(keys: PriceKeys) -> PriceCrypter {
-        PriceCrypter { keys }
+        PriceCrypter {
+            keys,
+            mids: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The cached `(encryption, integrity)` midstates.
+    fn mids(&self) -> &(HmacKey, HmacKey) {
+        self.mids.get_or_init(|| {
+            (
+                HmacKey::new(&self.keys.encryption_key),
+                HmacKey::new(&self.keys.integrity_key),
+            )
+        })
     }
 
     /// Encrypts a price (micro-CPM) under a caller-supplied IV. The IV must
@@ -128,25 +236,45 @@ impl PriceCrypter {
     /// impression id plus exchange entropy.
     pub fn encrypt(&self, micro_cpm: u64, iv: [u8; IV_LEN]) -> EncryptedPrice {
         let price_bytes = micro_cpm.to_be_bytes();
-        let pad = hmac_sha256(&self.keys.encryption_key, &iv);
-        let mut token = [0u8; TOKEN_LEN];
-        token[..IV_LEN].copy_from_slice(&iv);
-        for i in 0..PRICE_LEN {
-            token[IV_LEN + i] = price_bytes[i] ^ pad[i];
-        }
+        let pad = self.mids().0.mac(&iv);
         let mut sig_input = [0u8; PRICE_LEN + IV_LEN];
         sig_input[..PRICE_LEN].copy_from_slice(&price_bytes);
         sig_input[PRICE_LEN..].copy_from_slice(&iv);
-        let sig = hmac_sha256(&self.keys.integrity_key, &sig_input);
-        token[IV_LEN + PRICE_LEN..].copy_from_slice(&sig[..SIG_LEN]);
-        EncryptedPrice { bytes: token }
+        let sig = self.mids().1.mac(&sig_input);
+        EncryptedPrice {
+            bytes: assemble_token(&iv, &price_bytes, &pad, &sig),
+        }
+    }
+
+    /// Encrypts a batch of `(micro_cpm, iv)` pairs. Identical tokens to
+    /// calling [`PriceCrypter::encrypt`] per pair, but the pad and
+    /// signature MACs run lane-parallel across the batch.
+    pub fn encrypt_batch(&self, items: &[(u64, [u8; IV_LEN])]) -> Vec<EncryptedPrice> {
+        let mut sig_inputs = vec![[0u8; PRICE_LEN + IV_LEN]; items.len()];
+        for (s, (price, iv)) in sig_inputs.iter_mut().zip(items) {
+            s[..PRICE_LEN].copy_from_slice(&price.to_be_bytes());
+            s[PRICE_LEN..].copy_from_slice(iv);
+        }
+        let iv_refs: Vec<&[u8]> = items.iter().map(|(_, iv)| iv.as_slice()).collect();
+        let sig_refs: Vec<&[u8]> = sig_inputs.iter().map(|s| s.as_slice()).collect();
+        let mut pads = vec![[0u8; 32]; items.len()];
+        let mut sigs = vec![[0u8; 32]; items.len()];
+        self.mids().0.mac_many(&iv_refs, &mut pads);
+        self.mids().1.mac_many(&sig_refs, &mut sigs);
+        items
+            .iter()
+            .zip(pads.iter().zip(&sigs))
+            .map(|((price, iv), (pad, sig))| EncryptedPrice {
+                bytes: assemble_token(iv, &price.to_be_bytes(), pad, sig),
+            })
+            .collect()
     }
 
     /// Decrypts and verifies a token, returning the price in micro-CPM.
     /// This is what the *winning DSP* does with its copy of the keys.
     pub fn decrypt(&self, token: &EncryptedPrice) -> Result<u64, PriceTokenError> {
         let iv = &token.bytes[..IV_LEN];
-        let pad = hmac_sha256(&self.keys.encryption_key, iv);
+        let pad = self.mids().0.mac(iv);
         let mut price_bytes = [0u8; PRICE_LEN];
         for i in 0..PRICE_LEN {
             price_bytes[i] = token.bytes[IV_LEN + i] ^ pad[i];
@@ -154,12 +282,61 @@ impl PriceCrypter {
         let mut sig_input = [0u8; PRICE_LEN + IV_LEN];
         sig_input[..PRICE_LEN].copy_from_slice(&price_bytes);
         sig_input[PRICE_LEN..].copy_from_slice(iv);
-        let sig = hmac_sha256(&self.keys.integrity_key, &sig_input);
+        let sig = self.mids().1.mac(&sig_input);
         if !ct_eq(&sig[..SIG_LEN], &token.bytes[IV_LEN + PRICE_LEN..]) {
             return Err(PriceTokenError::Integrity);
         }
         Ok(u64::from_be_bytes(price_bytes))
     }
+
+    /// Decrypts and verifies a batch of tokens, with the same per-token
+    /// results as [`PriceCrypter::decrypt`].
+    pub fn decrypt_batch(&self, tokens: &[EncryptedPrice]) -> Vec<Result<u64, PriceTokenError>> {
+        let iv_refs: Vec<&[u8]> = tokens.iter().map(|t| &t.bytes[..IV_LEN]).collect();
+        let mut pads = vec![[0u8; 32]; tokens.len()];
+        self.mids().0.mac_many(&iv_refs, &mut pads);
+
+        let mut prices = vec![[0u8; PRICE_LEN]; tokens.len()];
+        let mut sig_inputs = vec![[0u8; PRICE_LEN + IV_LEN]; tokens.len()];
+        for (j, t) in tokens.iter().enumerate() {
+            for i in 0..PRICE_LEN {
+                prices[j][i] = t.bytes[IV_LEN + i] ^ pads[j][i];
+            }
+            sig_inputs[j][..PRICE_LEN].copy_from_slice(&prices[j]);
+            sig_inputs[j][PRICE_LEN..].copy_from_slice(&t.bytes[..IV_LEN]);
+        }
+        let sig_refs: Vec<&[u8]> = sig_inputs.iter().map(|s| s.as_slice()).collect();
+        let mut sigs = vec![[0u8; 32]; tokens.len()];
+        self.mids().1.mac_many(&sig_refs, &mut sigs);
+
+        tokens
+            .iter()
+            .zip(sigs.iter().zip(&prices))
+            .map(|(t, (sig, price))| {
+                if ct_eq(&sig[..SIG_LEN], &t.bytes[IV_LEN + PRICE_LEN..]) {
+                    Ok(u64::from_be_bytes(*price))
+                } else {
+                    Err(PriceTokenError::Integrity)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Lays out `iv ‖ (price ⊕ pad) ‖ sig` into the 28-byte token.
+fn assemble_token(
+    iv: &[u8; IV_LEN],
+    price_bytes: &[u8; PRICE_LEN],
+    pad: &[u8; 32],
+    sig: &[u8; 32],
+) -> [u8; TOKEN_LEN] {
+    let mut token = [0u8; TOKEN_LEN];
+    token[..IV_LEN].copy_from_slice(iv);
+    for i in 0..PRICE_LEN {
+        token[IV_LEN + i] = price_bytes[i] ^ pad[i];
+    }
+    token[IV_LEN + PRICE_LEN..].copy_from_slice(&sig[..SIG_LEN]);
+    token
 }
 
 #[cfg(test)]
@@ -249,6 +426,69 @@ mod tests {
         }
         // 800 byte comparisons, expected ~3 matches by chance; allow slack.
         assert!(matches < 30, "pads look correlated: {matches} byte matches");
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let c = crypter("batch");
+        let items: Vec<(u64, [u8; IV_LEN])> = (0..37u64)
+            .map(|i| (250_000 + i * 13_337, [(i as u8).wrapping_mul(7); IV_LEN]))
+            .collect();
+        let tokens = c.encrypt_batch(&items);
+        assert_eq!(tokens.len(), items.len());
+        for ((price, iv), token) in items.iter().zip(&tokens) {
+            assert_eq!(*token, c.encrypt(*price, *iv), "price {price}");
+        }
+        let decrypted = c.decrypt_batch(&tokens);
+        for ((price, _), got) in items.iter().zip(&decrypted) {
+            assert_eq!(got.as_ref(), Ok(price));
+        }
+    }
+
+    #[test]
+    fn batch_flags_tampered_tokens_individually() {
+        let c = crypter("batch-tamper");
+        let mut tokens = c.encrypt_batch(&[(100, [1; IV_LEN]), (200, [2; IV_LEN])]);
+        let mut bytes = *tokens[1].as_bytes();
+        bytes[IV_LEN] ^= 0x01;
+        tokens[1] = EncryptedPrice::from_bytes(bytes);
+        let got = c.decrypt_batch(&tokens);
+        assert_eq!(got[0], Ok(100));
+        assert_eq!(got[1], Err(PriceTokenError::Integrity));
+    }
+
+    #[test]
+    fn hex_wire_round_trip() {
+        let c = crypter("hex");
+        let token = c.encrypt(640_000, [3u8; IV_LEN]);
+        let hex = crate::codec::hex_encode(token.as_bytes());
+        assert_eq!(hex.len(), 56);
+        assert_eq!(EncryptedPrice::from_hex_wire(&hex).unwrap(), token);
+        assert_eq!(
+            EncryptedPrice::from_hex_wire("zz"),
+            Err(PriceTokenError::Encoding)
+        );
+        assert_eq!(
+            EncryptedPrice::from_hex_wire("00ff"),
+            Err(PriceTokenError::Length(2))
+        );
+        // 30 bytes of valid hex: too long, reported as a length error just
+        // like the base64 form.
+        assert_eq!(
+            EncryptedPrice::from_hex_wire(&"ab".repeat(30)),
+            Err(PriceTokenError::Length(30))
+        );
+    }
+
+    #[test]
+    fn overlong_base64_wire_is_length_error() {
+        // 30 decoded bytes — more than the token's 28. The non-allocating
+        // parser must still report the true decoded length.
+        let wire = base64url_encode(&[0x11u8; 30]);
+        assert_eq!(
+            EncryptedPrice::from_wire(&wire),
+            Err(PriceTokenError::Length(30))
+        );
     }
 
     proptest! {

@@ -53,6 +53,14 @@ const CASES: &[Case] = &[
         min_findings: 1,
     },
     Case {
+        rule: "forbid-unsafe-coverage",
+        positive: "unsafe_cover_pos.rs",
+        negative: "unsafe_cover_neg.rs",
+        crate_name: "simd",
+        rel: "crates/simd/src/lib.rs",
+        min_findings: 4,
+    },
+    Case {
         rule: "metric-name-hygiene",
         positive: "metric_pos.rs",
         negative: "metric_neg.rs",

@@ -1,0 +1,25 @@
+//! Negative fixture: a designated unsafe crate root — no forbid, but a
+//! reasoned opt-out, and every `unsafe` token carries its proof
+//! (linted as `crates/simd/src/lib.rs`).
+
+// yav-lint: allow(forbid-unsafe-coverage) — designated unsafe crate:
+// every unsafe token below carries its own SAFETY comment.
+
+// SAFETY: callers must prove avx2 support first, e.g. via
+// `is_x86_feature_detected!("avx2")`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn widened(p: *const u32) -> u32 {
+    // SAFETY: the public dispatcher bounds-checked `p`.
+    unsafe { *p }
+}
+
+pub fn dispatched(p: *const u32) -> u32 {
+    // SAFETY: `p` comes from a live slice in the caller; the index was
+    // checked against its length on the line above the call.
+    unsafe { *p }
+}
+
+pub fn allowed(p: *const u32) -> u32 {
+    // yav-lint: allow(forbid-unsafe-coverage) — equivalent safe read is miri-checked in CI.
+    unsafe { *p }
+}

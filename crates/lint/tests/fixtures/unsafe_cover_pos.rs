@@ -1,0 +1,22 @@
+//! Positive fixture: a would-be designated unsafe crate root with no
+//! forbid, no opt-out, and three uncovered `unsafe` tokens (linted as
+//! `crates/simd/src/lib.rs`).
+
+// SAFETY: callers pass a valid pointer — but there is no
+// `#[target_feature]` gate, so the signature itself is flagged.
+pub unsafe fn no_gate(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn uncommented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn stale_comment(p: *const u32) -> u32 {
+    // SAFETY: this proof sits too far above the block to count.
+    //
+    //
+    //
+    //
+    unsafe { *p }
+}

@@ -320,12 +320,13 @@ impl CompiledForest {
     /// unpredictable loop-exit branch, per row, per tree), the whole
     /// block's row-index set is *partitioned* down the tree. At each
     /// split node the feature column and threshold are loaded once and
-    /// the node's surviving rows are split with a branchless sweep — two
-    /// unconditional forward stores per row, conditional cursor bumps —
-    /// so the inner loop has no dependent loads and no data-driven
-    /// branches and pipelines at full width. Each row still receives
-    /// each tree's leaf contribution exactly once, in root order,
-    /// preserving bit-identity.
+    /// the node's surviving rows are split with [`yav_simd::partition`]'s
+    /// order-preserving compaction — 8 rows per step under AVX2
+    /// (vectorized compare + `vpermd` compaction), a branchless scalar
+    /// sweep elsewhere, bit-identical either way — so the inner loop has
+    /// no dependent loads and no data-driven branches and pipelines at
+    /// full width. Each row still receives each tree's leaf contribution
+    /// exactly once, in root order, preserving bit-identity.
     ///
     /// # Panics
     /// Panics if `n_features` disagrees with the compiled shape or does
@@ -378,18 +379,10 @@ impl CompiledForest {
                 }
                 let col = &cols
                     [node.feature as usize * block_rows..(node.feature as usize + 1) * block_rows];
-                let t = node.threshold;
                 let buf_a = &mut buf_a[..block_rows];
                 let buf_b = &mut buf_b[..block_rows];
-                let mut lo = 0usize;
-                let mut ro = 0usize;
-                for (r, &v) in col.iter().enumerate() {
-                    let go_left = v <= t;
-                    buf_a[lo] = r as u32;
-                    buf_b[ro] = r as u32;
-                    lo += usize::from(go_left);
-                    ro += usize::from(!go_left);
-                }
+                let (lo, ro) =
+                    yav_simd::partition::partition_iota(col, node.threshold, buf_a, buf_b);
                 let (left_seg, a_rest) = buf_a.split_at_mut(lo);
                 let (right_seg, b_rest) = buf_b.split_at_mut(ro);
                 let (seg_l, seg_r) = seg[..block_rows].split_at_mut(lo);
@@ -428,11 +421,12 @@ impl CompiledForest {
     /// routes the row indices in `seg` through the subtree at `idx`,
     /// accumulating each row's leaf probabilities into `votes`.
     ///
-    /// `buf_a` and `buf_b` are free buffers the same length as `seg`; a
+    /// `buf_a` and `buf_b` are free buffers at least as long as `seg`; a
     /// split writes its left-goers to `buf_a` and right-goers to `buf_b`
-    /// (both compacting forward — two unconditional stores and two
-    /// conditional cursor bumps per row, no selects, no data-driven
-    /// branches). The parent's `seg` is dead after the sweep, so its two
+    /// via [`yav_simd::partition::partition_seg`] (order-preserving
+    /// forward compaction — gather + mask + `vpermd` under AVX2, the
+    /// branchless scalar sweep elsewhere). The parent's `seg` is dead
+    /// after the sweep, so its two
     /// halves become the free buffers of the recursion, alongside the
     /// unused tails of `buf_a`/`buf_b` — a three-way rotation that needs
     /// no allocation at any depth.
@@ -475,16 +469,7 @@ impl CompiledForest {
         }
         let col =
             &cols[node.feature as usize * block_rows..(node.feature as usize + 1) * block_rows];
-        let t = node.threshold;
-        let mut lo = 0usize;
-        let mut ro = 0usize;
-        for &r in seg.iter() {
-            let go_left = col[r as usize] <= t;
-            buf_a[lo] = r;
-            buf_b[ro] = r;
-            lo += usize::from(go_left);
-            ro += usize::from(!go_left);
-        }
+        let (lo, ro) = yav_simd::partition::partition_seg(col, node.threshold, seg, buf_a, buf_b);
         debug_assert_eq!(lo + ro, seg.len());
         let (left_seg, a_rest) = buf_a.split_at_mut(lo);
         let (right_seg, b_rest) = buf_b.split_at_mut(ro);

@@ -116,6 +116,33 @@ fn batch_prediction_matches_per_row_everywhere() {
 }
 
 #[test]
+fn batch_prediction_is_tier_independent() {
+    // The partition sweep inside predict_batch dispatches through
+    // yav-simd; every available tier must produce the identical class
+    // sequence (the scalar tier is the canonical semantics).
+    let (n_classes, config) = configs().into_iter().nth(1).unwrap();
+    let data = dataset(500, 5, n_classes, 0x51D);
+    let forest = RandomForest::fit(&data, &config);
+    let compiled = forest.compile();
+    let flat: Vec<f64> = (0..data.len()).flat_map(|r| data.row(r).to_vec()).collect();
+    yav_simd::force_level(Some(yav_simd::Level::Scalar));
+    let want = compiled.predict_batch(&flat, data.n_features());
+    for lvl in yav_simd::Level::all()
+        .iter()
+        .copied()
+        .filter(|l| l.available())
+    {
+        yav_simd::force_level(Some(lvl));
+        assert_eq!(
+            compiled.predict_batch(&flat, data.n_features()),
+            want,
+            "{lvl:?}"
+        );
+    }
+    yav_simd::force_level(None);
+}
+
+#[test]
 fn compiled_form_survives_serialization_next_to_the_arena_form() {
     let data = dataset(220, 5, 4, 77);
     let forest = RandomForest::fit(

@@ -156,7 +156,9 @@ pub fn exchange_host(host: &str) -> Option<Adx> {
     HOST_TABLE
         .iter()
         .find(|e| {
-            e.len as usize == host.len() && e.first == first && host.eq_ignore_ascii_case(e.domain)
+            e.len as usize == host.len()
+                && e.first == first
+                && yav_simd::scan::eq_ignore_ascii_case(host.as_bytes(), e.domain.as_bytes())
         })
         .map(|e| e.adx)
 }
@@ -232,13 +234,13 @@ impl NurlDetector {
     /// Shape-classifies a raw price value: decimal ⇒ cleartext; 28-byte
     /// token (hex or base64url) ⇒ encrypted; anything else ⇒ garbled.
     pub fn classify_price(raw: &str) -> DetectedPrice {
-        if raw.len() == 56 && raw.bytes().all(|b| b.is_ascii_hexdigit()) {
-            if let Ok(bytes) = yav_crypto::hex_decode(raw) {
-                if let Ok(tok) = EncryptedPrice::from_wire(&yav_crypto::base64url_encode(&bytes)) {
-                    return DetectedPrice::Encrypted(tok);
-                }
+        if raw.len() == 56 {
+            if let Ok(tok) = EncryptedPrice::from_hex_wire(raw) {
+                return DetectedPrice::Encrypted(tok);
             }
-            return DetectedPrice::Garbled;
+            // 56 hex digits always decode to exactly one token, so the
+            // only failure is a non-hex byte — classify by the other
+            // shapes, as before.
         }
         if let Ok(p) = raw.parse::<Cpm>() {
             return DetectedPrice::Cleartext(p);

@@ -42,8 +42,8 @@ pub use detect::{
 pub use fields::{NurlFields, PricePayload};
 pub use scratch::{DecodedPairs, UrlScratch};
 pub use template::{
-    emit, emit_into, parse, parse_borrowed, parse_borrowed_screened, parse_screened,
-    NurlParseError, NurlRefError,
+    emit, emit_into, parse, parse_borrowed, parse_borrowed_screened,
+    parse_borrowed_screened_tallied, parse_screened, NurlParseError, NurlRefError, TemplateTally,
 };
 pub use url::{Url, UrlParseError};
 pub use urlref::{QueryIter, UrlRef};

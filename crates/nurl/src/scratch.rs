@@ -13,7 +13,7 @@
 //! buffers in the borrowed pipeline.
 
 use crate::url::UrlParseError;
-use crate::urlref::{decode_byte_at, UrlRef};
+use crate::urlref::{decode_byte_at, QueryIter, UrlRef};
 
 /// Reusable decode storage: decoded component bytes plus `(key, value)`
 /// span bounds per pair. Hold one per ingestion loop and feed it every
@@ -36,9 +36,25 @@ impl UrlScratch {
     /// decoded pairs. Errors are byte-for-byte what the owned
     /// `Url::parse` reports for the same input: pairs decode in order,
     /// key before value, and the first failure wins.
-    pub fn decode<'s>(&'s mut self, url: &UrlRef<'_>) -> Result<DecodedPairs<'s>, UrlParseError> {
+    pub fn decode<'s, 'a: 's>(
+        &'s mut self,
+        url: &UrlRef<'a>,
+    ) -> Result<DecodedPairs<'s>, UrlParseError> {
         self.bytes.clear();
         self.spans.clear();
+        let query = url.query_str();
+        if !yav_simd::scan::contains_either(query.as_bytes(), b'%', b'+') {
+            // Whole-query fast path: with no escapes and no `+`, every
+            // component's decoded bytes *are* its raw bytes, so the view
+            // borrows the query itself and splits pairs lazily at
+            // iteration time — no span table is built, no byte is copied
+            // or re-validated (the query is already `&str`).
+            return Ok(DecodedPairs {
+                raw: Some(query),
+                text: "",
+                spans: &[],
+            });
+        }
         for (k, v) in url.query_pairs() {
             let (ks, ke) = decode_component(k, &mut self.bytes)?;
             let (vs, ve) = decode_component(v, &mut self.bytes)?;
@@ -54,6 +70,7 @@ impl UrlScratch {
             Err(e) => return Err(UrlParseError::Escape(e.valid_up_to())),
         };
         Ok(DecodedPairs {
+            raw: None,
             text,
             spans: &self.spans,
         })
@@ -66,11 +83,11 @@ impl UrlScratch {
 fn decode_component(raw: &str, buf: &mut Vec<u8>) -> Result<(u32, u32), UrlParseError> {
     let start = buf.len();
     let bytes = raw.as_bytes();
-    if !bytes.contains(&b'%') {
+    if !yav_simd::scan::contains_byte(bytes, b'%') {
         // Escape-free fast path: the decoded bytes are the raw bytes
         // with `+` → space (ASCII to ASCII, so the component stays the
         // valid UTF-8 it already was — no validation pass needed).
-        if bytes.contains(&b'+') {
+        if yav_simd::scan::contains_byte(bytes, b'+') {
             buf.extend(bytes.iter().map(|&b| if b == b'+' { b' ' } else { b }));
         } else {
             buf.extend_from_slice(bytes);
@@ -82,9 +99,10 @@ fn decode_component(raw: &str, buf: &mut Vec<u8>) -> Result<(u32, u32), UrlParse
     let mut i = 0;
     while i < bytes.len() {
         let run = i;
-        while i < bytes.len() && bytes[i] != b'%' && bytes[i] != b'+' {
-            i += 1;
-        }
+        i = match yav_simd::scan::find_either(&bytes[i..], b'%', b'+') {
+            Some(off) => i + off,
+            None => bytes.len(),
+        };
         buf.extend_from_slice(&bytes[run..i]);
         if i < bytes.len() {
             let b = decode_byte_at(bytes, &mut i)?;
@@ -98,41 +116,77 @@ fn decode_component(raw: &str, buf: &mut Vec<u8>) -> Result<(u32, u32), UrlParse
 }
 
 /// Borrowed view over one URL's decoded query pairs, living inside a
-/// [`UrlScratch`]. The buffer was UTF-8-validated at decode time, so
-/// every span access is a bounds-checked O(1) slice.
+/// [`UrlScratch`] — or, for escape-free queries, directly inside the
+/// borrowed URL. The escaped form was UTF-8-validated at decode time, so
+/// every span access is a bounds-checked O(1) slice; the raw form splits
+/// pairs lazily with the exact [`UrlRef::query_pairs`] grammar, and its
+/// raw bytes *are* the decoded bytes (no `%`, no `+`).
 #[derive(Debug)]
 pub struct DecodedPairs<'s> {
+    /// `Some(query)` on the escape-free fast path.
+    raw: Option<&'s str>,
     text: &'s str,
     spans: &'s [[u32; 4]],
 }
 
 impl<'s> DecodedPairs<'s> {
-    /// Number of pairs.
+    /// Number of pairs. O(pairs) for an escape-free query (pairs are
+    /// never materialized), O(1) otherwise.
     pub fn len(&self) -> usize {
-        self.spans.len()
+        match self.raw {
+            Some(query) => (QueryIter { rest: query }).count(),
+            None => self.spans.len(),
+        }
     }
 
     /// True when the URL carried no query pairs.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
+        self.len() == 0
     }
 
     /// All decoded `(key, value)` pairs in order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'s str, &'s str)> + '_ {
-        let text = self.text;
-        self.spans
-            .iter()
-            .map(move |s| (span_str(text, s[0], s[1]), span_str(text, s[2], s[3])))
+    pub fn iter(&self) -> PairsIter<'s> {
+        match self.raw {
+            Some(query) => PairsIter::Raw(QueryIter { rest: query }),
+            None => PairsIter::Spans {
+                text: self.text,
+                spans: self.spans.iter(),
+            },
+        }
     }
 
     /// First value for `key` — the decoded-pairs analogue of
     /// `Url::query`.
     pub fn get(&self, key: &str) -> Option<&'s str> {
-        let text = self.text;
-        self.spans
-            .iter()
-            .find(|s| span_str(text, s[0], s[1]) == key)
-            .map(|s| span_str(text, s[2], s[3]))
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Iterator behind [`DecodedPairs::iter`]: lazy raw splitting for
+/// escape-free queries, span slicing for decoded ones.
+#[derive(Debug)]
+pub enum PairsIter<'s> {
+    /// Splitting the borrowed query on the fly.
+    Raw(QueryIter<'s>),
+    /// Walking the scratch-resident span table.
+    Spans {
+        /// The decoded text every span indexes into.
+        text: &'s str,
+        /// Remaining `[key_start, key_end, val_start, val_end]` rows.
+        spans: std::slice::Iter<'s, [u32; 4]>,
+    },
+}
+
+impl<'s> Iterator for PairsIter<'s> {
+    type Item = (&'s str, &'s str);
+
+    fn next(&mut self) -> Option<(&'s str, &'s str)> {
+        match self {
+            PairsIter::Raw(inner) => inner.next(),
+            PairsIter::Spans { text, spans } => spans
+                .next()
+                .map(|s| (span_str(text, s[0], s[1]), span_str(text, s[2], s[3]))),
+        }
     }
 }
 
@@ -176,6 +230,30 @@ mod tests {
                 .unwrap_err();
             assert_eq!(got, want, "{q}");
         }
+    }
+
+    #[test]
+    fn escape_free_query_takes_fast_path_identically() {
+        // No `%` or `+` anywhere: the bulk-copy fast path serves every
+        // span, including empty keys/values (which alias the zero span)
+        // and a pair with no `=` (whose value is the static `""`).
+        let url = UrlRef::parse("http://x.com/n?a=1&flag&k=&=v&q=hello").unwrap();
+        let mut scratch = UrlScratch::new();
+        let pairs = scratch.decode(&url).unwrap();
+        assert_eq!(pairs.len(), 5);
+        let all: Vec<_> = pairs.iter().collect();
+        assert_eq!(
+            all,
+            [
+                ("a", "1"),
+                ("flag", ""),
+                ("k", ""),
+                ("", "v"),
+                ("q", "hello")
+            ]
+        );
+        assert_eq!(pairs.get("q"), Some("hello"));
+        assert_eq!(pairs.get("flag"), Some(""));
     }
 
     #[test]

@@ -49,13 +49,10 @@ impl<'a> UrlRef<'a> {
             None => (rest, "/"),
         };
         // Strip an optional port; reject empty hosts and whitespace —
-        // byte-for-byte the owned parser's host rule.
+        // byte-for-byte the owned parser's host rule (the vector scan
+        // checks exactly `is_ascii_alphanumeric || . || - || _`).
         let host = authority.split(':').next().unwrap_or("");
-        if host.is_empty()
-            || !host
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
-        {
+        if host.is_empty() || yav_simd::scan::host_invalid_at(host.as_bytes()).is_some() {
             return Err(UrlParseError::Host);
         }
 
@@ -117,7 +114,7 @@ impl<'a> UrlRef<'a> {
         // Escape-free queries — the common case — cannot fail: they are
         // already valid UTF-8 subslices, and `+`-to-space substitution
         // maps ASCII to ASCII.
-        if !self.query.bytes().any(|b| b == b'%') {
+        if !yav_simd::scan::contains_byte(self.query.as_bytes(), b'%') {
             return Ok(());
         }
         for (k, v) in self.query_pairs() {
@@ -140,7 +137,10 @@ impl<'a> UrlRef<'a> {
 /// Iterator over raw query pairs — see [`UrlRef::query_pairs`].
 #[derive(Debug, Clone)]
 pub struct QueryIter<'a> {
-    rest: &'a str,
+    /// Unconsumed query text. `pub(crate)` so the scratch module's
+    /// escape-free fast path can split a borrowed query with this exact
+    /// grammar instead of duplicating it.
+    pub(crate) rest: &'a str,
 }
 
 impl<'a> Iterator for QueryIter<'a> {
@@ -206,7 +206,7 @@ pub(crate) fn decode_byte_at(bytes: &[u8], i: &mut usize) -> Result<u8, UrlParse
 fn validate_component(raw: &str) -> Result<(), UrlParseError> {
     // Only `%` escapes can produce errors: without them the decoded
     // bytes are the input (a valid `&str`) with `+` → ASCII space.
-    if !raw.bytes().any(|b| b == b'%') {
+    if !yav_simd::scan::contains_byte(raw.as_bytes(), b'%') {
         return Ok(());
     }
     let bytes = raw.as_bytes();
@@ -224,7 +224,7 @@ fn validate_component(raw: &str) -> Result<(), UrlParseError> {
 /// decoded sizes (e.g. transport features) without a decode buffer.
 pub fn decoded_len(raw: &str) -> usize {
     // `+` → space is one-to-one; only `%XX` shrinks.
-    if !raw.bytes().any(|b| b == b'%') {
+    if !yav_simd::scan::contains_byte(raw.as_bytes(), b'%') {
         return raw.len();
     }
     let bytes = raw.as_bytes();
@@ -245,7 +245,7 @@ pub fn decoded_len(raw: &str) -> usize {
 /// True when `raw` percent-decodes exactly to `target`, without
 /// allocating. Invalid escapes never match.
 fn decoded_eq(raw: &str, target: &str) -> bool {
-    if !raw.bytes().any(|b| b == b'%' || b == b'+') {
+    if !yav_simd::scan::contains_either(raw.as_bytes(), b'%', b'+') {
         return raw == target;
     }
     let bytes = raw.as_bytes();

@@ -21,6 +21,8 @@ pub mod reduce;
 pub mod timeshift;
 
 pub use engine::{ContributionBatch, Pme};
-pub use model::{ClientModel, CoreContext, EstimateScratch, TrainConfig, TrainedModel};
+pub use model::{
+    ClientArtifact, ClientModel, CoreContext, EstimateScratch, TrainConfig, TrainedModel,
+};
 pub use reduce::{correlation_filter, reduce, Reduction, ReductionConfig};
 pub use timeshift::TimeShift;

@@ -185,6 +185,8 @@ pub struct TrainConfig {
     pub max_rows: usize,
     /// Seed for subsampling and CV.
     pub seed: u64,
+    /// What to package for clients (§3.2 tree by default).
+    pub artifact: ClientArtifact,
 }
 
 impl Default for TrainConfig {
@@ -204,6 +206,7 @@ impl Default for TrainConfig {
             cv_runs: 10,
             max_rows: 36_000,
             seed: 0x9E1,
+            artifact: ClientArtifact::Tree,
         }
     }
 }
@@ -245,17 +248,49 @@ pub struct TrainedModel {
     pub regression_baseline: (f64, f64),
 }
 
-/// The compact artifact YourAdValue downloads: one decision tree, the
-/// discretiser, and the encoding recipe.
+/// Which estimator the PME packages into the [`ClientModel`].
+///
+/// The paper ships "the model M in the form of a decision tree" (§3.2)
+/// — small enough for a browser extension, and the default here. The
+/// `Forest` variant ships the full compiled forest instead: a larger
+/// download and a heavier per-impression walk, but forest-accurate
+/// estimates, and the shape `CompiledForest::predict_batch`'s
+/// level-synchronous traversal was built to amortize in batch ingestion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientArtifact {
+    /// The representative decision tree (paper-faithful default).
+    #[default]
+    Tree,
+    /// The full compiled forest.
+    Forest,
+}
+
+impl ClientArtifact {
+    /// Lowercase label, used by bench output and JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientArtifact::Tree => "tree",
+            ClientArtifact::Forest => "forest",
+        }
+    }
+}
+
+/// The compact artifact YourAdValue downloads: one decision tree (or,
+/// opt-in, the whole forest), the discretiser, and the encoding recipe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientModel {
     /// Model version (assigned by the serving engine).
     pub version: u32,
     /// Whether rows must be encoded with the publisher bucket.
     pub with_publisher: bool,
-    /// The decision tree (arena form, kept for inspection/serde clients).
+    /// Which estimator `compiled` holds.
+    pub artifact: ClientArtifact,
+    /// The representative decision tree (arena form, kept for
+    /// inspection/serde clients even when the forest is shipped).
     pub tree: DecisionTree,
-    /// The same tree lowered to flat form — what the client walks.
+    /// The shipped estimator lowered to flat form — what the client
+    /// walks. The representative tree by default; the full forest under
+    /// [`ClientArtifact::Forest`].
     pub compiled: CompiledForest,
     /// The price discretiser.
     pub discretizer: Discretizer,
@@ -375,7 +410,10 @@ pub fn train_pairs(pairs: &[(CoreContext, f64)], config: &TrainConfig) -> Traine
     let forest = RandomForest::fit(&data, &config.forest);
     let compiled = forest.compile();
     let tree = forest.representative_tree(&data).clone();
-    let client_compiled = CompiledForest::from_tree(&tree);
+    let client_compiled = match config.artifact {
+        ClientArtifact::Tree => CompiledForest::from_tree(&tree),
+        ClientArtifact::Forest => compiled.clone(),
+    };
 
     // The §5.4 regression baseline: OLS on the same features, evaluated
     // in-sample (its failure is evident even there).
@@ -411,6 +449,7 @@ pub fn train_pairs(pairs: &[(CoreContext, f64)], config: &TrainConfig) -> Traine
         client: ClientModel {
             version: 0,
             with_publisher: config.with_publisher,
+            artifact: config.artifact,
             tree,
             compiled: client_compiled,
             discretizer: discretizer.clone(),
@@ -452,6 +491,30 @@ mod tests {
         assert!(model.cv.auc_roc > 0.80, "auc {}", model.cv.auc_roc);
         assert!(model.forest.oob_error() < 0.45);
         assert_eq!(model.client.class_prices.len(), 4);
+    }
+
+    #[test]
+    fn forest_artifact_ships_the_full_forest() {
+        let rows = ground_truth(25);
+        let tree = train(&rows, &TrainConfig::quick());
+        let forest = train(
+            &rows,
+            &TrainConfig {
+                artifact: ClientArtifact::Forest,
+                ..TrainConfig::quick()
+            },
+        );
+        assert_eq!(tree.client.artifact, ClientArtifact::Tree);
+        assert_eq!(forest.client.artifact, ClientArtifact::Forest);
+        // The forest client IS the server-side estimator: identical
+        // class predictions to the PME's own compiled forest, and a
+        // strictly larger artifact than the single tree.
+        assert_eq!(forest.client.compiled, forest.compiled);
+        assert!(forest.client.compiled.n_nodes() > tree.client.compiled.n_nodes());
+        // Same training run either way: the representative tree and the
+        // discretiser don't depend on the shipped artifact.
+        assert_eq!(tree.client.tree, forest.client.tree);
+        assert_eq!(tree.client.class_prices, forest.client.class_prices);
     }
 
     #[test]

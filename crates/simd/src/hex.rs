@@ -1,0 +1,120 @@
+//! Fixed-width SWAR hex parsing.
+//!
+//! The nURL templates ship every identifier as exactly 16 lowercase hex
+//! digits (a splitmix64-mixed u64), and each notification carries two or
+//! three of them — so this parse sits squarely on the ingest hot path.
+//! Fixed width means the whole digit string fits in two 64-bit words, and
+//! SWAR is already word-parallel on every architecture, so these kernels
+//! need no dispatch: one portable implementation is the fast path and the
+//! only path.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// `lane >= k` per 7-bit lane, as `0x80`/`0x00` lane flags. Exact when
+/// every lane of `v` is at most `0x7F`: each lane sum is at most
+/// `0x7F + (0x80 - k) <= 0xFF`, so no carry crosses lanes.
+#[inline]
+fn ge7(v: u64, k: u8) -> u64 {
+    v.wrapping_add(LO * (0x80 - k as u64)) & HI
+}
+
+/// Parses 8 ASCII hex digits (either case) into their 32-bit value, or
+/// `None` if any byte is not a hex digit.
+pub fn parse_hex8(digits: &[u8; 8]) -> Option<u32> {
+    let x = u64::from_be_bytes(*digits);
+    // All hex digits are ASCII; a set high bit anywhere means invalid and
+    // also guards the exactness of the 7-bit lane comparisons below.
+    if x & HI != 0 {
+        return None;
+    }
+    // Letter lanes folded to lowercase; digit lanes (0x30..=0x39) already
+    // carry bit 5 and are unchanged.
+    let lc = x | (LO * 0x20);
+    let digit = ge7(x, b'0') & !ge7(x, b'9' + 1);
+    let letter = ge7(lc, b'a') & !ge7(lc, b'f' + 1);
+    if (digit | letter) != HI {
+        return None;
+    }
+    // Per-lane value: low nibble, plus 9 on letter lanes ('a' & 0x0F is 1,
+    // and 'a' must map to 10). Lane maximum is 0x0F + 9 — no carries.
+    let vals = (lc & (LO * 0x0F)) + ((lc >> 6) & LO) * 9;
+    // Gather the eight per-byte nibbles (MSB lane first) into 32 bits:
+    // bytes -> 16-bit lanes -> 32-bit lanes -> one word.
+    let t = ((vals & 0x0F00_0F00_0F00_0F00) >> 4) | (vals & 0x000F_000F_000F_000F);
+    let u = ((t & 0x00FF_0000_00FF_0000) >> 8) | (t & 0x0000_00FF_0000_00FF);
+    Some((((u & 0x0000_FFFF_0000_0000) >> 16) | (u & 0x0000_0000_0000_FFFF)) as u32)
+}
+
+/// Parses 16 ASCII hex digits (either case) into their 64-bit value, or
+/// `None` if any byte is not a hex digit. Equivalent to
+/// `u64::from_str_radix(s, 16)` on a 16-character input.
+pub fn parse_hex16(digits: &[u8; 16]) -> Option<u64> {
+    // Split borrows of a fixed-size array: both halves are infallible.
+    let hi = parse_hex8(digits[..8].try_into().expect("8-byte half"))?;
+    let lo = parse_hex8(digits[8..].try_into().expect("8-byte half"))?;
+    Some(((hi as u64) << 32) | lo as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_values() {
+        assert_eq!(parse_hex8(b"00000000"), Some(0));
+        assert_eq!(parse_hex8(b"ffffffff"), Some(u32::MAX));
+        assert_eq!(parse_hex8(b"FFFFFFFF"), Some(u32::MAX));
+        assert_eq!(parse_hex8(b"deadBEEF"), Some(0xdead_beef));
+        assert_eq!(
+            parse_hex16(b"0123456789abcdef"),
+            Some(0x0123_4567_89ab_cdef)
+        );
+        assert_eq!(parse_hex16(b"ffffffffffffffff"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn agrees_with_from_str_radix_on_random_inputs() {
+        // Cheap deterministic generator over the hex alphabet, both cases.
+        let alphabet = b"0123456789abcdefABCDEF";
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..2000 {
+            let mut buf = [0u8; 16];
+            for b in &mut buf {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = alphabet[(state >> 33) as usize % alphabet.len()];
+            }
+            let s = std::str::from_utf8(&buf).unwrap();
+            assert_eq!(
+                parse_hex16(&buf),
+                u64::from_str_radix(s, 16).ok(),
+                "input {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_every_invalid_byte_in_every_position() {
+        for pos in 0..16usize {
+            for b in 0u8..=255 {
+                if b.is_ascii_hexdigit() {
+                    continue;
+                }
+                let mut buf = *b"0123456789abcdef";
+                buf[pos] = b;
+                assert_eq!(parse_hex16(&buf), None, "byte {b:#04x} at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_single_byte_agreement() {
+        // Every byte value in one lane, scalar-checked.
+        for b in 0u8..=255 {
+            let mut buf = *b"00000000";
+            buf[3] = b;
+            let want = (b as char).to_digit(16).map(|d| d << (4 * 4));
+            assert_eq!(parse_hex8(&buf), want, "byte {b:#04x}");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Order-preserving two-way partition of row indices by a threshold
+//! test — the inner sweep of `CompiledForest::predict_batch`'s
+//! level-synchronous descent.
+//!
+//! The contract mirrors the forest's branchless scalar sweep exactly:
+//! row `r` goes left when `col[r] <= t` (NaN therefore goes right),
+//! left-goers compact into `buf_a[..lo]` and right-goers into
+//! `buf_b[..ro]`, both preserving input order. Order preservation is
+//! what makes the AVX2 tier bit-identical downstream: each row still
+//! receives each leaf contribution in the same sequence, so the vote
+//! accumulation performs the same float additions in the same order.
+//!
+//! The AVX2 tier tests 8 rows per step (two 4-wide `_CMP_LE_OQ`
+//! compares), builds an 8-bit verdict mask, and compacts with a
+//! 256-entry permutation LUT + `vpermd` and one unaligned store per
+//! side. Full 8-row groups may store past the live cursor, which is
+//! safe because the destination buffers are at least as long as the
+//! input (asserted): with `p` rows processed, `lo + ro == p` and
+//! `p + 8 <= n <= buf.len()`, so `lo + 8 <= buf.len()` and likewise
+//! `ro`. The over-stored lanes are dead space the next group or the
+//! final lengths exclude. Tails shorter than 8 run the scalar sweep.
+//! SSE2 has no cross-lane compaction primitive worth the setup for
+//! 8-row groups, so below AVX2 every tier runs the (already branchless)
+//! scalar sweep.
+
+use crate::Level;
+
+/// Partitions the implicit identity index set `0..col.len()`:
+/// `buf_a[..lo]` receives the rows with `col[r] <= t`, `buf_b[..ro]`
+/// the rest, both in row order. Returns `(lo, ro)`.
+///
+/// # Panics
+/// Panics when either buffer is shorter than `col`.
+#[inline]
+pub fn partition_iota(col: &[f64], t: f64, buf_a: &mut [u32], buf_b: &mut [u32]) -> (usize, usize) {
+    partition_iota_with(crate::level(), col, t, buf_a, buf_b)
+}
+
+/// Partitions the explicit index set `seg`: `buf_a[..lo]` receives the
+/// indices with `col[seg[k] as usize] <= t`, `buf_b[..ro]` the rest,
+/// both in `seg` order. Returns `(lo, ro)`.
+///
+/// # Panics
+/// Panics when either buffer is shorter than `seg`, or (on any tier)
+/// when a `seg` entry indexes past `col`.
+#[inline]
+pub fn partition_seg(
+    col: &[f64],
+    t: f64,
+    seg: &[u32],
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    partition_seg_with(crate::level(), col, t, seg, buf_a, buf_b)
+}
+
+/// [`partition_iota`] at an explicit tier.
+pub fn partition_iota_with(
+    level: Level,
+    col: &[f64],
+    t: f64,
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    let n = col.len();
+    assert!(
+        buf_a.len() >= n && buf_b.len() >= n,
+        "partition buffers shorter than input"
+    );
+    assert!(n <= u32::MAX as usize, "row index exceeds u32");
+    #[cfg(all(target_arch = "x86_64", feature = "native"))]
+    if level >= Level::Avx2 && Level::Avx2.available() {
+        // SAFETY: Avx2 availability was just checked against runtime
+        // detection, satisfying the target-feature call contract.
+        return unsafe { partition_iota_avx2(col, t, buf_a, buf_b) };
+    }
+    let _ = level;
+    scalar_iota(col, t, buf_a, buf_b)
+}
+
+/// [`partition_seg`] at an explicit tier.
+pub fn partition_seg_with(
+    level: Level,
+    col: &[f64],
+    t: f64,
+    seg: &[u32],
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    assert!(
+        buf_a.len() >= seg.len() && buf_b.len() >= seg.len(),
+        "partition buffers shorter than segment"
+    );
+    #[cfg(all(target_arch = "x86_64", feature = "native"))]
+    if level >= Level::Avx2 && Level::Avx2.available() && seg.len() >= 8 {
+        // The gather has no bounds checks, so validate the whole
+        // segment up front (the scalar sweep's checks, hoisted). One
+        // pass of max() costs far less than per-element checking.
+        let max = seg.iter().copied().max().unwrap_or(0);
+        assert!((max as usize) < col.len(), "segment row out of bounds");
+        assert!(col.len() <= i32::MAX as usize, "column too long for gather");
+        // SAFETY: Avx2 availability was just checked against runtime
+        // detection, satisfying the target-feature call contract.
+        return unsafe { partition_seg_avx2(col, t, seg, buf_a, buf_b) };
+    }
+    let _ = level;
+    scalar_seg(col, t, seg, buf_a, buf_b)
+}
+
+/// The canonical branchless sweep over the identity index set.
+fn scalar_iota(col: &[f64], t: f64, buf_a: &mut [u32], buf_b: &mut [u32]) -> (usize, usize) {
+    let mut lo = 0usize;
+    let mut ro = 0usize;
+    for (r, &v) in col.iter().enumerate() {
+        let go_left = v <= t;
+        buf_a[lo] = r as u32;
+        buf_b[ro] = r as u32;
+        lo += usize::from(go_left);
+        ro += usize::from(!go_left);
+    }
+    (lo, ro)
+}
+
+/// The canonical branchless sweep over an explicit segment.
+fn scalar_seg(
+    col: &[f64],
+    t: f64,
+    seg: &[u32],
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    let mut lo = 0usize;
+    let mut ro = 0usize;
+    for &r in seg {
+        let go_left = col[r as usize] <= t;
+        buf_a[lo] = r;
+        buf_b[ro] = r;
+        lo += usize::from(go_left);
+        ro += usize::from(!go_left);
+    }
+    (lo, ro)
+}
+
+/// `PERM[m][j]` = the position of the `j`-th set bit of `m` — the
+/// `vpermd` selector that compacts mask-selected lanes to the front.
+/// Slots past the popcount stay 0; their stored lanes are dead space.
+#[cfg(all(target_arch = "x86_64", feature = "native"))]
+static PERM: [[u32; 8]; 256] = build_perm();
+
+#[cfg(all(target_arch = "x86_64", feature = "native"))]
+const fn build_perm() -> [[u32; 8]; 256] {
+    let mut lut = [[0u32; 8]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut j = 0usize;
+        let mut k = 0usize;
+        while k < 8 {
+            if m & (1 << k) != 0 {
+                lut[m][j] = k as u32;
+                j += 1;
+            }
+            k += 1;
+        }
+        m += 1;
+    }
+    lut
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "native"))]
+#[target_feature(enable = "avx2")]
+fn partition_iota_avx2(
+    col: &[f64],
+    t: f64,
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    use std::arch::x86_64::*;
+    let n = col.len();
+    let tv = _mm256_set1_pd(t);
+    let mut idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let eight = _mm256_set1_epi32(8);
+    let mut lo = 0usize;
+    let mut ro = 0usize;
+    let mut r = 0usize;
+    while r + 8 <= n {
+        // SAFETY: `r + 8 <= n` keeps both 4-wide f64 loads inside `col`.
+        let (v0, v1) = unsafe {
+            (
+                _mm256_loadu_pd(col.as_ptr().add(r)),
+                _mm256_loadu_pd(col.as_ptr().add(r + 4)),
+            )
+        };
+        let m0 = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(v0, tv)) as u32;
+        let m1 = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(v1, tv)) as u32;
+        let m = (m0 | (m1 << 4)) as usize;
+        // SAFETY: PERM rows are [u32; 8] = 32 bytes each.
+        let (perm_l, perm_r) = unsafe {
+            (
+                _mm256_loadu_si256(PERM[m].as_ptr().cast()),
+                _mm256_loadu_si256(PERM[m ^ 0xff].as_ptr().cast()),
+            )
+        };
+        let left = _mm256_permutevar8x32_epi32(idx, perm_l);
+        let right = _mm256_permutevar8x32_epi32(idx, perm_r);
+        // SAFETY: lo <= r and r + 8 <= n <= buf_a.len(), so the 8-lane
+        // store ends at lo + 8 <= buf_a.len(); same for ro/buf_b (see
+        // module docs). Lanes past the popcount are dead space.
+        unsafe {
+            _mm256_storeu_si256(buf_a.as_mut_ptr().add(lo).cast(), left);
+            _mm256_storeu_si256(buf_b.as_mut_ptr().add(ro).cast(), right);
+        }
+        let c = (m as u32).count_ones() as usize;
+        lo += c;
+        ro += 8 - c;
+        idx = _mm256_add_epi32(idx, eight);
+        r += 8;
+    }
+    for (rr, &v) in col.iter().enumerate().take(n).skip(r) {
+        let go_left = v <= t;
+        buf_a[lo] = rr as u32;
+        buf_b[ro] = rr as u32;
+        lo += usize::from(go_left);
+        ro += usize::from(!go_left);
+    }
+    (lo, ro)
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "native"))]
+#[target_feature(enable = "avx2")]
+fn partition_seg_avx2(
+    col: &[f64],
+    t: f64,
+    seg: &[u32],
+    buf_a: &mut [u32],
+    buf_b: &mut [u32],
+) -> (usize, usize) {
+    use std::arch::x86_64::*;
+    let n = seg.len();
+    let tv = _mm256_set1_pd(t);
+    let mut lo = 0usize;
+    let mut ro = 0usize;
+    let mut k = 0usize;
+    while k + 8 <= n {
+        // SAFETY: `k + 8 <= n` keeps the 8-lane index load inside `seg`.
+        let idx = unsafe { _mm256_loadu_si256(seg.as_ptr().add(k).cast()) };
+        let idx_lo = _mm256_castsi256_si128(idx);
+        let idx_hi = _mm256_extracti128_si256::<1>(idx);
+        // SAFETY: the caller (partition_seg_with) asserted every seg
+        // entry < col.len() <= i32::MAX, so each scale-8 gather lane
+        // reads one in-bounds f64.
+        let (v0, v1) = unsafe {
+            (
+                _mm256_i32gather_pd::<8>(col.as_ptr(), idx_lo),
+                _mm256_i32gather_pd::<8>(col.as_ptr(), idx_hi),
+            )
+        };
+        let m0 = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(v0, tv)) as u32;
+        let m1 = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(v1, tv)) as u32;
+        let m = (m0 | (m1 << 4)) as usize;
+        // SAFETY: PERM rows are [u32; 8] = 32 bytes each.
+        let (perm_l, perm_r) = unsafe {
+            (
+                _mm256_loadu_si256(PERM[m].as_ptr().cast()),
+                _mm256_loadu_si256(PERM[m ^ 0xff].as_ptr().cast()),
+            )
+        };
+        let left = _mm256_permutevar8x32_epi32(idx, perm_l);
+        let right = _mm256_permutevar8x32_epi32(idx, perm_r);
+        // SAFETY: lo <= k and k + 8 <= n <= buf_a.len(), so the 8-lane
+        // store ends at lo + 8 <= buf_a.len(); same for ro/buf_b (see
+        // module docs). Lanes past the popcount are dead space.
+        unsafe {
+            _mm256_storeu_si256(buf_a.as_mut_ptr().add(lo).cast(), left);
+            _mm256_storeu_si256(buf_b.as_mut_ptr().add(ro).cast(), right);
+        }
+        let c = (m as u32).count_ones() as usize;
+        lo += c;
+        ro += 8 - c;
+        k += 8;
+    }
+    for &r in &seg[k..] {
+        let go_left = col[r as usize] <= t;
+        buf_a[lo] = r;
+        buf_b[ro] = r;
+        lo += usize::from(go_left);
+        ro += usize::from(!go_left);
+    }
+    (lo, ro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| match i % 9 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                k => (i as f64) * if k % 2 == 0 { -1.3 } else { 0.7 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_tier_matches_scalar_iota() {
+        for lvl in Level::all().iter().copied().filter(|l| l.available()) {
+            for n in [0usize, 1, 5, 7, 8, 9, 15, 16, 17, 40, 100] {
+                let col = column(n);
+                let t = 3.5;
+                let mut a0 = vec![0u32; n];
+                let mut b0 = vec![0u32; n];
+                let (lo0, ro0) = partition_iota_with(Level::Scalar, &col, t, &mut a0, &mut b0);
+                let mut a1 = vec![0u32; n];
+                let mut b1 = vec![0u32; n];
+                let (lo1, ro1) = partition_iota_with(lvl, &col, t, &mut a1, &mut b1);
+                assert_eq!((lo0, ro0), (lo1, ro1), "{lvl:?} n={n}");
+                assert_eq!(a0[..lo0], a1[..lo1], "{lvl:?} n={n} left");
+                assert_eq!(b0[..ro0], b1[..ro1], "{lvl:?} n={n} right");
+                assert_eq!(lo0 + ro0, n);
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_matches_scalar_seg() {
+        for lvl in Level::all().iter().copied().filter(|l| l.available()) {
+            let col = column(64);
+            // A shuffled, repeating segment exercises gather ordering.
+            let seg: Vec<u32> = (0..41u32).map(|i| (i * 29 + 7) % 64).collect();
+            for t in [0.0, -2.0, f64::INFINITY, 55.5] {
+                let mut a0 = vec![0u32; seg.len()];
+                let mut b0 = vec![0u32; seg.len()];
+                let (lo0, ro0) = partition_seg_with(Level::Scalar, &col, t, &seg, &mut a0, &mut b0);
+                let mut a1 = vec![0u32; seg.len()];
+                let mut b1 = vec![0u32; seg.len()];
+                let (lo1, ro1) = partition_seg_with(lvl, &col, t, &seg, &mut a1, &mut b1);
+                assert_eq!((lo0, ro0), (lo1, ro1), "{lvl:?} t={t}");
+                assert_eq!(a0[..lo0], a1[..lo1], "{lvl:?} t={t} left");
+                assert_eq!(b0[..ro0], b1[..ro1], "{lvl:?} t={t} right");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition buffers shorter")]
+    fn short_buffers_panic() {
+        let col = [1.0f64; 8];
+        let mut a = [0u32; 4];
+        let mut b = [0u32; 8];
+        partition_iota(&col, 0.5, &mut a, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment row out of bounds")]
+    fn out_of_bounds_segment_panics_on_vector_tiers() {
+        // Only meaningful where Avx2 exists; elsewhere the scalar sweep
+        // panics with the slice bounds message, so gate the expectation.
+        if !Level::Avx2.available() {
+            panic!("segment row out of bounds (tier unavailable, matching expectation)");
+        }
+        let col = [1.0f64; 8];
+        let seg = [0u32, 1, 2, 3, 4, 5, 6, 99];
+        let mut a = [0u32; 8];
+        let mut b = [0u32; 8];
+        partition_seg_with(Level::Avx2, &col, 0.5, &seg, &mut a, &mut b);
+    }
+}

@@ -1,0 +1,372 @@
+//! Byte-scan kernels: first-match searches, host-charset validation and
+//! case-insensitive equality, at every [`Level`].
+//!
+//! These back the nURL parser's hot loops: `%`/`+` discovery during
+//! percent-decode, `&`/`=` span splitting, hostname charset checks and
+//! the exchange-host table probe. All tiers return identical results —
+//! the same `Option<usize>` first-match index, the same verdicts — and
+//! the `cross_impl` suite pins that on random and hostile corpora.
+
+use crate::Level;
+
+// ---------------------------------------------------------------------
+// Dispatched API. Each function resolves the process-wide tier once per
+// call; `*_with` variants take an explicit tier for tests and benches.
+// ---------------------------------------------------------------------
+
+/// Index of the first occurrence of `b` in `h`.
+#[inline]
+pub fn find_byte(h: &[u8], b: u8) -> Option<usize> {
+    find_byte_with(crate::level(), h, b)
+}
+
+/// Index of the first occurrence of either `b1` or `b2` in `h`.
+#[inline]
+pub fn find_either(h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+    find_either_with(crate::level(), h, b1, b2)
+}
+
+/// True when `h` contains `b`.
+#[inline]
+pub fn contains_byte(h: &[u8], b: u8) -> bool {
+    find_byte(h, b).is_some()
+}
+
+/// True when `h` contains `b1` or `b2`.
+#[inline]
+pub fn contains_either(h: &[u8], b1: u8, b2: u8) -> bool {
+    find_either(h, b1, b2).is_some()
+}
+
+/// Index of the first byte that is **not** valid in a hostname
+/// (`A–Z a–z 0–9 . - _`), or `None` when every byte is valid.
+#[inline]
+pub fn host_invalid_at(h: &[u8]) -> Option<usize> {
+    host_invalid_at_with(crate::level(), h)
+}
+
+/// ASCII-case-insensitive equality, byte-identical to
+/// `a.eq_ignore_ascii_case(b)`: only `A–Z`/`a–z` fold, every other
+/// byte (including non-ASCII) compares verbatim.
+#[inline]
+pub fn eq_ignore_ascii_case(a: &[u8], b: &[u8]) -> bool {
+    eq_ignore_ascii_case_with(crate::level(), a, b)
+}
+
+/// [`find_byte`] at an explicit tier.
+#[inline]
+pub fn find_byte_with(level: Level, h: &[u8], b: u8) -> Option<usize> {
+    match level {
+        Level::Scalar => scalar::find_byte(h, b),
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Sse2/Avx2 only resolve or force when runtime detection
+        // proved the CPU feature (Level::available), satisfying the
+        // target-feature call contract.
+        Level::Sse2 => unsafe { crate::x86::find_byte_sse2(h, b) },
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: as above — Avx2 implies is_x86_feature_detected!("avx2").
+        Level::Avx2 => unsafe { crate::x86::find_byte_avx2(h, b) },
+        #[cfg(all(target_arch = "aarch64", feature = "native"))]
+        // SAFETY: Neon only resolves on aarch64 where NEON is baseline.
+        Level::Neon => unsafe { crate::neon::find_byte_neon(h, b) },
+        _ => swar::find_byte(h, b),
+    }
+}
+
+/// [`find_either`] at an explicit tier.
+#[inline]
+pub fn find_either_with(level: Level, h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+    match level {
+        Level::Scalar => scalar::find_either(h, b1, b2),
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Sse2 is only dispatched after runtime detection.
+        Level::Sse2 => unsafe { crate::x86::find_either_sse2(h, b1, b2) },
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Avx2 is only dispatched after runtime detection.
+        Level::Avx2 => unsafe { crate::x86::find_either_avx2(h, b1, b2) },
+        #[cfg(all(target_arch = "aarch64", feature = "native"))]
+        // SAFETY: Neon only resolves on aarch64 where NEON is baseline.
+        Level::Neon => unsafe { crate::neon::find_either_neon(h, b1, b2) },
+        _ => swar::find_either(h, b1, b2),
+    }
+}
+
+/// [`host_invalid_at`] at an explicit tier. NEON falls back to SWAR.
+#[inline]
+pub fn host_invalid_at_with(level: Level, h: &[u8]) -> Option<usize> {
+    match level {
+        Level::Scalar => scalar::host_invalid_at(h),
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Sse2 is only dispatched after runtime detection.
+        Level::Sse2 => unsafe { crate::x86::host_invalid_at_sse2(h) },
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Avx2 is only dispatched after runtime detection.
+        Level::Avx2 => unsafe { crate::x86::host_invalid_at_avx2(h) },
+        _ => swar::host_invalid_at(h),
+    }
+}
+
+/// [`eq_ignore_ascii_case`] at an explicit tier. NEON falls back to SWAR.
+#[inline]
+pub fn eq_ignore_ascii_case_with(level: Level, a: &[u8], b: &[u8]) -> bool {
+    match level {
+        Level::Scalar => scalar::eq_ignore_ascii_case(a, b),
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Sse2 is only dispatched after runtime detection.
+        Level::Sse2 => unsafe { crate::x86::eq_ignore_ascii_case_sse2(a, b) },
+        #[cfg(all(target_arch = "x86_64", feature = "native"))]
+        // SAFETY: Avx2 is only dispatched after runtime detection.
+        Level::Avx2 => unsafe { crate::x86::eq_ignore_ascii_case_avx2(a, b) },
+        _ => swar::eq_ignore_ascii_case(a, b),
+    }
+}
+
+/// True when `b` is a valid hostname byte (`A–Z a–z 0–9 . - _`) — the
+/// single-byte predicate all tiers agree with.
+#[inline]
+pub fn is_host_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_'
+}
+
+// ---------------------------------------------------------------------
+// Scalar tier: the canonical reference loops.
+// ---------------------------------------------------------------------
+
+pub(crate) mod scalar {
+    use super::is_host_byte;
+
+    #[inline]
+    pub fn find_byte(h: &[u8], b: u8) -> Option<usize> {
+        h.iter().position(|&x| x == b)
+    }
+
+    #[inline]
+    pub fn find_either(h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+        h.iter().position(|&x| x == b1 || x == b2)
+    }
+
+    #[inline]
+    pub fn host_invalid_at(h: &[u8]) -> Option<usize> {
+        h.iter().position(|&b| !is_host_byte(b))
+    }
+
+    #[inline]
+    pub fn eq_ignore_ascii_case(a: &[u8], b: &[u8]) -> bool {
+        a.eq_ignore_ascii_case(b)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SWAR tier: u64 words, 8 bytes per step, safe Rust.
+// ---------------------------------------------------------------------
+
+pub(crate) mod swar {
+    use super::scalar;
+
+    /// 0x01 in every byte lane.
+    pub(crate) const LO: u64 = 0x0101_0101_0101_0101;
+    /// 0x80 in every byte lane.
+    pub(crate) const HI: u64 = 0x8080_8080_8080_8080;
+
+    /// `b` replicated into every lane.
+    #[inline]
+    pub(crate) const fn splat(b: u8) -> u64 {
+        LO.wrapping_mul(b as u64)
+    }
+
+    /// 0x80 in each lane holding a zero byte of `x`. Lanes *above* the
+    /// lowest zero may carry spurious bits (borrow propagation), but the
+    /// lowest set bit is always exact — which is all first-match
+    /// scanning needs.
+    #[inline]
+    const fn zero_mask(x: u64) -> u64 {
+        x.wrapping_sub(LO) & !x & HI
+    }
+
+    /// 0x80 in each lane of 7-bit values `v` that is `>= k`. Exact in
+    /// every lane: per-lane sums never exceed 0xFF, so no carries cross
+    /// lanes. Requires every lane of `v` < 0x80 and `k` <= 0x80.
+    #[inline]
+    const fn ge7(v: u64, k: u8) -> u64 {
+        v.wrapping_add(splat(0x80 - k)) & HI
+    }
+
+    /// 0x80 in each lane of 7-bit values `v` equal to `k`. Exact (no
+    /// borrows): `d + 0x7F` keeps its high bit clear only when `d == 0`.
+    #[inline]
+    const fn eq7(v: u64, k: u8) -> u64 {
+        let d = v ^ splat(k);
+        !d.wrapping_add(splat(0x7f)) & HI
+    }
+
+    #[inline]
+    pub fn find_byte(h: &[u8], b: u8) -> Option<usize> {
+        let needle = splat(b);
+        let mut chunks = h.chunks_exact(8);
+        let mut i = 0usize;
+        for c in chunks.by_ref() {
+            let x = u64::from_le_bytes(c.try_into().expect("8-byte chunk")) ^ needle;
+            let m = zero_mask(x);
+            if m != 0 {
+                return Some(i + (m.trailing_zeros() >> 3) as usize);
+            }
+            i += 8;
+        }
+        scalar::find_byte(chunks.remainder(), b).map(|p| i + p)
+    }
+
+    #[inline]
+    pub fn find_either(h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+        let (n1, n2) = (splat(b1), splat(b2));
+        let mut chunks = h.chunks_exact(8);
+        let mut i = 0usize;
+        for c in chunks.by_ref() {
+            let x = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            // Each mask's lowest set bit is exact, so the OR's lowest
+            // set bit is the true first match of either needle.
+            let m = zero_mask(x ^ n1) | zero_mask(x ^ n2);
+            if m != 0 {
+                return Some(i + (m.trailing_zeros() >> 3) as usize);
+            }
+            i += 8;
+        }
+        scalar::find_either(chunks.remainder(), b1, b2).map(|p| i + p)
+    }
+
+    #[inline]
+    pub fn host_invalid_at(h: &[u8]) -> Option<usize> {
+        let mut chunks = h.chunks_exact(8);
+        let mut i = 0usize;
+        for c in chunks.by_ref() {
+            let x = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            let msb = x & HI;
+            let v = x & !HI;
+            let digit = ge7(v, b'0') & !ge7(v, b'9' + 1);
+            // Case-fold, then range-test a..z. The fold maps exactly
+            // [A-Z] ∪ [a-z] (7-bit) into [a-z]; every other 7-bit value
+            // stays outside the range.
+            let fold = v | splat(0x20);
+            let letter = ge7(fold, b'a') & !ge7(fold, b'z' + 1);
+            let punct = eq7(v, b'.') | eq7(v, b'-') | eq7(v, b'_');
+            // A lane with its top bit set is non-ASCII (invalid) no
+            // matter what its low 7 bits look like.
+            let invalid = msb | (HI & !(digit | letter | punct));
+            if invalid != 0 {
+                return Some(i + (invalid.trailing_zeros() >> 3) as usize);
+            }
+            i += 8;
+        }
+        scalar::host_invalid_at(chunks.remainder()).map(|p| i + p)
+    }
+
+    /// Lowercases exactly the lanes holding `A..=Z` (top-bit lanes are
+    /// excluded, so non-ASCII bytes pass through verbatim, matching
+    /// `u8::to_ascii_lowercase`).
+    #[inline]
+    const fn fold_lower(x: u64) -> u64 {
+        let v = x & !HI;
+        let upper = ge7(v, b'A') & !ge7(v, b'Z' + 1) & !(x & HI);
+        // 0x80 per flagged lane, shifted to 0x20; adds cannot overflow
+        // a lane ('Z' + 0x20 = 0x7A < 0x80), so no carries cross lanes.
+        x.wrapping_add(upper >> 2)
+    }
+
+    #[inline]
+    pub fn eq_ignore_ascii_case(a: &[u8], b: &[u8]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        let mut ca = a.chunks_exact(8);
+        let mut cb = b.chunks_exact(8);
+        for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+            let x = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
+            let y = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
+            if fold_lower(x) != fold_lower(y) {
+                return false;
+            }
+        }
+        scalar::eq_ignore_ascii_case(ca.remainder(), cb.remainder())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every tier available in this build.
+    fn levels() -> Vec<Level> {
+        Level::all()
+            .iter()
+            .copied()
+            .filter(|l| l.available())
+            .collect()
+    }
+
+    #[test]
+    fn find_byte_all_offsets_and_misses() {
+        for lvl in levels() {
+            for len in 0..40usize {
+                let mut h: Vec<u8> = (0..len).map(|i| b'a' + (i % 23) as u8).collect();
+                assert_eq!(find_byte_with(lvl, &h, b'%'), None, "{lvl:?} len {len}");
+                for pos in 0..len {
+                    let saved = h[pos];
+                    h[pos] = b'%';
+                    assert_eq!(
+                        find_byte_with(lvl, &h, b'%'),
+                        Some(pos),
+                        "{lvl:?} len {len} pos {pos}"
+                    );
+                    h[pos] = saved;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_either_picks_the_first_of_both() {
+        for lvl in levels() {
+            let h = b"abc+def%ghi";
+            assert_eq!(find_either_with(lvl, h, b'%', b'+'), Some(3), "{lvl:?}");
+            assert_eq!(find_either_with(lvl, h, b'%', b'!'), Some(7), "{lvl:?}");
+            assert_eq!(find_either_with(lvl, h, b'!', b'?'), None, "{lvl:?}");
+        }
+    }
+
+    #[test]
+    fn host_invalid_matches_reference_for_every_byte() {
+        for lvl in levels() {
+            for b in 0..=255u8 {
+                // Embed the probe byte at several alignments.
+                for pos in [0usize, 3, 7, 8, 15, 16] {
+                    let mut h = vec![b'a'; 20];
+                    h[pos] = b;
+                    let expect = h.iter().position(|&x| !is_host_byte(x));
+                    assert_eq!(
+                        host_invalid_at_with(lvl, &h),
+                        expect,
+                        "{lvl:?} byte {b:#x} pos {pos}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq_ignore_case_matches_std_on_byte_pairs() {
+        for lvl in levels() {
+            for a in 0..=255u8 {
+                for b in [a, a ^ 0x20, a.wrapping_add(1), b'a', b'Z', 0x80] {
+                    let x = [b'x', a, b'y', a, 0, a, a, b'q', a];
+                    let y = [b'x', b, b'y', b, 0, b, b, b'q', b];
+                    assert_eq!(
+                        eq_ignore_ascii_case_with(lvl, &x, &y),
+                        x.eq_ignore_ascii_case(&y),
+                        "{lvl:?} {a:#x} vs {b:#x}"
+                    );
+                }
+            }
+            assert!(!eq_ignore_ascii_case_with(lvl, b"abc", b"abcd"), "{lvl:?}");
+            assert!(eq_ignore_ascii_case_with(lvl, b"", b""), "{lvl:?}");
+        }
+    }
+}

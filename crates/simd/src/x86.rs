@@ -1,0 +1,226 @@
+//! SSE2/AVX2 kernels (x86_64, `native` feature).
+//!
+//! Every function here is a **safe** `#[target_feature]` function:
+//! feature-gated intrinsics without pointer arguments are safe to call
+//! inside them, and each pointer load/store sits in its own `unsafe`
+//! block with a SAFETY comment proving bounds. Callers (the dispatch
+//! arms in the sibling modules) invoke these inside `unsafe` blocks
+//! whose obligation — the CPU actually supports the feature — is
+//! discharged by runtime detection in [`crate::Level::available`].
+
+#![cfg(all(target_arch = "x86_64", feature = "native"))]
+
+use crate::scan::scalar;
+use std::arch::x86_64::*;
+
+// ---------------------------------------------------------------------
+// Byte scans.
+// ---------------------------------------------------------------------
+
+/// First occurrence of `b`, 16 bytes per step.
+#[target_feature(enable = "sse2")]
+pub fn find_byte_sse2(h: &[u8], b: u8) -> Option<usize> {
+    let needle = _mm_set1_epi8(b as i8);
+    let mut i = 0usize;
+    while i + 16 <= h.len() {
+        // SAFETY: `i + 16 <= h.len()` keeps the 16-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm_loadu_si128(h.as_ptr().add(i).cast()) };
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi8(x, needle)) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 16;
+    }
+    scalar::find_byte(&h[i..], b).map(|p| i + p)
+}
+
+/// First occurrence of `b`, 32 bytes per step.
+#[target_feature(enable = "avx2")]
+pub fn find_byte_avx2(h: &[u8], b: u8) -> Option<usize> {
+    let needle = _mm256_set1_epi8(b as i8);
+    let mut i = 0usize;
+    while i + 32 <= h.len() {
+        // SAFETY: `i + 32 <= h.len()` keeps the 32-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm256_loadu_si256(h.as_ptr().add(i).cast()) };
+        let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, needle)) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 32;
+    }
+    // SSE2 is baseline on x86_64, so this call needs no unsafe.
+    find_byte_sse2(&h[i..], b).map(|p| i + p)
+}
+
+/// First occurrence of `b1` or `b2`, 16 bytes per step.
+#[target_feature(enable = "sse2")]
+pub fn find_either_sse2(h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+    let n1 = _mm_set1_epi8(b1 as i8);
+    let n2 = _mm_set1_epi8(b2 as i8);
+    let mut i = 0usize;
+    while i + 16 <= h.len() {
+        // SAFETY: `i + 16 <= h.len()` keeps the 16-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm_loadu_si128(h.as_ptr().add(i).cast()) };
+        let hit = _mm_or_si128(_mm_cmpeq_epi8(x, n1), _mm_cmpeq_epi8(x, n2));
+        let m = _mm_movemask_epi8(hit) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 16;
+    }
+    scalar::find_either(&h[i..], b1, b2).map(|p| i + p)
+}
+
+/// First occurrence of `b1` or `b2`, 32 bytes per step.
+#[target_feature(enable = "avx2")]
+pub fn find_either_avx2(h: &[u8], b1: u8, b2: u8) -> Option<usize> {
+    let n1 = _mm256_set1_epi8(b1 as i8);
+    let n2 = _mm256_set1_epi8(b2 as i8);
+    let mut i = 0usize;
+    while i + 32 <= h.len() {
+        // SAFETY: `i + 32 <= h.len()` keeps the 32-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm256_loadu_si256(h.as_ptr().add(i).cast()) };
+        let hit = _mm256_or_si256(_mm256_cmpeq_epi8(x, n1), _mm256_cmpeq_epi8(x, n2));
+        let m = _mm256_movemask_epi8(hit) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 32;
+    }
+    // SSE2 is baseline on x86_64, so this call needs no unsafe.
+    find_either_sse2(&h[i..], b1, b2).map(|p| i + p)
+}
+
+// ---------------------------------------------------------------------
+// Host charset validation. Unsigned range tests via max/min-compare:
+// `max_epu8(x, k) == x` ⇔ `x >= k` (unsigned), so non-ASCII bytes fall
+// out of every range naturally and no sign fixup is needed.
+// ---------------------------------------------------------------------
+
+/// First byte outside `A–Z a–z 0–9 . - _`, 16 bytes per step.
+#[target_feature(enable = "sse2")]
+pub fn host_invalid_at_sse2(h: &[u8]) -> Option<usize> {
+    let mut i = 0usize;
+    while i + 16 <= h.len() {
+        // SAFETY: `i + 16 <= h.len()` keeps the 16-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm_loadu_si128(h.as_ptr().add(i).cast()) };
+        let ge = |k: u8| _mm_cmpeq_epi8(_mm_max_epu8(x, _mm_set1_epi8(k as i8)), x);
+        let le = |k: u8| _mm_cmpeq_epi8(_mm_min_epu8(x, _mm_set1_epi8(k as i8)), x);
+        let digit = _mm_and_si128(ge(b'0'), le(b'9'));
+        let fold = _mm_or_si128(x, _mm_set1_epi8(0x20));
+        let gef = _mm_cmpeq_epi8(_mm_max_epu8(fold, _mm_set1_epi8(b'a' as i8)), fold);
+        let lef = _mm_cmpeq_epi8(_mm_min_epu8(fold, _mm_set1_epi8(b'z' as i8)), fold);
+        let letter = _mm_and_si128(gef, lef);
+        let eq = |k: u8| _mm_cmpeq_epi8(x, _mm_set1_epi8(k as i8));
+        let punct = _mm_or_si128(_mm_or_si128(eq(b'.'), eq(b'-')), eq(b'_'));
+        let valid = _mm_or_si128(_mm_or_si128(digit, letter), punct);
+        let m = _mm_movemask_epi8(valid) as u32;
+        if m != 0xffff {
+            return Some(i + (!m & 0xffff).trailing_zeros() as usize);
+        }
+        i += 16;
+    }
+    scalar::host_invalid_at(&h[i..]).map(|p| i + p)
+}
+
+/// First byte outside `A–Z a–z 0–9 . - _`, 32 bytes per step.
+#[target_feature(enable = "avx2")]
+pub fn host_invalid_at_avx2(h: &[u8]) -> Option<usize> {
+    let mut i = 0usize;
+    while i + 32 <= h.len() {
+        // SAFETY: `i + 32 <= h.len()` keeps the 32-byte unaligned load
+        // inside `h`.
+        let x = unsafe { _mm256_loadu_si256(h.as_ptr().add(i).cast()) };
+        let ge = |k: u8| _mm256_cmpeq_epi8(_mm256_max_epu8(x, _mm256_set1_epi8(k as i8)), x);
+        let le = |k: u8| _mm256_cmpeq_epi8(_mm256_min_epu8(x, _mm256_set1_epi8(k as i8)), x);
+        let digit = _mm256_and_si256(ge(b'0'), le(b'9'));
+        let fold = _mm256_or_si256(x, _mm256_set1_epi8(0x20));
+        let gef = _mm256_cmpeq_epi8(_mm256_max_epu8(fold, _mm256_set1_epi8(b'a' as i8)), fold);
+        let lef = _mm256_cmpeq_epi8(_mm256_min_epu8(fold, _mm256_set1_epi8(b'z' as i8)), fold);
+        let letter = _mm256_and_si256(gef, lef);
+        let eq = |k: u8| _mm256_cmpeq_epi8(x, _mm256_set1_epi8(k as i8));
+        let punct = _mm256_or_si256(_mm256_or_si256(eq(b'.'), eq(b'-')), eq(b'_'));
+        let valid = _mm256_or_si256(_mm256_or_si256(digit, letter), punct);
+        let m = _mm256_movemask_epi8(valid) as u32;
+        if m != 0xffff_ffff {
+            return Some(i + (!m).trailing_zeros() as usize);
+        }
+        i += 32;
+    }
+    // SSE2 is baseline on x86_64, so this call needs no unsafe.
+    host_invalid_at_sse2(&h[i..]).map(|p| i + p)
+}
+
+// ---------------------------------------------------------------------
+// Case-insensitive equality: add 0x20 to exactly the `A–Z` lanes of
+// both sides, then compare. Unsigned range test keeps non-ASCII lanes
+// untouched, matching `eq_ignore_ascii_case`.
+// ---------------------------------------------------------------------
+
+/// ASCII-case-insensitive equality, 16 bytes per step.
+#[target_feature(enable = "sse2")]
+pub fn eq_ignore_ascii_case_sse2(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let lower = |x: __m128i| {
+        let ge = _mm_cmpeq_epi8(_mm_max_epu8(x, _mm_set1_epi8(b'A' as i8)), x);
+        let le = _mm_cmpeq_epi8(_mm_min_epu8(x, _mm_set1_epi8(b'Z' as i8)), x);
+        let upper = _mm_and_si128(ge, le);
+        _mm_add_epi8(x, _mm_and_si128(upper, _mm_set1_epi8(0x20)))
+    };
+    let mut i = 0usize;
+    while i + 16 <= a.len() {
+        // SAFETY: `i + 16 <= a.len() == b.len()` keeps both 16-byte
+        // unaligned loads in bounds.
+        let (x, y) = unsafe {
+            (
+                _mm_loadu_si128(a.as_ptr().add(i).cast()),
+                _mm_loadu_si128(b.as_ptr().add(i).cast()),
+            )
+        };
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi8(lower(x), lower(y))) as u32;
+        if m != 0xffff {
+            return false;
+        }
+        i += 16;
+    }
+    scalar::eq_ignore_ascii_case(&a[i..], &b[i..])
+}
+
+/// ASCII-case-insensitive equality, 32 bytes per step.
+#[target_feature(enable = "avx2")]
+pub fn eq_ignore_ascii_case_avx2(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let lower = |x: __m256i| {
+        let ge = _mm256_cmpeq_epi8(_mm256_max_epu8(x, _mm256_set1_epi8(b'A' as i8)), x);
+        let le = _mm256_cmpeq_epi8(_mm256_min_epu8(x, _mm256_set1_epi8(b'Z' as i8)), x);
+        let upper = _mm256_and_si256(ge, le);
+        _mm256_add_epi8(x, _mm256_and_si256(upper, _mm256_set1_epi8(0x20)))
+    };
+    let mut i = 0usize;
+    while i + 32 <= a.len() {
+        // SAFETY: `i + 32 <= a.len() == b.len()` keeps both 32-byte
+        // unaligned loads in bounds.
+        let (x, y) = unsafe {
+            (
+                _mm256_loadu_si256(a.as_ptr().add(i).cast()),
+                _mm256_loadu_si256(b.as_ptr().add(i).cast()),
+            )
+        };
+        let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(lower(x), lower(y))) as u32;
+        if m != 0xffff_ffff {
+            return false;
+        }
+        i += 32;
+    }
+    // SSE2 is baseline on x86_64, so this call needs no unsafe.
+    eq_ignore_ascii_case_sse2(&a[i..], &b[i..])
+}
