@@ -485,6 +485,7 @@ impl YourAdValue {
     }
 
     /// The local ledger.
+    // yav-lint: allow(boundary-escape) — the ledger is the user's own price history, read in-process by the extension UI; it never crosses a network or exporter boundary (privacy-taint guards the exporters)
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }

@@ -236,6 +236,7 @@ impl TenantStore {
     }
 
     /// A tenant's accumulated state, if it exists.
+    // yav-lint: allow(boundary-escape) — single-tenant inspection hook for the simulator harness; exports go through summary()/take_contributions(), never this accessor (privacy-taint guards the exporters)
     pub fn tenant(&self, user: UserId) -> Option<&TenantState> {
         self.shards[user.0 as usize % TENANT_SHARDS].get(&user.0)
     }

@@ -1,0 +1,224 @@
+//! `lint.toml`: configuration for the workspace-graph passes.
+//!
+//! The build environment is offline, so there is no `toml` crate; this
+//! module parses exactly the subset the config uses — `[section]`
+//! headers, `key = "string"`, and `key = ["a", "b"]` lists that may
+//! span lines — and nothing more. The canonical config ships compiled
+//! into the binary (`include_str!` of the repo-root `lint.toml`), so a
+//! missing file on disk degrades to the checked-in policy instead of a
+//! silent no-op pass.
+
+use std::collections::BTreeMap;
+
+/// The repo-root `lint.toml`, compiled in as the default policy.
+pub const DEFAULT_CONFIG_TOML: &str = include_str!("../../../lint.toml");
+
+/// Parsed graph-pass configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Type names whose values carry raw browsing data, per-user cost
+    /// ledgers, or decrypted prices.
+    pub taint_types: Vec<String>,
+    /// Field names whose reads mark the enclosing fn as tainted.
+    pub taint_fields: Vec<String>,
+    /// Workspace-relative path prefixes of exporter/collector modules.
+    pub sink_modules: Vec<String>,
+    /// Fn names trusted to reduce tainted state to clean aggregates.
+    pub sanitizer_fns: Vec<String>,
+    /// Workspace-relative path prefixes of monitor boundary modules.
+    pub boundary_modules: Vec<String>,
+    /// Types that pub items of boundary modules may not return.
+    pub boundary_types: Vec<String>,
+    /// The intended crate DAG: crate → allowed workspace-internal deps.
+    pub layering: BTreeMap<String, Vec<String>>,
+    /// Fixture-tree manifests: crate → declared deps. Real workspaces
+    /// get deps from `Cargo.toml`; fixture trees declare them here.
+    pub manifests: BTreeMap<String, Vec<String>>,
+}
+
+impl LintConfig {
+    /// The compiled-in repo policy.
+    pub fn builtin() -> LintConfig {
+        parse(DEFAULT_CONFIG_TOML).expect("compiled-in lint.toml must parse")
+    }
+
+    /// Loads `root/lint.toml`, falling back to the compiled-in policy
+    /// when the file does not exist. A file that exists but fails to
+    /// parse is an error (a typo must not silently drop the policy).
+    pub fn load(root: &std::path::Path) -> Result<LintConfig, String> {
+        let path = root.join("lint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(_) => Ok(LintConfig::builtin()),
+        }
+    }
+}
+
+/// Parses the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<LintConfig, String> {
+    let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or(format!("line {lineno}: unterminated section header"))?;
+            current = name.trim().to_owned();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("line {lineno}: expected `key = value`"))?;
+        if current.is_empty() {
+            return Err(format!("line {lineno}: key before any [section]"));
+        }
+        let mut value = value.trim().to_owned();
+        // A list may span lines: keep consuming until the `]` closes.
+        while value.starts_with('[') && !value.contains(']') {
+            let (_, cont) = lines
+                .next()
+                .ok_or(format!("line {lineno}: unterminated list"))?;
+            value.push(' ');
+            value.push_str(strip_comment(cont).trim());
+        }
+        let items = parse_value(&value).map_err(|e| format!("line {lineno}: {e}"))?;
+        sections
+            .entry(current.clone())
+            .or_default()
+            .insert(key.trim().to_owned(), items);
+    }
+
+    let take = |section: &str, key: &str| -> Vec<String> {
+        sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let take_map = |section: &str| -> BTreeMap<String, Vec<String>> {
+        sections.get(section).cloned().unwrap_or_default()
+    };
+    Ok(LintConfig {
+        taint_types: take("taint", "types"),
+        taint_fields: take("taint", "fields"),
+        sink_modules: take("sinks", "modules"),
+        sanitizer_fns: take("sanitizers", "fns"),
+        boundary_modules: take("boundary", "modules"),
+        boundary_types: take("boundary", "types"),
+        layering: take_map("layering"),
+        manifests: take_map("manifests"),
+    })
+}
+
+/// Removes a `#`-comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or("unterminated list".to_owned())?;
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(unquote(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![unquote(value)?])
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    let s = s.trim();
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_owned())
+        .ok_or(format!("expected a quoted string, got `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_config_parses_and_is_populated() {
+        let c = LintConfig::builtin();
+        assert!(c.taint_types.iter().any(|t| t == "HttpRequest"));
+        assert!(c.taint_fields.iter().any(|f| f == "cleartext_cpm"));
+        assert!(c
+            .sink_modules
+            .iter()
+            .any(|m| m == "crates/telemetry/src/export.rs"));
+        assert!(c.sanitizer_fns.iter().any(|f| f == "summary"));
+        assert!(c
+            .boundary_modules
+            .iter()
+            .any(|m| m == "crates/core/src/monitor.rs"));
+        assert!(c.layering.contains_key("telemetry"));
+        assert!(c.layering["telemetry"].is_empty());
+        assert!(c.layering["core"].iter().any(|d| d == "pme"));
+        // Nothing may depend on bench or lint.
+        for (krate, deps) in &c.layering {
+            assert!(
+                !deps.iter().any(|d| d == "bench" || d == "lint"),
+                "{krate} must not depend on bench/lint"
+            );
+        }
+    }
+
+    #[test]
+    fn multiline_lists_and_comments() {
+        let c = parse(
+            "# leading comment\n[taint]\ntypes = [\n  \"A\", # trailing\n  \"B\",\n]\n\
+             [sinks]\nmodules = [\"m/\"]\n",
+        )
+        .unwrap();
+        assert_eq!(c.taint_types, ["A", "B"]);
+        assert_eq!(c.sink_modules, ["m/"]);
+    }
+
+    #[test]
+    fn generic_sections_become_maps() {
+        let c = parse("[layering]\na = []\nb = [\"a\"]\n[manifests]\nb = [\"a\"]\n").unwrap();
+        assert_eq!(c.layering["b"], ["a"]);
+        assert!(c.layering["a"].is_empty());
+        assert_eq!(c.manifests["b"], ["a"]);
+    }
+
+    #[test]
+    fn malformed_config_is_an_error() {
+        assert!(parse("[taint\ntypes = []").is_err());
+        assert!(parse("types = []").is_err());
+        assert!(parse("[t]\nkey value").is_err());
+        assert!(parse("[t]\nkey = [unquoted]").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = parse("[taint]\nfields = [\"a#b\"]\n").unwrap();
+        assert_eq!(c.taint_fields, ["a#b"]);
+    }
+}

@@ -1,8 +1,13 @@
 //! The rule engine: diagnostics, the pluggable [`Rule`] trait, workspace
-//! file discovery, and the lint driver that applies suppressions.
+//! file discovery, the graph-pass driver, and the lint driver that
+//! applies suppressions and audits them for staleness.
 
+use crate::config::LintConfig;
+use crate::graph::{load_manifests, Graph, Manifest};
 use crate::rules::metric_name::{MetricEntry, MetricNameRule};
+use crate::rules::{boundary_escape, layering, privacy_taint};
 use crate::source::{FileKind, SourceFile};
+use crate::taint;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -43,6 +48,32 @@ pub trait Rule {
     fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>);
 }
 
+/// One live suppression site (for the `docs/LINTS.md` inventory).
+#[derive(Debug, Clone)]
+pub struct SuppressionSite {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The suppressed rules.
+    pub rules: Vec<String>,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// Sizes of the workspace graph the passes ran over.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Crates with a dependency entry (manifest or config).
+    pub crates: usize,
+    /// Production fns indexed.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Fns that can observe tainted data.
+    pub tainted_fns: usize,
+}
+
 /// The result of a lint pass.
 #[derive(Debug)]
 pub struct LintOutcome {
@@ -52,10 +83,16 @@ pub struct LintOutcome {
     pub metrics: Vec<MetricEntry>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// Every live suppression in the workspace, sorted by site.
+    pub suppressions: Vec<SuppressionSite>,
+    /// Graph-pass sizes.
+    pub graph: GraphStats,
 }
 
-/// Lints a set of prepared files with the full rule set.
-pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
+/// Runs the full engine — token rules, graph passes, the suppression
+/// filter and the stale-allow audit — over prepared files, manifests
+/// and config.
+pub fn analyze(files: &[SourceFile], manifests: &[Manifest], config: &LintConfig) -> LintOutcome {
     let mut rules = crate::rules::all();
     let mut metric_rule = MetricNameRule::new();
     let mut raw: Vec<Diagnostic> = Vec::new();
@@ -76,13 +113,62 @@ pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
         }
     }
 
+    // Graph passes: symbol tables → crate/call graph → taint lattice.
+    let graph = Graph::build(files, manifests, config);
+    let taints = taint::analyze(&graph, config);
+    privacy_taint::check(&graph, &taints, config, &mut raw);
+    boundary_escape::check(&graph, config, &mut raw);
+    layering::check(files, manifests, &graph, config, &mut raw);
+    let stats = GraphStats {
+        crates: graph.crate_deps.len(),
+        fns: graph.fns.len(),
+        call_edges: graph.call_edges,
+        tainted_fns: taints.tainted_count(),
+    };
+
+    // Stale-allow audit: a suppression that silences nothing is itself
+    // a finding, so the inventory in docs/LINTS.md stays honest.
+    let mut suppression_sites = Vec::new();
+    for file in files {
+        for s in &file.suppressions {
+            let live = raw.iter().any(|d| {
+                d.rel == file.rel
+                    && (d.line == s.line || d.line == s.line + 1)
+                    && s.rules.iter().any(|r| r == d.rule)
+            });
+            if live {
+                suppression_sites.push(SuppressionSite {
+                    rel: file.rel.clone(),
+                    line: s.line,
+                    rules: s.rules.clone(),
+                    reason: s.reason.clone(),
+                });
+            } else {
+                raw.push(Diagnostic {
+                    rule: "stale-allow",
+                    rel: file.rel.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "suppression `allow({})` no longer silences any finding: \
+                         delete the comment (or fix the rule name) so the \
+                         suppression inventory stays honest",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    suppression_sites.sort_by(|a, b| (a.rel.as_str(), a.line).cmp(&(b.rel.as_str(), b.line)));
+
     let by_rel: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
     let mut diagnostics: Vec<Diagnostic> = raw
         .into_iter()
         .filter(|d| {
             // A suppression silences the rule it names; bad-suppression
-            // findings themselves cannot be silenced.
+            // and stale-allow findings themselves cannot be silenced.
             d.rule == "bad-suppression"
+                || d.rule == "stale-allow"
                 || !by_rel
                     .get(d.rel.as_str())
                     .is_some_and(|f| f.suppressed(d.rule, d.line))
@@ -96,7 +182,15 @@ pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
         diagnostics,
         metrics: metric_rule.into_entries(),
         files_scanned: files.len(),
+        suppressions: suppression_sites,
+        graph: stats,
     }
+}
+
+/// Lints a set of prepared files with the full rule set under the
+/// compiled-in config and no manifests (fixture entry point).
+pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
+    analyze(files, &[], &LintConfig::builtin())
 }
 
 /// Lints one in-memory source under an assumed identity — the fixture
@@ -183,8 +277,89 @@ fn collect_rs(
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// Lints the whole workspace rooted at `root`: loads `lint.toml` (or
+/// the compiled-in policy), every source file and every manifest, then
+/// runs token and graph passes.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    let config = LintConfig::load(root).map_err(io::Error::other)?;
     let files = load_workspace(root)?;
-    Ok(lint_files(&files))
+    let manifests = load_manifests(root)?;
+    Ok(analyze(&files, &manifests, &config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(rel: &str, krate: &str, src: &str) -> LintOutcome {
+        let file = SourceFile::new(rel.to_owned(), krate.to_owned(), FileKind::Source, src);
+        lint_files(std::slice::from_ref(&file))
+    }
+
+    #[test]
+    fn live_suppression_silences_and_joins_the_inventory() {
+        let o = outcome(
+            "crates/analyzer/src/x.rs",
+            "analyzer",
+            "// yav-lint: allow(nondet-iteration) — keyed lookups only, never iterated\n\
+             fn f(m: &std::collections::HashMap<u32, u32>) -> u32 { 0 }\n",
+        );
+        assert!(
+            !o.diagnostics.iter().any(|d| d.rule == "nondet-iteration"),
+            "the finding must be silenced: {:?}",
+            o.diagnostics
+        );
+        assert!(
+            !o.diagnostics.iter().any(|d| d.rule == "stale-allow"),
+            "a live suppression is not stale: {:?}",
+            o.diagnostics
+        );
+        assert_eq!(o.suppressions.len(), 1, "the site is live and inventoried");
+        assert_eq!(o.suppressions[0].line, 1);
+        assert_eq!(
+            o.suppressions[0].reason,
+            "keyed lookups only, never iterated"
+        );
+    }
+
+    #[test]
+    fn stale_suppression_is_a_finding_and_leaves_the_inventory() {
+        let o = outcome(
+            "crates/analyzer/src/x.rs",
+            "analyzer",
+            "// yav-lint: allow(nondet-iteration) — nothing here uses a map\n\
+             fn f() -> u32 { 0 }\n",
+        );
+        let stale: Vec<_> = o
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "stale-allow")
+            .collect();
+        assert_eq!(
+            stale.len(),
+            1,
+            "exactly one stale site: {:?}",
+            o.diagnostics
+        );
+        assert_eq!(stale[0].line, 1);
+        assert!(stale[0].message.contains("allow(nondet-iteration)"));
+        assert!(o.suppressions.is_empty(), "stale sites are not inventoried");
+    }
+
+    #[test]
+    fn stale_allow_findings_cannot_be_suppressed() {
+        // A suppression naming stale-allow itself silences nothing (the
+        // audit is unsuppressable), so it is reported stale.
+        let o = outcome(
+            "crates/analyzer/src/x.rs",
+            "analyzer",
+            "// yav-lint: allow(stale-allow) — trying to silence the auditor\n\
+             fn f() -> u32 { 0 }\n",
+        );
+        assert!(
+            o.diagnostics.iter().any(|d| d.rule == "stale-allow"),
+            "the audit must survive attempts to silence it: {:?}",
+            o.diagnostics
+        );
+    }
 }

@@ -1,0 +1,286 @@
+//! The workspace graph: crate manifests, the crate dependency DAG, and
+//! the approximate cross-file call graph the taint pass walks.
+//!
+//! Call resolution is name-based: a call `foo(…)` inside crate `a`
+//! resolves to every workspace fn named `foo` defined in `a` or in a
+//! crate of `a`'s dependency closure. That over-approximates real
+//! dispatch (no receiver types), which errs the safe way for a privacy
+//! pass; the dependency-closure filter keeps it tight in practice,
+//! because exporter crates sit at the bottom of the DAG and cannot even
+//! name the tainted types.
+
+use crate::config::LintConfig;
+use crate::source::{FileKind, SourceFile};
+use crate::symbols::{extract, FileSymbols, FnSym};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// One crate's parsed `Cargo.toml` (the slice the linter needs).
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Crate label: directory name under `crates/`, or `root`.
+    pub krate: String,
+    /// Workspace-relative manifest path.
+    pub rel: String,
+    /// Workspace-internal `[dependencies]` entries (`yav-foo` → `foo`),
+    /// with the 1-based line of each.
+    pub deps: Vec<(String, u32)>,
+    /// Workspace-internal `[dev-dependencies]` entries.
+    pub dev_deps: Vec<(String, u32)>,
+}
+
+/// Parses the `yav-*` entries of one manifest.
+pub fn parse_manifest(krate: &str, rel: &str, text: &str) -> Manifest {
+    let mut m = Manifest {
+        krate: krate.to_owned(),
+        rel: rel.to_owned(),
+        deps: Vec::new(),
+        dev_deps: Vec::new(),
+    };
+    #[derive(PartialEq)]
+    enum Section {
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[dependencies]" => Section::Deps,
+                "[dev-dependencies]" => Section::DevDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if section == Section::Other {
+            continue;
+        }
+        let Some((key, _)) = line.split_once('=') else {
+            continue;
+        };
+        let Some(dep) = key.trim().strip_prefix("yav-") else {
+            continue;
+        };
+        let entry = (dep.replace('-', "_"), idx as u32 + 1);
+        match section {
+            Section::Deps => m.deps.push(entry),
+            Section::DevDeps => m.dev_deps.push(entry),
+            Section::Other => unreachable!(),
+        }
+    }
+    m
+}
+
+/// Loads every workspace manifest: `crates/*/Cargo.toml` plus the root
+/// package manifest (crate label `root`).
+pub fn load_manifests(root: &Path) -> io::Result<Vec<Manifest>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let path = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            out.push(parse_manifest(
+                &name,
+                &format!("crates/{name}/Cargo.toml"),
+                &text,
+            ));
+        }
+    }
+    if let Ok(text) = std::fs::read_to_string(root.join("Cargo.toml")) {
+        out.push(parse_manifest("root", "Cargo.toml", &text));
+    }
+    Ok(out)
+}
+
+/// One fn node in the workspace call graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Owning crate label.
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub rel: String,
+    /// The extracted symbol.
+    pub sym: FnSym,
+}
+
+/// The assembled workspace graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All production fns, in file order.
+    pub fns: Vec<FnNode>,
+    /// Fn ids by name (for call resolution).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Resolved call edges: `callees[caller]` is sorted and deduped.
+    pub callees: Vec<Vec<usize>>,
+    /// Direct crate deps: manifests merged with `[manifests]` config.
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Per-file symbol tables, keyed by workspace-relative path.
+    pub files: BTreeMap<String, FileSymbols>,
+    /// Total resolved call edges (for the stats line).
+    pub call_edges: usize,
+}
+
+impl Graph {
+    /// Builds the graph over production sources. Test/bench/example
+    /// files contribute no fn nodes: the passes police the shipped
+    /// dataflow, and a test calling a tainted helper is the test suite
+    /// doing its job.
+    pub fn build(files: &[SourceFile], manifests: &[Manifest], config: &LintConfig) -> Graph {
+        let mut g = Graph::default();
+        for m in manifests {
+            let entry = g.crate_deps.entry(m.krate.clone()).or_default();
+            entry.extend(m.deps.iter().map(|(d, _)| d.clone()));
+        }
+        for (krate, deps) in &config.manifests {
+            let entry = g.crate_deps.entry(krate.clone()).or_default();
+            entry.extend(deps.iter().cloned());
+        }
+
+        for file in files {
+            let syms = extract(file);
+            if file.kind == FileKind::Source {
+                for f in &syms.fns {
+                    g.fns.push(FnNode {
+                        krate: file.crate_name.clone(),
+                        rel: file.rel.clone(),
+                        sym: f.clone(),
+                    });
+                }
+            }
+            g.files.insert(file.rel.clone(), syms);
+        }
+        for (id, node) in g.fns.iter().enumerate() {
+            g.by_name.entry(node.sym.name.clone()).or_default().push(id);
+        }
+
+        // Dependency closures (crate itself included).
+        let mut closures: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let crate_names: BTreeSet<&str> = g
+            .fns
+            .iter()
+            .map(|n| n.krate.as_str())
+            .chain(g.crate_deps.keys().map(|k| k.as_str()))
+            .collect();
+        for &krate in &crate_names {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack = vec![krate];
+            while let Some(c) = stack.pop() {
+                if !seen.insert(c) {
+                    continue;
+                }
+                if let Some(deps) = g.crate_deps.get(c) {
+                    stack.extend(deps.iter().map(|d| d.as_str()));
+                }
+            }
+            closures.insert(krate, seen);
+        }
+
+        // Resolve call edges within each caller's dependency closure.
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+        for (id, node) in g.fns.iter().enumerate() {
+            let reach = closures.get(node.krate.as_str());
+            for call in &node.sym.calls {
+                let Some(cands) = g.by_name.get(&call.name) else {
+                    continue;
+                };
+                for &cand in cands {
+                    if cand == id {
+                        continue;
+                    }
+                    let callee_crate = g.fns[cand].krate.as_str();
+                    let visible = callee_crate == node.krate
+                        || reach.is_some_and(|r| r.contains(callee_crate));
+                    if visible {
+                        callees[id].push(cand);
+                    }
+                }
+            }
+            callees[id].sort_unstable();
+            callees[id].dedup();
+            g.call_edges += callees[id].len();
+        }
+        g.callees = callees;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, krate: &str, src: &str) -> SourceFile {
+        SourceFile::new(rel.into(), krate.into(), FileKind::Source, src)
+    }
+
+    #[test]
+    fn manifest_parsing_splits_dep_kinds() {
+        let m = parse_manifest(
+            "core",
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"yav-core\"\n[dependencies]\nyav-pme = { workspace = true }\n\
+             rand = { workspace = true }\n[dev-dependencies]\nyav-campaign = { workspace = true }\n",
+        );
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].0, "pme");
+        assert_eq!(m.dev_deps.len(), 1);
+        assert_eq!(m.dev_deps[0].0, "campaign");
+    }
+
+    #[test]
+    fn calls_resolve_only_within_the_dependency_closure() {
+        let files = [
+            file("crates/a/src/lib.rs", "a", "pub fn top() { leak(); }"),
+            file("crates/b/src/lib.rs", "b", "pub fn leak() {}"),
+            file("crates/c/src/lib.rs", "c", "pub fn leak() {}"),
+        ];
+        let mut config = LintConfig::default();
+        // a depends on b only; the call in `top` must not reach c::leak.
+        config.manifests.insert("a".into(), vec!["b".into()]);
+        let g = Graph::build(&files, &[], &config);
+        let top = g.fns.iter().position(|f| f.sym.name == "top").unwrap();
+        let resolved: Vec<&str> = g.callees[top]
+            .iter()
+            .map(|&c| g.fns[c].krate.as_str())
+            .collect();
+        assert_eq!(resolved, ["b"]);
+    }
+
+    #[test]
+    fn transitive_deps_are_visible() {
+        let files = [
+            file("crates/a/src/lib.rs", "a", "pub fn top() { deep(); }"),
+            file("crates/c/src/lib.rs", "c", "pub fn deep() {}"),
+        ];
+        let mut config = LintConfig::default();
+        config.manifests.insert("a".into(), vec!["b".into()]);
+        config.manifests.insert("b".into(), vec!["c".into()]);
+        let g = Graph::build(&files, &[], &config);
+        let top = g.fns.iter().position(|f| f.sym.name == "top").unwrap();
+        assert_eq!(g.callees[top].len(), 1);
+    }
+
+    #[test]
+    fn test_files_contribute_no_fn_nodes() {
+        let files = [SourceFile::new(
+            "crates/a/tests/t.rs".into(),
+            "a".into(),
+            FileKind::Test,
+            "fn helper() {}",
+        )];
+        let g = Graph::build(&files, &[], &LintConfig::default());
+        assert!(g.fns.is_empty());
+    }
+}

@@ -1,9 +1,14 @@
-//! The `yav-lint` binary: lints the workspace, checks `docs/METRICS.md`
-//! freshness, exits nonzero on findings.
+//! The `yav-lint` binary: lints the workspace (token + graph passes),
+//! checks `docs/METRICS.md` and `docs/LINTS.md` freshness, exits
+//! nonzero on findings.
 //!
 //! ```text
-//! cargo run -p yav-lint --release                          # lint + doc check
+//! cargo run -p yav-lint --release                          # lint + doc checks
+//! cargo run -p yav-lint --release -- --format sarif        # SARIF to stdout
+//! cargo run -p yav-lint --release -- --sarif-out l.sarif   # human + SARIF file
+//! cargo run -p yav-lint --release -- --budget-ms 10000     # gate analysis runtime
 //! cargo run -p yav-lint --release -- --write-metrics-doc   # regenerate docs/METRICS.md
+//! cargo run -p yav-lint --release -- --write-lints-doc     # regenerate docs/LINTS.md
 //! cargo run -p yav-lint --release -- --fixture f.rs --as-crate nurl
 //! ```
 
@@ -12,12 +17,27 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use yav_lint::{check_metrics_doc, lint_source, lint_workspace, metrics_markdown, FileKind};
+use std::time::Instant;
+use yav_lint::{
+    check_lints_doc, check_metrics_doc, lint_source, lint_workspace, lints_markdown,
+    metrics_markdown, output, FileKind,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: Option<PathBuf>,
     write_metrics_doc: bool,
+    write_lints_doc: bool,
     no_doc_check: bool,
+    format: Format,
+    sarif_out: Option<PathBuf>,
+    budget_ms: Option<u64>,
     fixture: Option<PathBuf>,
     as_crate: String,
     as_rel: Option<String>,
@@ -27,7 +47,11 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         write_metrics_doc: false,
+        write_lints_doc: false,
         no_doc_check: false,
+        format: Format::Human,
+        sarif_out: None,
+        budget_ms: None,
         fixture: None,
         as_crate: "analyzer".to_owned(),
         as_rel: None,
@@ -38,7 +62,24 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--root" => args.root = Some(PathBuf::from(value("--root")?)),
             "--write-metrics-doc" => args.write_metrics_doc = true,
+            "--write-lints-doc" | "--docs" => args.write_lints_doc = true,
             "--no-doc-check" => args.no_doc_check = true,
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--sarif-out" => args.sarif_out = Some(PathBuf::from(value("--sarif-out")?)),
+            "--budget-ms" => {
+                args.budget_ms = Some(
+                    value("--budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--budget-ms: {e}"))?,
+                )
+            }
             "--fixture" => args.fixture = Some(PathBuf::from(value("--fixture")?)),
             "--as-crate" => args.as_crate = value("--as-crate")?,
             "--as-rel" => args.as_rel = Some(value("--as-rel")?),
@@ -89,50 +130,84 @@ fn run() -> Result<bool, String> {
         Some(r) => r.clone(),
         None => find_root().ok_or("could not locate the workspace root; pass --root")?,
     };
+    let started = Instant::now();
     let mut outcome =
         lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let elapsed_ms = started.elapsed().as_millis() as u64;
 
     if args.write_metrics_doc {
         let doc = metrics_markdown(&outcome);
-        let path = root.join("docs/METRICS.md");
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
-        }
-        std::fs::write(&path, doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        write_doc(&root, "docs/METRICS.md", &doc)?;
         println!(
-            "yav-lint: wrote {} ({} metrics)",
-            rel_display(&path, &root),
+            "yav-lint: wrote docs/METRICS.md ({} metrics)",
             outcome.metrics.len()
         );
-    } else if !args.no_doc_check {
+    }
+    if args.write_lints_doc {
+        let doc = lints_markdown(&outcome);
+        write_doc(&root, "docs/LINTS.md", &doc)?;
+        println!(
+            "yav-lint: wrote docs/LINTS.md ({} suppression sites)",
+            outcome.suppressions.len()
+        );
+    }
+    if !args.write_metrics_doc && !args.write_lints_doc && !args.no_doc_check {
         check_metrics_doc(&root, &mut outcome);
+        check_lints_doc(&root, &mut outcome);
     }
 
-    for d in &outcome.diagnostics {
-        println!("{d}");
+    if let Some(path) = &args.sarif_out {
+        std::fs::write(path, output::sarif(&outcome))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
     }
-    if outcome.diagnostics.is_empty() {
-        println!(
-            "yav-lint: clean — {} files scanned, {} metrics registered",
-            outcome.files_scanned,
-            outcome.metrics.len()
-        );
-        Ok(true)
-    } else {
-        println!(
-            "yav-lint: {} finding(s) across {} files",
-            outcome.diagnostics.len(),
-            outcome.files_scanned
-        );
-        Ok(false)
+
+    let over_budget = args.budget_ms.is_some_and(|b| elapsed_ms > b);
+    match args.format {
+        Format::Json => print!("{}", output::json(&outcome)),
+        Format::Sarif => print!("{}", output::sarif(&outcome)),
+        Format::Human => {
+            for d in &outcome.diagnostics {
+                println!("{d}");
+            }
+            let g = outcome.graph;
+            if outcome.diagnostics.is_empty() {
+                println!(
+                    "yav-lint: clean — {} files scanned, {} metrics registered, graph: \
+                     {} crates / {} fns / {} call edges / {} tainted fns ({} ms)",
+                    outcome.files_scanned,
+                    outcome.metrics.len(),
+                    g.crates,
+                    g.fns,
+                    g.call_edges,
+                    g.tainted_fns,
+                    elapsed_ms
+                );
+            } else {
+                println!(
+                    "yav-lint: {} finding(s) across {} files ({} ms)",
+                    outcome.diagnostics.len(),
+                    outcome.files_scanned,
+                    elapsed_ms
+                );
+            }
+        }
     }
+    if over_budget {
+        eprintln!(
+            "yav-lint: analysis took {elapsed_ms} ms, over the --budget-ms {} gate",
+            args.budget_ms.unwrap_or(0)
+        );
+        return Ok(false);
+    }
+    Ok(outcome.diagnostics.is_empty())
 }
 
-fn rel_display(path: &Path, root: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .into_owned()
+fn write_doc(root: &Path, rel: &str, doc: &str) -> Result<(), String> {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    std::fs::write(&path, doc).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,139 @@
+//! Machine-readable output: `--format json` and `--format sarif`.
+//!
+//! The lint crate is dependency-free, so both renderers are hand-rolled
+//! string builders with strict escaping. The SARIF form targets the
+//! 2.1.0 schema — the minimal profile GitHub code scanning ingests:
+//! one run, one driver, per-rule descriptors for every rule that
+//! appears in the results, and one physical location per finding. The
+//! shape is pinned by `tests/sarif_snapshot.rs`.
+
+use crate::engine::LintOutcome;
+use crate::rules::RULE_DOCS;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the outcome as a standalone JSON document.
+pub fn json(outcome: &LintOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"tool\": \"yav-lint\",\n");
+    let _ = write!(
+        s,
+        "  \"files_scanned\": {},\n  \"metrics_registered\": {},\n",
+        outcome.files_scanned,
+        outcome.metrics.len()
+    );
+    let g = outcome.graph;
+    let _ = writeln!(
+        s,
+        "  \"graph\": {{ \"crates\": {}, \"fns\": {}, \"call_edges\": {}, \"tainted_fns\": {} }},",
+        g.crates, g.fns, g.call_edges, g.tainted_fns
+    );
+    s.push_str("  \"findings\": [");
+    for (i, d) in outcome.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\" }}",
+            esc(d.rule),
+            esc(&d.rel),
+            d.line,
+            d.col,
+            esc(&d.message)
+        );
+    }
+    if !outcome.diagnostics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Renders the outcome as SARIF 2.1.0.
+pub fn sarif(outcome: &LintOutcome) -> String {
+    let used: BTreeSet<&str> = outcome.diagnostics.iter().map(|d| d.rule).collect();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"yav-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.org/your-ad-value\",\n");
+    s.push_str("          \"rules\": [");
+    let mut first = true;
+    for doc in RULE_DOCS {
+        if !used.contains(doc.name) {
+            continue;
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            esc(doc.name),
+            esc(doc.invariant)
+        );
+    }
+    if !first {
+        s.push_str("\n          ");
+    }
+    s.push_str("]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, d) in outcome.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{ \"text\": \"{}\" }},\n          \"locations\": [\n            {{\n              \
+             \"physicalLocation\": {{\n                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n                \
+             \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}\n              }}\n            }}\n          ]\n        }}",
+            esc(d.rule),
+            esc(&d.message),
+            esc(&d.rel),
+            d.line,
+            d.col
+        );
+    }
+    if !outcome.diagnostics.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

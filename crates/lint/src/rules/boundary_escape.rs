@@ -1,0 +1,78 @@
+//! `boundary-escape`: pub items of the monitor boundary modules may not
+//! expose raw sensitive types outside the crate.
+//!
+//! `core::monitor` and `core::tenant` own the per-user state — the
+//! browsing stream enters, the ledger accumulates. Their public surface
+//! is what every other crate (and the future aggregation service) can
+//! touch, so it must speak in sanitized aggregates: summaries, drop
+//! counters, quantiles, anonymised contribution batches. A `pub fn`
+//! returning a raw request/URL type or a whole per-user store, or a
+//! `pub` struct field typed so, widens the privacy boundary for every
+//! downstream crate at once. Deliberate in-process introspection APIs
+//! carry a reasoned `// yav-lint: allow(boundary-escape) — why`.
+
+use crate::config::LintConfig;
+use crate::engine::Diagnostic;
+use crate::graph::Graph;
+
+/// True when `rel` falls under one of the configured boundary prefixes.
+pub fn in_boundary(rel: &str, config: &LintConfig) -> bool {
+    config
+        .boundary_modules
+        .iter()
+        .any(|m| rel == m || (m.ends_with('/') && rel.starts_with(m.as_str())))
+}
+
+/// Reports pub fns returning boundary types and pub fields holding them.
+pub fn check(graph: &Graph, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for node in &graph.fns {
+        if !in_boundary(&node.rel, config) || !node.sym.is_pub {
+            continue;
+        }
+        let escaped = node
+            .sym
+            .return_types
+            .iter()
+            .find(|r| config.boundary_types.iter().any(|t| t == &r.name));
+        if let Some(t) = escaped {
+            out.push(Diagnostic {
+                rule: "boundary-escape",
+                rel: node.rel.clone(),
+                line: node.sym.line,
+                col: node.sym.col,
+                message: format!(
+                    "pub fn `{}` returns `{}` across the monitor boundary: \
+                     per-user raw state must leave only as sanitized aggregates \
+                     (summary/drop-stats/contributions) — return one of those, \
+                     or justify the in-process API with an allow comment",
+                    node.sym.name, t.name,
+                ),
+            });
+        }
+    }
+    for (rel, syms) in &graph.files {
+        if !in_boundary(rel, config) {
+            continue;
+        }
+        for field in &syms.pub_fields {
+            let escaped = field
+                .types
+                .iter()
+                .find(|r| config.boundary_types.iter().any(|t| t == &r.name));
+            if let Some(t) = escaped {
+                out.push(Diagnostic {
+                    rule: "boundary-escape",
+                    rel: rel.clone(),
+                    line: field.line,
+                    col: field.col,
+                    message: format!(
+                        "pub field `{}.{}` exposes `{}` across the monitor \
+                         boundary: make the field private behind a sanitized \
+                         accessor, or justify it with an allow comment",
+                        field.strukt, field.field, t.name,
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -53,15 +53,17 @@ fn has_forbid_attr(file: &SourceFile) -> bool {
     })
 }
 
-/// True when the crate root carries a reasoned file-level opt-out. The
-/// missing-forbid finding is reported at line 1 where no comment can
-/// sit (the file opens with module docs), so the opt-out is accepted
-/// anywhere in the root file rather than through the engine's
-/// line-adjacency suppression.
-fn has_designated_unsafe_optout(file: &SourceFile) -> bool {
+/// The line of the crate root's reasoned file-level opt-out, if any.
+/// The attribute belongs at the top of the file where no comment can
+/// sit above it (the file opens with module docs), so the opt-out is
+/// accepted anywhere in the root file: the missing-forbid finding is
+/// reported *at* the opt-out's line so the engine's normal suppression
+/// machinery (and the stale-allow audit) see the site as live.
+fn designated_unsafe_optout_line(file: &SourceFile) -> Option<u32> {
     file.suppressions
         .iter()
-        .any(|s| s.rules.iter().any(|r| r == "forbid-unsafe-coverage"))
+        .find(|s| s.rules.iter().any(|r| r == "forbid-unsafe-coverage"))
+        .map(|s| s.line)
 }
 
 /// True when a `SAFETY` comment covers `line`: a comment starting with
@@ -96,11 +98,16 @@ impl Rule for ForbidUnsafeCoverage {
     }
 
     fn check(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        if is_crate_root(file) && !has_forbid_attr(file) && !has_designated_unsafe_optout(file) {
+        if is_crate_root(file) && !has_forbid_attr(file) {
+            // Report at the opt-out suppression's line when one exists so
+            // the engine's ordinary line-adjacency suppression absorbs it
+            // and the stale-allow audit sees the site as live; otherwise
+            // at line 1 where the attribute belongs.
+            let line = designated_unsafe_optout_line(file).unwrap_or(1);
             out.push(Diagnostic {
                 rule: self.name(),
                 rel: file.rel.clone(),
-                line: 1,
+                line,
                 col: 1,
                 message: format!(
                     "crate root of `{}` is missing `#![forbid(unsafe_code)]` (a designated \

@@ -1,0 +1,117 @@
+//! `layering`: the crate DAG is config, and back-edges are findings.
+//!
+//! `lint.toml [layering]` records the intended dependency structure —
+//! leaf kernels (`types`, `stats`, `simd`, `telemetry`) depend on
+//! nothing workspace-internal, exporters (`telemetry`, `trace`) never
+//! import `core`, and nothing depends on `bench` or `lint`. The rule
+//! checks two surfaces: each crate's `Cargo.toml` `[dependencies]`
+//! (the edge as the build sees it) and `yav_*` path roots in production
+//! sources (the edge as the code spells it). A dep absent from the
+//! crate's allowlist is a back-edge; a crate absent from the config is
+//! unclassified and reported so the DAG stays complete.
+
+use crate::config::LintConfig;
+use crate::engine::Diagnostic;
+use crate::graph::{Graph, Manifest};
+use crate::source::{FileKind, SourceFile};
+
+/// Crates no one may depend on, in any dependency section.
+const TERMINAL_CRATES: &[&str] = &["bench", "lint"];
+
+/// Checks manifests and source-level crate references.
+pub fn check(
+    files: &[SourceFile],
+    manifests: &[Manifest],
+    graph: &Graph,
+    config: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for m in manifests {
+        let Some(allowed) = config.layering.get(&m.krate) else {
+            out.push(Diagnostic {
+                rule: "layering",
+                rel: m.rel.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{}` is not classified in `lint.toml [layering]`: \
+                     add it with its allowed workspace-internal deps so the \
+                     DAG stays explicit",
+                    m.krate
+                ),
+            });
+            continue;
+        };
+        for (dep, line) in &m.deps {
+            if !allowed.iter().any(|a| a == dep) {
+                out.push(Diagnostic {
+                    rule: "layering",
+                    rel: m.rel.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "layering back-edge: `{}` must not depend on `{}` \
+                         (allowed: [{}]) — restructure the flow or amend \
+                         `lint.toml [layering]` with a design review",
+                        m.krate,
+                        dep,
+                        allowed.join(", "),
+                    ),
+                });
+            }
+        }
+        for (dep, line) in &m.dev_deps {
+            if TERMINAL_CRATES.contains(&dep.as_str()) {
+                out.push(Diagnostic {
+                    rule: "layering",
+                    rel: m.rel.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "`{}` dev-depends on terminal crate `{dep}`: nothing \
+                         may depend on the bench harness or the linter",
+                        m.krate,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Source-level references: `yav_foo` path roots in production code.
+    // Config-declared fixture manifests have no Cargo.toml, so this is
+    // also what makes layering testable on fixture trees.
+    let known = |name: &str| {
+        config.layering.contains_key(name)
+            || graph.crate_deps.contains_key(name)
+            || TERMINAL_CRATES.contains(&name)
+    };
+    for file in files {
+        if file.kind != FileKind::Source {
+            continue;
+        }
+        let Some(syms) = graph.files.get(&file.rel) else {
+            continue;
+        };
+        let allowed = config.layering.get(&file.crate_name);
+        for r in &syms.crate_refs {
+            if r.name == file.crate_name || !known(&r.name) {
+                continue;
+            }
+            let ok = allowed.is_some_and(|a| a.iter().any(|d| d == &r.name));
+            if !ok {
+                out.push(Diagnostic {
+                    rule: "layering",
+                    rel: file.rel.clone(),
+                    line: r.line,
+                    col: r.col,
+                    message: format!(
+                        "layering back-edge: crate `{}` references `yav_{}` \
+                         but `lint.toml [layering]` does not allow that \
+                         dependency",
+                        file.crate_name, r.name,
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `privacy-taint`: tainted types may not reach exporter/collector
+//! sinks, except through declared sanitizers.
+//!
+//! The YourAdValue monitor holds the most sensitive data in the system:
+//! raw URLs, per-user browsing streams, per-user ad-cost ledgers and
+//! decrypted prices. The paper's follow-up work (YourAdvalue, 2019)
+//! makes the design constraint explicit — that data never crosses the
+//! aggregation boundary. This pass enforces it statically: any fn
+//! defined in a configured sink module (`lint.toml [sinks]`) that can
+//! observe a tainted type — in its own signature or body, or
+//! transitively through the call graph — is a finding, unless the flow
+//! passes through a declared sanitizer fn. The diagnostic names both
+//! ends: the sink fn and the `file:line:col` of the taint source, with
+//! the call chain between them.
+
+use crate::config::LintConfig;
+use crate::engine::Diagnostic;
+use crate::graph::Graph;
+use crate::taint::TaintMap;
+
+/// True when `rel` falls under one of the configured sink prefixes.
+pub fn in_sink(rel: &str, config: &LintConfig) -> bool {
+    config
+        .sink_modules
+        .iter()
+        .any(|m| rel == m || (m.ends_with('/') && rel.starts_with(m.as_str())))
+}
+
+/// Reports every tainted fn defined in a sink module.
+pub fn check(graph: &Graph, taints: &TaintMap, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for (id, node) in graph.fns.iter().enumerate() {
+        if !in_sink(&node.rel, config) {
+            continue;
+        }
+        let Some(info) = &taints.verdicts[id] else {
+            continue;
+        };
+        out.push(Diagnostic {
+            rule: "privacy-taint",
+            rel: node.rel.clone(),
+            line: node.sym.line,
+            col: node.sym.col,
+            message: format!(
+                "fn `{}` is in a sink module but reaches tainted {} `{}` \
+                 (source at {}:{}:{}) via {}: sinks may only consume sanitized \
+                 aggregates — route through a `lint.toml [sanitizers]` fn or \
+                 strip the sensitive data before it gets here",
+                node.sym.name,
+                info.source_kind,
+                info.source_name,
+                info.source_rel,
+                info.source_line,
+                info.source_col,
+                info.path_display(),
+            ),
+        });
+    }
+}

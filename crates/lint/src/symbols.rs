@@ -1,0 +1,453 @@
+//! Per-file symbol tables for the graph passes.
+//!
+//! The second pass over the lexer output: fn definitions with their
+//! signature/return type names, approximate call references (free calls,
+//! method calls, path calls), type mentions and field reads inside fn
+//! bodies, `pub` struct fields, and references to workspace crates
+//! (`yav_*` path roots). Everything is name-based and approximate by
+//! design — there is no type checker here — but the approximation is
+//! *over*-inclusive, which is the right direction for a privacy pass:
+//! taint can only be over-reported, never silently missed because a
+//! value took an alias.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One referenced name with its source position.
+#[derive(Debug, Clone)]
+pub struct NameRef {
+    /// The identifier text.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// The fn's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Declared with any `pub` visibility.
+    pub is_pub: bool,
+    /// Type-position identifiers anywhere in the signature (params,
+    /// generics, where clause, return).
+    pub sig_types: Vec<NameRef>,
+    /// Type-position identifiers in the return type only.
+    pub return_types: Vec<NameRef>,
+    /// Call references in the body: `name(…)`, `.name(…)`, `Path::name(…)`.
+    pub calls: Vec<NameRef>,
+    /// Capitalised identifiers in the body — struct literals, enum
+    /// paths, type ascriptions, turbofish arguments.
+    pub type_mentions: Vec<NameRef>,
+    /// `.field` reads (no following call parens).
+    pub field_reads: Vec<NameRef>,
+}
+
+/// One `pub` field of a `pub` struct, with its type names.
+#[derive(Debug, Clone)]
+pub struct PubField {
+    /// The struct's name.
+    pub strukt: String,
+    /// The field's name.
+    pub field: String,
+    /// Type identifiers in the field's type.
+    pub types: Vec<NameRef>,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// 1-based column of the field name.
+    pub col: u32,
+}
+
+/// Everything the graph passes need from one file.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    /// Fn definitions outside `#[cfg(test)]` code.
+    pub fns: Vec<FnSym>,
+    /// Pub fields of pub structs outside `#[cfg(test)]` code.
+    pub pub_fields: Vec<PubField>,
+    /// Workspace crate references: each `yav_foo` path root becomes a
+    /// `foo` entry.
+    pub crate_refs: Vec<NameRef>,
+}
+
+/// Rust keywords that can precede `(` without being calls, or sit in
+/// type position without naming a type.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "in", "as", "move", "let", "else", "fn",
+    "unsafe", "async", "await", "where", "impl", "dyn", "pub", "use", "mod", "crate", "super",
+    "self", "Self", "mut", "ref", "const", "static", "break", "continue", "yield", "struct",
+    "enum", "trait", "type",
+];
+
+fn is_keyword(name: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&name)
+}
+
+fn name_ref(t: &Token) -> NameRef {
+    NameRef {
+        name: t.text.clone(),
+        line: t.line,
+        col: t.col,
+    }
+}
+
+/// True when the identifier looks like a type name (capitalised first
+/// letter) and is not a keyword.
+fn is_type_like(t: &Token) -> bool {
+    t.kind == TokenKind::Ident
+        && t.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+        && !is_keyword(&t.text)
+}
+
+/// Extracts the symbol table of one file. Test code (whole test files,
+/// `#[cfg(test)]` blocks) is skipped: the graph passes police the
+/// production dataflow.
+pub fn extract(file: &SourceFile) -> FileSymbols {
+    let mut out = FileSymbols::default();
+    let toks = &file.tokens;
+
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || file.in_test_code(tok.line) {
+            continue;
+        }
+        // Workspace crate references: `yav_foo::…` or `use yav_foo…`.
+        if let Some(rest) = tok.text.strip_prefix("yav_") {
+            if !rest.is_empty() {
+                out.crate_refs.push(NameRef {
+                    name: rest.to_owned(),
+                    line: tok.line,
+                    col: tok.col,
+                });
+            }
+        }
+        if tok.is_ident("fn") {
+            if let Some(f) = extract_fn(toks, i, file) {
+                out.fns.push(f);
+            }
+        }
+        if tok.is_ident("struct") {
+            extract_pub_struct(toks, i, &mut out.pub_fields);
+        }
+    }
+    out
+}
+
+/// True when the item whose keyword sits at `kw` carries `pub` — scans
+/// back over visibility modifiers and other prefix keywords up to the
+/// previous item terminator.
+fn has_pub_prefix(toks: &[Token], kw: usize) -> bool {
+    let mut j = kw;
+    let mut steps = 0;
+    while j > 0 && steps < 12 {
+        j -= 1;
+        steps += 1;
+        let t = &toks[j];
+        if t.is_ident("pub") {
+            return true;
+        }
+        // Tokens that may legitimately sit between `pub` and the item
+        // keyword: `pub(crate)`, `pub(in path)`, `const`, `unsafe`,
+        // `async`, `extern "C"`.
+        let bridges = t.is_punct('(')
+            || t.is_punct(')')
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("in")
+            || t.is_ident("self")
+            || t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.kind == TokenKind::Str;
+        if !bridges {
+            return false;
+        }
+    }
+    false
+}
+
+/// Parses the fn whose `fn` keyword sits at index `i`.
+fn extract_fn(toks: &[Token], i: usize, file: &SourceFile) -> Option<FnSym> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokenKind::Ident || is_keyword(&name_tok.text) {
+        return None; // `fn` in a type position (`fn()` pointer type).
+    }
+    let mut f = FnSym {
+        name: name_tok.text.clone(),
+        line: toks[i].line,
+        col: toks[i].col,
+        is_pub: has_pub_prefix(toks, i),
+        sig_types: Vec::new(),
+        return_types: Vec::new(),
+        calls: Vec::new(),
+        type_mentions: Vec::new(),
+        field_reads: Vec::new(),
+    };
+
+    // Signature: everything from after the name to the body `{` or a
+    // terminating `;` (trait method without body), tracking whether we
+    // are past `->`.
+    let mut j = i + 2;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut in_return = false;
+    let mut body_open = None;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokenKind::Punct => {
+                let c = t.text.as_bytes()[0];
+                match c {
+                    b'(' | b'[' => paren += 1,
+                    b')' | b']' => paren -= 1,
+                    b'<' => angle += 1,
+                    b'>' => {
+                        // `->`: the previous token is `-`.
+                        if j > 0 && toks[j - 1].is_punct('-') {
+                            in_return = true;
+                        } else {
+                            angle -= 1;
+                        }
+                    }
+                    b'{' if paren == 0 && angle <= 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    b';' if paren == 0 => break,
+                    _ => {}
+                }
+            }
+            TokenKind::Ident => {
+                if t.is_ident("where") {
+                    in_return = false;
+                }
+                if is_type_like(t) {
+                    f.sig_types.push(name_ref(t));
+                    if in_return {
+                        f.return_types.push(name_ref(t));
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+
+    // Body: balanced braces from `body_open`.
+    let Some(open) = body_open else {
+        return Some(f); // bodyless (trait decl) — signature only.
+    };
+    let mut depth = 0i32;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident && !file.in_test_code(t.line) {
+            let prev = &toks[k - 1];
+            let next = toks.get(k + 1);
+            let next_is_call = next.is_some_and(|n| n.is_punct('('));
+            let next_is_macro = next.is_some_and(|n| n.is_punct('!'));
+            if next_is_call && !is_keyword(&t.text) && !next_is_macro {
+                f.calls.push(name_ref(t));
+            } else if prev.is_punct('.') && !next_is_call && !is_keyword(&t.text) {
+                f.field_reads.push(name_ref(t));
+            }
+            if is_type_like(t) {
+                f.type_mentions.push(name_ref(t));
+            }
+        }
+        k += 1;
+    }
+    Some(f)
+}
+
+/// Parses `pub struct Name { pub field: Type, … }` at the `struct`
+/// keyword index, appending pub fields of pub structs.
+fn extract_pub_struct(toks: &[Token], i: usize, out: &mut Vec<PubField>) {
+    if !has_pub_prefix(toks, i) {
+        return;
+    }
+    let Some(name_tok) = toks.get(i + 1) else {
+        return;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return;
+    }
+    // Find the `{` opening the field block (skip generics; a `;` first
+    // means a unit/tuple struct — tuple fields are positional and the
+    // boundary rule tracks named stores, so they are skipped here).
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    let open = loop {
+        match toks.get(j) {
+            Some(t) if t.is_punct('<') => angle += 1,
+            Some(t) if t.is_punct('>') => angle -= 1,
+            Some(t) if t.is_punct('{') && angle <= 0 => break j,
+            Some(t) if t.is_punct(';') || t.is_punct('(') => return,
+            Some(_) => {}
+            None => return,
+        }
+        j += 1;
+    };
+    // Fields: at brace depth 1, `pub name : <type tokens> ,`.
+    let mut depth = 0i32;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.is_ident("pub") {
+            // Field name: next ident (skip `pub(crate)` forms).
+            let mut m = k + 1;
+            while toks.get(m).is_some_and(|t| {
+                t.is_punct('(')
+                    || t.is_punct(')')
+                    || t.is_ident("crate")
+                    || t.is_ident("super")
+                    || t.is_ident("in")
+            }) {
+                m += 1;
+            }
+            let Some(field_tok) = toks.get(m) else { break };
+            if field_tok.kind != TokenKind::Ident
+                || !toks.get(m + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                k += 1;
+                continue;
+            }
+            // Type tokens until the field-separating `,` at depth 1
+            // (or the closing `}`), respecting nested angles/parens.
+            let mut types = Vec::new();
+            let mut n = m + 2;
+            let mut nest = 0i32;
+            while let Some(tt) = toks.get(n) {
+                if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
+                    nest += 1;
+                } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
+                    nest -= 1;
+                } else if (tt.is_punct(',') && nest <= 0) || tt.is_punct('}') {
+                    break;
+                } else if is_type_like(tt) {
+                    types.push(name_ref(tt));
+                }
+                n += 1;
+            }
+            out.push(PubField {
+                strukt: name_tok.text.clone(),
+                field: field_tok.text.clone(),
+                types,
+                line: field_tok.line,
+                col: field_tok.col,
+            });
+            k = n;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn symbols(src: &str) -> FileSymbols {
+        let f = SourceFile::new("x.rs".into(), "demo".into(), FileKind::Source, src);
+        extract(&f)
+    }
+
+    #[test]
+    fn fn_signature_and_return_types() {
+        let s = symbols("pub fn f(a: &HttpRequest, n: u32) -> Option<Ledger> { n }");
+        assert_eq!(s.fns.len(), 1);
+        let f = &s.fns[0];
+        assert!(f.is_pub);
+        assert_eq!(f.name, "f");
+        let sig: Vec<&str> = f.sig_types.iter().map(|r| r.name.as_str()).collect();
+        assert!(sig.contains(&"HttpRequest") && sig.contains(&"Ledger"));
+        let ret: Vec<&str> = f.return_types.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(ret, ["Option", "Ledger"]);
+    }
+
+    #[test]
+    fn body_calls_mentions_and_field_reads() {
+        let s = symbols(
+            "fn g(x: u8) { let u = Url::parse(\"a\"); helper(u); let c = ev.cleartext_cpm; \
+             let t = TenantState { id: 0 }; t.summary(); }",
+        );
+        let f = &s.fns[0];
+        assert!(!f.is_pub);
+        let calls: Vec<&str> = f.calls.iter().map(|r| r.name.as_str()).collect();
+        assert!(
+            calls.contains(&"parse") && calls.contains(&"helper") && calls.contains(&"summary")
+        );
+        let mentions: Vec<&str> = f.type_mentions.iter().map(|r| r.name.as_str()).collect();
+        assert!(mentions.contains(&"Url") && mentions.contains(&"TenantState"));
+        let fields: Vec<&str> = f.field_reads.iter().map(|r| r.name.as_str()).collect();
+        assert!(fields.contains(&"cleartext_cpm"));
+        // `summary` is a call, not a field read.
+        assert!(!fields.contains(&"summary"));
+    }
+
+    #[test]
+    fn generic_fns_do_not_mistake_comparisons_for_generics() {
+        let s = symbols("fn h<T: Visit<Url>>(x: T) -> bool { 1 < 2 }");
+        let sig: Vec<&str> = s.fns[0].sig_types.iter().map(|r| r.name.as_str()).collect();
+        assert!(sig.contains(&"Url"));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_skipped() {
+        let s = symbols("fn live() {}\n#[cfg(test)]\nmod t { fn dead() { Url::parse(\"\"); } }");
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "live");
+    }
+
+    #[test]
+    fn pub_struct_pub_fields() {
+        let s = symbols(
+            "pub struct Report { pub events: Vec<PriceEvent>, total: u64, pub n: u32 }\n\
+             struct Private { pub x: Url }",
+        );
+        assert_eq!(s.pub_fields.len(), 2);
+        assert_eq!(s.pub_fields[0].field, "events");
+        let t: Vec<&str> = s.pub_fields[0]
+            .types
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(t, ["Vec", "PriceEvent"]);
+        assert_eq!(s.pub_fields[1].field, "n");
+    }
+
+    #[test]
+    fn crate_refs_are_harvested() {
+        let s = symbols("use yav_core::YourAdValue;\nfn f() { yav_telemetry::counter(\"a.b\"); }");
+        let refs: Vec<&str> = s.crate_refs.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(refs, ["core", "telemetry"]);
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let s = symbols("fn f() { format!(\"{}\", x); real(); }");
+        let calls: Vec<&str> = s.fns[0].calls.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(calls, ["real"]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The taint pass: which fns can observe sensitive data, and how.
+//!
+//! A fn is *directly* tainted when its signature names a tainted type,
+//! its body mentions one (construction, path expression, turbofish), or
+//! its body reads a tainted field. Taint then propagates **from callee
+//! to caller** over the call graph: if `a` calls `b` and `b` handles
+//! tainted data, `a` is assumed to receive or forward it. Declared
+//! sanitizer fns cut propagation — they are the trusted constructors
+//! that reduce raw state to anonymised aggregates — so a caller that
+//! only touches taint through a sanitizer stays clean.
+//!
+//! Every tainted fn carries a *witness*: the shortest call path to a
+//! concrete source mention, with its `file:line:col`. Diagnostics can
+//! therefore name both ends of a leak, which is what makes a finding
+//! actionable rather than a vibe.
+
+use crate::config::LintConfig;
+use crate::graph::Graph;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Why a fn is tainted, with the evidence chain.
+#[derive(Debug, Clone)]
+pub struct TaintInfo {
+    /// The tainted type or field name observed at the source.
+    pub source_name: String,
+    /// `type` or `field` — how the source was matched.
+    pub source_kind: &'static str,
+    /// Workspace-relative file of the source mention.
+    pub source_rel: String,
+    /// 1-based line of the source mention.
+    pub source_line: u32,
+    /// 1-based column of the source mention.
+    pub source_col: u32,
+    /// Call chain from the described fn down to the fn containing the
+    /// source mention (inclusive), as fn names.
+    pub path: Vec<String>,
+}
+
+impl TaintInfo {
+    /// Renders the call chain as `a → b → c`.
+    pub fn path_display(&self) -> String {
+        self.path.join(" → ")
+    }
+}
+
+/// Per-fn taint verdicts, indexed like `graph.fns`.
+pub struct TaintMap {
+    /// `Some(info)` when the fn can observe tainted data.
+    pub verdicts: Vec<Option<TaintInfo>>,
+}
+
+impl TaintMap {
+    /// Number of tainted fns.
+    pub fn tainted_count(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Runs direct marking plus fixpoint propagation.
+pub fn analyze(graph: &Graph, config: &LintConfig) -> TaintMap {
+    let types: BTreeSet<&str> = config.taint_types.iter().map(|s| s.as_str()).collect();
+    let fields: BTreeSet<&str> = config.taint_fields.iter().map(|s| s.as_str()).collect();
+    let sanitizers: BTreeSet<&str> = config.sanitizer_fns.iter().map(|s| s.as_str()).collect();
+
+    let mut verdicts: Vec<Option<TaintInfo>> = vec![None; graph.fns.len()];
+
+    // Direct marking, in file order so witnesses are deterministic.
+    for (id, node) in graph.fns.iter().enumerate() {
+        if sanitizers.contains(node.sym.name.as_str()) {
+            continue; // trusted: handles taint, emits clean aggregates.
+        }
+        let direct = node
+            .sym
+            .sig_types
+            .iter()
+            .chain(node.sym.type_mentions.iter())
+            .find(|r| types.contains(r.name.as_str()))
+            .map(|r| (r, "type"))
+            .or_else(|| {
+                node.sym
+                    .field_reads
+                    .iter()
+                    .find(|r| fields.contains(r.name.as_str()))
+                    .map(|r| (r, "field"))
+            });
+        if let Some((mention, kind)) = direct {
+            verdicts[id] = Some(TaintInfo {
+                source_name: mention.name.clone(),
+                source_kind: kind,
+                source_rel: node.rel.clone(),
+                source_line: mention.line,
+                source_col: mention.col,
+                path: vec![node.sym.name.clone()],
+            });
+        }
+    }
+
+    // Reverse-BFS from directly tainted fns: callers inherit the
+    // shortest witness. Sanitizer callees never propagate (already
+    // unmarked above); sanitizer callers never absorb.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); graph.fns.len()];
+    for (caller, callees) in graph.callees.iter().enumerate() {
+        for &callee in callees {
+            reverse[callee].push(caller);
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..graph.fns.len())
+        .filter(|&id| verdicts[id].is_some())
+        .collect();
+    while let Some(id) = queue.pop_front() {
+        let info = verdicts[id].clone().expect("queued fns are tainted");
+        for &caller in &reverse[id] {
+            if verdicts[caller].is_some() {
+                continue;
+            }
+            if sanitizers.contains(graph.fns[caller].sym.name.as_str()) {
+                continue;
+            }
+            let mut inherited = info.clone();
+            inherited.path.insert(0, graph.fns[caller].sym.name.clone());
+            verdicts[caller] = Some(inherited);
+            queue.push_back(caller);
+        }
+    }
+
+    TaintMap { verdicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn run(sources: &[(&str, &str, &str)], sanitizers: &[&str]) -> (Graph, TaintMap) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, krate, src)| {
+                SourceFile::new(rel.to_string(), krate.to_string(), FileKind::Source, src)
+            })
+            .collect();
+        let config = LintConfig {
+            taint_types: vec!["HttpRequest".into(), "Ledger".into()],
+            taint_fields: vec!["url".into()],
+            sanitizer_fns: sanitizers.iter().map(|s| s.to_string()).collect(),
+            ..LintConfig::default()
+        };
+        // Single-crate fixtures: everything visible.
+        let graph = Graph::build(&files, &[], &config);
+        let taints = analyze(&graph, &config);
+        (graph, taints)
+    }
+
+    fn verdict<'a>(g: &Graph, t: &'a TaintMap, name: &str) -> &'a Option<TaintInfo> {
+        let id = g.fns.iter().position(|f| f.sym.name == name).unwrap();
+        &t.verdicts[id]
+    }
+
+    #[test]
+    fn taint_propagates_transitively_with_witness_path() {
+        let (g, t) = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "a",
+                "fn source(r: &HttpRequest) -> u32 { 1 }\n\
+                 fn mid() -> u32 { source(x) }\n\
+                 fn top() -> u32 { mid() }\n\
+                 fn clean() -> u32 { 2 }",
+            )],
+            &[],
+        );
+        let top = verdict(&g, &t, "top").as_ref().expect("top is tainted");
+        assert_eq!(top.path, ["top", "mid", "source"]);
+        assert_eq!(top.source_name, "HttpRequest");
+        assert_eq!(top.source_kind, "type");
+        assert_eq!(top.source_rel, "crates/a/src/lib.rs");
+        assert!(verdict(&g, &t, "clean").is_none());
+    }
+
+    #[test]
+    fn sanitizers_cut_propagation() {
+        let (g, t) = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "a",
+                "fn raw(l: &Ledger) -> u64 { 1 }\n\
+                 fn summary(l: u64) -> u64 { raw(l) }\n\
+                 fn export() -> u64 { summary(0) }",
+            )],
+            &["summary"],
+        );
+        assert!(verdict(&g, &t, "raw").is_some());
+        assert!(verdict(&g, &t, "summary").is_none(), "sanitizer is trusted");
+        assert!(
+            verdict(&g, &t, "export").is_none(),
+            "taint stops at sanitizer"
+        );
+    }
+
+    #[test]
+    fn field_reads_taint() {
+        let (g, t) = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "a",
+                "fn peek(e: &Event) -> &str { &e.url }",
+            )],
+            &[],
+        );
+        let v = verdict(&g, &t, "peek").as_ref().unwrap();
+        assert_eq!(v.source_kind, "field");
+        assert_eq!(v.source_name, "url");
+    }
+
+    #[test]
+    fn witness_is_shortest_path() {
+        let (g, t) = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "a",
+                "fn source(r: &HttpRequest) {}\n\
+                 fn long_a() { source(x) }\n\
+                 fn long_b() { long_a() }\n\
+                 fn top() { long_b(); source(y) }",
+            )],
+            &[],
+        );
+        let top = verdict(&g, &t, "top").as_ref().unwrap();
+        assert_eq!(top.path, ["top", "source"], "BFS finds the 1-hop witness");
+    }
+}

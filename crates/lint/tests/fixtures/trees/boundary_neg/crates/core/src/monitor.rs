@@ -1,0 +1,26 @@
+//! The monitor boundary (fixture): only sanitized aggregates leave.
+
+/// Per-user cost ledger.
+pub struct Ledger {
+    entries: u64,
+}
+
+/// A clean aggregate.
+pub struct Summary {
+    /// Event count only — no raw state.
+    pub events: u64,
+}
+
+/// The monitor.
+pub struct Monitor {
+    ledger: Ledger,
+}
+
+impl Monitor {
+    /// Sanitized view: counts, not contents.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            events: self.ledger.entries,
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The monitor boundary (fixture): leaks raw per-user state.
+
+/// Per-user cost ledger.
+pub struct Ledger {
+    entries: u64,
+}
+
+/// Raw state exposed wholesale through a pub field.
+pub struct Snapshot {
+    /// Leaks the whole ledger.
+    pub ledger: Ledger,
+}
+
+/// The monitor.
+pub struct Monitor {
+    ledger: Ledger,
+}
+
+impl Monitor {
+    /// Leaks the raw ledger across the boundary.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+}

@@ -1,0 +1,9 @@
+//! Core (fixture): depends downward on the exporter — allowed.
+#![forbid(unsafe_code)]
+
+use yav_telemetry::counter;
+
+/// Emits a counter through the exporter.
+pub fn tick() {
+    counter();
+}

@@ -1,0 +1,9 @@
+//! Exporter (fixture): reaches up into core — a layering violation.
+#![forbid(unsafe_code)]
+
+use yav_core::monitor::Monitor;
+
+/// Renders state the exporter should never see.
+pub fn render(_m: &Monitor) -> String {
+    String::new()
+}

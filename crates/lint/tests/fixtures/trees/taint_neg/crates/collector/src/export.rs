@@ -1,0 +1,8 @@
+//! The aggregation collector's export surface (fixture).
+
+use yav_mid::summary;
+
+/// Publishes only the sanitized aggregate.
+pub fn export_counts() -> usize {
+    summary()
+}

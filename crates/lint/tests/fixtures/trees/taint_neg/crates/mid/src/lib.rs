@@ -1,0 +1,11 @@
+//! Mid-layer aggregation (fixture): the declared sanitizer reduces the
+//! raw record to a clean count before anything downstream sees it.
+#![forbid(unsafe_code)]
+
+use yav_data::latest_weblog;
+
+/// Reduces the newest record to a clean aggregate.
+pub fn summary() -> usize {
+    let w = latest_weblog();
+    w.url.len()
+}

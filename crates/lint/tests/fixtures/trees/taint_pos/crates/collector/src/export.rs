@@ -1,0 +1,8 @@
+//! The aggregation collector's export surface (fixture).
+
+use yav_mid::relay;
+
+/// Publishes a per-user byte count — the leak the lint must catch.
+pub fn export_counts() -> usize {
+    relay()
+}

@@ -1,0 +1,13 @@
+//! Raw per-user browsing records (fixture).
+#![forbid(unsafe_code)]
+
+/// One raw browsing record.
+pub struct Weblog {
+    /// The raw URL.
+    pub url: String,
+}
+
+/// Produces the most recent raw record.
+pub fn latest_weblog() -> Weblog {
+    Weblog { url: String::new() }
+}

@@ -1,0 +1,10 @@
+//! Mid-layer plumbing (fixture): forwards raw state without reducing it.
+#![forbid(unsafe_code)]
+
+use yav_data::latest_weblog;
+
+/// Counts bytes in the newest record without summarising it.
+pub fn relay() -> usize {
+    let w = latest_weblog();
+    w.url.len()
+}

@@ -1,0 +1,164 @@
+//! Multi-file fixture trees for the graph passes. Each tree under
+//! `tests/fixtures/trees/` is a miniature workspace — `crates/*/src`
+//! sources, optional `Cargo.toml`s, and a tree-local `lint.toml` — and
+//! is linted through the same entry point as the real workspace
+//! (`lint_workspace`), so the whole stack is exercised: config loading,
+//! file discovery, manifest parsing, symbol extraction, call-graph
+//! assembly, taint propagation and the three graph rules.
+
+use std::path::PathBuf;
+use yav_lint::{lint_workspace, Diagnostic};
+
+fn tree(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/trees")
+        .join(name)
+}
+
+fn run(name: &str) -> Vec<Diagnostic> {
+    lint_workspace(&tree(name))
+        .unwrap_or_else(|e| panic!("linting fixture tree `{name}`: {e}"))
+        .diagnostics
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn taint_pos_reports_the_two_hop_leak_with_both_ends() {
+    let diags = run("taint_pos");
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one finding:\n{}",
+        render(&diags)
+    );
+    let d = &diags[0];
+    assert_eq!(d.rule, "privacy-taint");
+    assert_eq!(d.rel, "crates/collector/src/export.rs");
+    assert!(
+        d.message.contains("fn `export_counts`"),
+        "sink fn named: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("tainted type `Weblog`"),
+        "taint source type named: {}",
+        d.message
+    );
+    // The witness names the source's exact file:line:col (the `Weblog`
+    // return type of `latest_weblog`) …
+    assert!(
+        d.message.contains("source at crates/data/src/lib.rs:11:27"),
+        "source location: {}",
+        d.message
+    );
+    // … and the full two-hop call chain from sink to source.
+    assert!(
+        d.message
+            .contains("via export_counts → relay → latest_weblog"),
+        "witness path: {}",
+        d.message
+    );
+}
+
+#[test]
+fn taint_neg_sanitizer_route_is_clean() {
+    let diags = run("taint_neg");
+    assert!(
+        diags.is_empty(),
+        "expected a clean tree:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn boundary_pos_reports_fn_return_and_pub_field() {
+    let diags = run("boundary_pos");
+    assert_eq!(diags.len(), 2, "expected two findings:\n{}", render(&diags));
+    assert!(diags.iter().all(|d| d.rule == "boundary-escape"));
+    assert!(diags.iter().all(|d| d.rel == "crates/core/src/monitor.rs"));
+    assert!(
+        diags.iter().any(|d| d
+            .message
+            .contains("pub field `Snapshot.ledger` exposes `Ledger`")),
+        "pub-field arm:\n{}",
+        render(&diags)
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("pub fn `ledger` returns `Ledger`")),
+        "return-type arm:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn boundary_neg_sanitized_surface_is_clean() {
+    let diags = run("boundary_neg");
+    assert!(
+        diags.is_empty(),
+        "expected a clean tree:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn layering_pos_reports_every_violation_surface() {
+    let diags = run("layering_pos");
+    assert_eq!(
+        diags.len(),
+        4,
+        "expected four findings:\n{}",
+        render(&diags)
+    );
+    assert!(diags.iter().all(|d| d.rule == "layering"));
+    // Manifest back-edge, at the offending dependency line.
+    assert!(
+        diags.iter().any(|d| d.rel == "crates/telemetry/Cargo.toml"
+            && d.line == 6
+            && d.message.contains("`telemetry` must not depend on `core`")),
+        "manifest back-edge:\n{}",
+        render(&diags)
+    );
+    // Dev-dependency on a terminal crate.
+    assert!(
+        diags.iter().any(|d| d.rel == "crates/telemetry/Cargo.toml"
+            && d.line == 9
+            && d.message.contains("dev-depends on terminal crate `bench`")),
+        "terminal dev-dep:\n{}",
+        render(&diags)
+    );
+    // Source-level `yav_core` reference from the exporter.
+    assert!(
+        diags.iter().any(|d| d.rel == "crates/telemetry/src/lib.rs"
+            && d.line == 4
+            && d.message.contains("references `yav_core`")),
+        "source back-edge:\n{}",
+        render(&diags)
+    );
+    // A crate missing from the [layering] table.
+    assert!(
+        diags.iter().any(|d| d.rel == "crates/rogue/Cargo.toml"
+            && d.message
+                .contains("not classified in `lint.toml [layering]`")),
+        "unclassified crate:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn layering_neg_allowed_dag_is_clean() {
+    let diags = run("layering_neg");
+    assert!(
+        diags.is_empty(),
+        "expected a clean tree:\n{}",
+        render(&diags)
+    );
+}

@@ -1,0 +1,51 @@
+//! Pins the machine-readable output shapes. The SARIF 2.1.0 and JSON
+//! renderings of the `taint_pos` fixture tree are compared byte-for-byte
+//! against checked-in golden files, so any change to the output schema
+//! is a deliberate, reviewed diff. Regenerate with
+//! `YAV_LINT_UPDATE_SNAPSHOT=1 cargo test -p yav-lint --test sarif_snapshot`.
+
+use std::fs;
+use std::path::PathBuf;
+use yav_lint::{lint_workspace, output};
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn check_snapshot(golden_rel: &str, actual: &str) {
+    let golden_path = fixture(golden_rel);
+    if std::env::var_os("YAV_LINT_UPDATE_SNAPSHOT").is_some() {
+        fs::write(&golden_path, actual).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with YAV_LINT_UPDATE_SNAPSHOT=1)", golden_rel));
+    assert_eq!(
+        actual, golden,
+        "{golden_rel} is stale: rerun with YAV_LINT_UPDATE_SNAPSHOT=1 and review the diff"
+    );
+}
+
+#[test]
+fn sarif_output_matches_the_golden_snapshot() {
+    let outcome = lint_workspace(&fixture("trees/taint_pos")).expect("lint taint_pos");
+    let sarif = output::sarif(&outcome);
+    // Sanity before pinning: the document carries the schema pointer,
+    // a descriptor for the one rule that fired, and one result.
+    assert!(sarif.contains("sarif-schema-2.1.0.json"));
+    assert!(sarif.contains("\"id\": \"privacy-taint\""));
+    assert!(sarif.contains("\"ruleId\": \"privacy-taint\""));
+    assert!(sarif.contains("\"startLine\": 6"));
+    check_snapshot("sarif_snapshot.golden.json", &sarif);
+}
+
+#[test]
+fn json_output_matches_the_golden_snapshot() {
+    let outcome = lint_workspace(&fixture("trees/taint_pos")).expect("lint taint_pos");
+    let json = output::json(&outcome);
+    assert!(json.contains("\"tool\": \"yav-lint\""));
+    assert!(json.contains("\"graph\":"));
+    check_snapshot("json_snapshot.golden.json", &json);
+}

@@ -1,15 +1,16 @@
 //! The linter must hold on the codebase that ships it: a full workspace
-//! walk with zero findings, and a `docs/METRICS.md` that matches what
-//! the walk harvests.
+//! walk with zero findings, fresh generated docs (`docs/METRICS.md`,
+//! `docs/LINTS.md`), and a workspace graph of credible size.
 
 use std::path::Path;
-use yav_lint::{check_metrics_doc, lint_workspace};
+use yav_lint::{check_lints_doc, check_metrics_doc, lint_workspace};
 
 #[test]
-fn workspace_is_lint_clean_and_metrics_doc_is_fresh() {
+fn workspace_is_lint_clean_and_generated_docs_are_fresh() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut outcome = lint_workspace(&root).expect("workspace walk");
     check_metrics_doc(&root, &mut outcome);
+    check_lints_doc(&root, &mut outcome);
     assert!(
         outcome.diagnostics.is_empty(),
         "workspace must lint clean:\n{}",
@@ -29,5 +30,36 @@ fn workspace_is_lint_clean_and_metrics_doc_is_fresh() {
         outcome.metrics.len() >= 20,
         "metric harvest looks truncated: {} metrics",
         outcome.metrics.len()
+    );
+}
+
+#[test]
+fn workspace_graph_has_credible_shape() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = lint_workspace(&root).expect("workspace walk");
+    let g = outcome.graph;
+    assert!(
+        g.crates >= 15,
+        "crate DAG looks truncated: {} crates",
+        g.crates
+    );
+    assert!(g.fns >= 500, "fn index looks truncated: {} fns", g.fns);
+    assert!(
+        g.call_edges >= 1000,
+        "call resolution looks broken: {} edges",
+        g.call_edges
+    );
+    // The monitor, the ledger, the nURL pipeline: a large slice of the
+    // workspace legitimately touches tainted types. If this drops to
+    // zero the taint pass has silently stopped seeing sources.
+    assert!(
+        g.tainted_fns >= 50,
+        "taint marking looks broken: {} tainted fns",
+        g.tainted_fns
+    );
+    // Every live suppression made it into the inventory.
+    assert!(
+        !outcome.suppressions.is_empty(),
+        "the workspace carries reasoned suppressions; the inventory must see them"
     );
 }

@@ -118,3 +118,76 @@ fn estimation_happens_client_side() {
     let s = yav.ledger().summary();
     assert!(s.encrypted_count > 0, "estimates flowed without a live PME");
 }
+
+#[test]
+fn exports_carry_no_raw_urls_and_no_per_user_ledger_state() {
+    // The runtime counterpart of yav-lint's privacy-taint pass: run a
+    // mid-scale world through the monitor with tracing on, then render
+    // every export surface — Prometheus text, the JSON snapshot and the
+    // Chrome trace — and assert none of them contains a raw URL, a
+    // request host, or per-user ledger serialisation.
+    use your_ad_value::telemetry;
+    use your_ad_value::trace;
+
+    let generator = WeblogGenerator::new(WeblogConfig::small());
+    let mut market = Market::new(MarketConfig::default());
+    let mut yav = YourAdValue::new(Some(City::Madrid));
+    let mut urls: Vec<String> = Vec::new();
+    trace::set_enabled(true);
+    generator.run(
+        &mut market,
+        |req| {
+            if urls.len() < 128 {
+                urls.push(req.url.clone());
+            }
+            yav.observe(&req);
+        },
+        |_| {},
+    );
+    trace::set_enabled(false);
+
+    let prometheus = telemetry::prometheus_text();
+    let snapshot = telemetry::json_snapshot();
+    let chrome = trace::chrome_trace_json(&trace::drain());
+
+    assert!(!urls.is_empty(), "the world produced no requests");
+    assert!(
+        prometheus.contains("yav_"),
+        "the sim should have registered metrics"
+    );
+
+    for (surface, text) in [
+        ("prometheus", &prometheus),
+        ("json_snapshot", &snapshot),
+        ("chrome_trace", &chrome),
+    ] {
+        for url in &urls {
+            assert!(
+                !text.contains(url.as_str()),
+                "{surface} export contains a raw URL: {url}"
+            );
+            // The host alone is already identifying (browsing history).
+            let host = url
+                .split_once("://")
+                .map_or(url.as_str(), |(_, rest)| rest)
+                .split('/')
+                .next()
+                .unwrap_or_default();
+            if host.len() >= 8 {
+                assert!(
+                    !text.contains(host),
+                    "{surface} export contains a request host: {host}"
+                );
+            }
+        }
+        // Field names that only appear when a request or a ledger entry
+        // is serialised wholesale (aggregate metric *names* like
+        // `ledger_cleartext_cpm` are fine — they are sums, not rows).
+        for marker in ["user_id", "\"user\"", "\"url\"", "user_agent"] {
+            assert!(
+                !text.contains(marker),
+                "{surface} export contains per-user serialisation: {marker}"
+            );
+        }
+    }
+}
