@@ -152,6 +152,11 @@ pub struct WeblogAnalyzer {
     host_lower: String,
     /// Reusable percent-decode scratch for notification parsing.
     url_scratch: UrlScratch,
+    /// Reusable DSP-domain render buffer (the quiet path keys bidder
+    /// aggregates without materialising a `String` per notification).
+    dsp_buf: String,
+    /// Reusable campaign-wire render buffer (same role as `dsp_buf`).
+    wire_buf: String,
 }
 
 impl Default for WeblogAnalyzer {
@@ -180,6 +185,8 @@ impl WeblogAnalyzer {
             retention,
             host_lower: String::new(),
             url_scratch: UrlScratch::new(),
+            dsp_buf: String::new(),
+            wire_buf: String::new(),
         }
     }
 
@@ -227,11 +234,11 @@ impl WeblogAnalyzer {
             TrafficClass::Rest => {
                 // Content request: learn the publisher and the interest.
                 let host = normalize_publisher(&self.host_lower);
-                if let Some(iab) = taxonomy::categorize(&host) {
-                    user.record_publisher(&host, Some(iab));
-                    *self.global.publisher_views.entry(host).or_insert(0) += 1;
+                if let Some(iab) = taxonomy::categorize(host) {
+                    user.record_publisher(host, Some(iab));
+                    bump_count(&mut self.global.publisher_views, host);
                 } else {
-                    user.record_publisher(&host, None);
+                    user.record_publisher(host, None);
                 }
                 None
             }
@@ -338,20 +345,13 @@ impl WeblogAnalyzer {
             self.global.monthly_slots[m][features::slot_index(slot)] += 1;
         }
         if let Some(c) = &meta.campaign_wire {
-            *self.global.campaigns.entry(c.clone()).or_insert(0) += 1;
+            bump_count(&mut self.global.campaigns, c);
         }
         if let Some(p) = &meta.publisher {
-            *self.global.publisher_imps.entry(p.clone()).or_insert(0) += 1;
+            bump_count(&mut self.global.publisher_imps, p);
         }
         if let Some(d) = &meta.dsp_domain {
-            let stats = self.global.dsps.entry(d.clone()).or_default();
-            stats.requests += 1;
-            stats.bytes += req.bytes as u64;
-            stats.duration_ms += req.duration_ms as u64;
-            stats.users.insert(req.user.0);
-            if visibility == PriceVisibility::Encrypted {
-                stats.encrypted += 1;
-            }
+            fold_dsp_stats(&mut self.global, d, req, visibility);
         }
 
         self.report
@@ -364,6 +364,120 @@ impl WeblogAnalyzer {
             meta,
             features: row,
         })
+    }
+
+    /// Ingests one HTTP request without materialising the per-detection
+    /// [`ImpressionRecord`]: every aggregate — class counts, user and
+    /// global state, pairs, summary, malformed counts — folds exactly as
+    /// [`ingest`] folds it (pinned by `quiet_ingest_folds_identically`),
+    /// but the enriched metadata and the 288-feature snapshot are never
+    /// built. This is the streaming window loop's path: after warm-up it
+    /// touches no heap at all (the detection keys are rendered into
+    /// reusable buffers and only first-sight map keys allocate).
+    ///
+    /// Retention is irrelevant here: a caller that wants
+    /// `report.detections` needs the metadata and must use [`ingest`].
+    pub fn ingest_quiet(&mut self, req: &HttpRequest) {
+        let url = match UrlRef::parse(&req.url) {
+            Ok(url) if url.validate_query().is_ok() => url,
+            _ => {
+                self.report.total_requests += 1;
+                return;
+            }
+        };
+
+        self.host_lower.clear();
+        self.host_lower.push_str(url.host_raw());
+        self.host_lower.make_ascii_lowercase();
+        let class = classify_domain_lower(&self.host_lower);
+        *self.report.class_counts.entry(class).or_insert(0) += 1;
+        self.report.total_requests += 1;
+
+        let fp = parse_user_agent(&req.user_agent);
+        let city = self.geo.city_of(req.client_ip);
+        let month = GlobalState::month_bucket(req.time);
+        self.report.monthly_os_requests[month][os_index(fp.os)] += 1;
+
+        let user = self.users.entry(req.user).or_default();
+        user.record_request(
+            req.time,
+            req.bytes,
+            req.duration_ms,
+            fp.interaction == InteractionType::MobileApp,
+            city,
+        );
+
+        match class {
+            TrafficClass::Rest => {
+                let host = normalize_publisher(&self.host_lower);
+                if let Some(iab) = taxonomy::categorize(host) {
+                    user.record_publisher(host, Some(iab));
+                    bump_count(&mut self.global.publisher_views, host);
+                } else {
+                    user.record_publisher(host, None);
+                }
+            }
+            TrafficClass::Advertising => self.ingest_advertising_quiet(req, &url),
+            _ => {}
+        }
+    }
+
+    /// The advertising arm of [`ingest_quiet`]: identical fold order to
+    /// [`ingest_advertising`], borrowed payload, no metadata or feature
+    /// construction.
+    fn ingest_advertising_quiet(&mut self, req: &HttpRequest, url: &UrlRef<'_>) {
+        let user = self
+            .users
+            .get_mut(&req.user)
+            .expect("state created in ingest_quiet");
+        if url.path().ends_with("/b.gif") {
+            user.record_beacon();
+            return;
+        }
+        if url.path().contains("getuid") || url.query_raw("redir").is_some() {
+            user.record_cookie_sync();
+            return;
+        }
+
+        let fields = match template::parse_borrowed_ref(url, &mut self.url_scratch) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => {
+                self.report.malformed_nurls += 1;
+                yav_trace::trace_instant!("analyzer.malformed_nurl");
+                return;
+            }
+        };
+        yav_trace::trace_instant!("analyzer.detect", fields.adx as u64);
+
+        let visibility = fields.price.visibility();
+        let cleartext = fields.price.cleartext();
+        let iab = fields.publisher.and_then(taxonomy::categorize);
+        self.dsp_buf.clear();
+        fields.dsp.write_domain(&mut self.dsp_buf);
+
+        // Fold the impression into every state store, in `ingest`'s order.
+        user.record_impression(fields.adx, cleartext.map(|p| p.as_f64()));
+        self.report
+            .pairs
+            .record(req.time, fields.adx, Some(&self.dsp_buf), visibility);
+        if let Some(slot) = fields.slot {
+            let m = GlobalState::month_bucket(req.time);
+            self.global.monthly_slots[m][features::slot_index(slot)] += 1;
+        }
+        if let Some(c) = fields.campaign {
+            self.wire_buf.clear();
+            c.wire_into(&mut self.wire_buf);
+            bump_count(&mut self.global.campaigns, &self.wire_buf);
+        }
+        if let Some(p) = fields.publisher {
+            bump_count(&mut self.global.publisher_imps, p);
+        }
+        fold_dsp_stats(&mut self.global, &self.dsp_buf, req, visibility);
+
+        self.report
+            .summary
+            .record(fields.adx, visibility, cleartext, iab);
     }
 
     /// Finishes the pass and returns the report.
@@ -398,11 +512,42 @@ impl WeblogAnalyzer {
 
 /// Strips serving prefixes from a content host to get the publisher name
 /// as nURLs echo it.
-fn normalize_publisher(host: &str) -> String {
+fn normalize_publisher(host: &str) -> &str {
     host.strip_prefix("www.")
         .or_else(|| host.strip_prefix("api."))
         .unwrap_or(host)
-        .to_owned()
+}
+
+/// Bumps `map[key]`, materialising the owned key only on first sight —
+/// the steady-state fold performs a lookup and no heap traffic.
+fn bump_count(map: &mut BTreeMap<String, u64>, key: &str) {
+    if let Some(n) = map.get_mut(key) {
+        *n += 1;
+        return;
+    }
+    map.insert(key.to_owned(), 1);
+}
+
+/// Folds one notification's transport facts into the bidder's aggregate,
+/// materialising the owned domain key only on the bidder's first
+/// notification.
+fn fold_dsp_stats(
+    global: &mut GlobalState,
+    domain: &str,
+    req: &HttpRequest,
+    visibility: PriceVisibility,
+) {
+    if !global.dsps.contains_key(domain) {
+        global.dsps.insert(domain.to_owned(), Default::default());
+    }
+    let stats = global.dsps.get_mut(domain).expect("just ensured");
+    stats.requests += 1;
+    stats.bytes += req.bytes as u64;
+    stats.duration_ms += req.duration_ms as u64;
+    stats.users.insert(req.user.0);
+    if visibility == PriceVisibility::Encrypted {
+        stats.encrypted += 1;
+    }
 }
 
 /// Dense index for the four OS buckets.
@@ -522,6 +667,42 @@ mod tests {
             report.malformed_nurls, 0,
             "simulator emits well-formed nURLs"
         );
+    }
+
+    #[test]
+    fn quiet_ingest_folds_identically() {
+        // `ingest_quiet` must fold every aggregate exactly as `ingest`
+        // does — it only skips building the per-detection record. Drive
+        // both over the same log and compare everything observable.
+        let generator = WeblogGenerator::new(WeblogConfig::tiny());
+        let mut market = Market::new(MarketConfig::default());
+        let log = generator.collect(&mut market);
+        let mut full = WeblogAnalyzer::with_retention(Retention::Bounded);
+        let mut quiet = WeblogAnalyzer::with_retention(Retention::Bounded);
+        let mut detections = 0usize;
+        for r in &log.requests {
+            if full.ingest(r).is_some() {
+                detections += 1;
+            }
+            quiet.ingest_quiet(r);
+        }
+        assert!(detections > 0, "tiny log must contain notifications");
+        let (fr, fg) = full.finish_with_state();
+        let (qr, qg) = quiet.finish_with_state();
+        assert_eq!(fr.summary, qr.summary);
+        assert_eq!(fr.class_counts, qr.class_counts);
+        assert_eq!(fr.total_requests, qr.total_requests);
+        assert_eq!(fr.users_seen, qr.users_seen);
+        assert_eq!(fr.malformed_nurls, qr.malformed_nurls);
+        assert_eq!(fr.monthly_os_requests, qr.monthly_os_requests);
+        assert_eq!(fr.pairs.figure2(), qr.pairs.figure2());
+        assert_eq!(fr.pairs.figure3(), qr.pairs.figure3());
+        assert!(qr.detections.is_empty());
+        assert_eq!(fg.dsps, qg.dsps);
+        assert_eq!(fg.campaigns, qg.campaigns);
+        assert_eq!(fg.publisher_views, qg.publisher_views);
+        assert_eq!(fg.publisher_imps, qg.publisher_imps);
+        assert_eq!(fg.monthly_slots, qg.monthly_slots);
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct PairTracker {
     adx_detections: BTreeMap<Adx, u64>,
     /// Cleartext price detections per exchange.
     adx_cleartext: BTreeMap<Adx, u64>,
+    /// Reusable membership-probe key: after the first detection of a
+    /// pair, re-recording it costs a `contains` lookup and no heap
+    /// traffic. `None` only before the first probe and right after a
+    /// miss donated the key to the set.
+    probe: Option<(Adx, String, PriceVisibility)>,
 }
 
 /// One month's Figure-2 point.
@@ -76,7 +81,20 @@ impl PairTracker {
             11
         };
         if let Some(dsp) = dsp_domain {
-            self.monthly_pairs[bucket].insert((adx, dsp.to_owned(), visibility));
+            let key = match self.probe.take() {
+                Some((_, mut buf, _)) => {
+                    buf.clear();
+                    buf.push_str(dsp);
+                    (adx, buf, visibility)
+                }
+                None => (adx, dsp.to_owned(), visibility),
+            };
+            let set = &mut self.monthly_pairs[bucket];
+            if set.contains(&key) {
+                self.probe = Some(key);
+            } else {
+                set.insert(key);
+            }
         }
         *self.adx_detections.entry(adx).or_insert(0) += 1;
         if visibility == PriceVisibility::Cleartext {

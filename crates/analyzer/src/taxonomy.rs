@@ -36,11 +36,20 @@ const KEYWORDS: [(&str, IabCategory); 18] = [
 /// Returns `None` when no topic keyword matches — the analyzer treats
 /// those as uncategorised, as AdWords does for unknown sites.
 pub fn categorize(host: &str) -> Option<IabCategory> {
-    let lower = host.to_ascii_lowercase();
     KEYWORDS
         .iter()
-        .find(|(kw, _)| lower.contains(kw))
+        .find(|(kw, _)| contains_ascii_ci(host, kw))
         .map(|&(_, iab)| iab)
+}
+
+/// ASCII case-insensitive substring probe (`needle` already lowercase).
+/// Scanning in place keeps `categorize` off the heap — it runs for every
+/// content request in the analyzer's ingest loop, and a lowercased copy
+/// of the host would be a per-event allocation.
+fn contains_ascii_ci(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    h.len() >= n.len() && h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
 }
 
 #[cfg(test)]

@@ -19,37 +19,45 @@ pub struct UaFingerprint {
     pub interaction: InteractionType,
 }
 
+/// ASCII case-insensitive substring probe. `needle` must already be
+/// lowercase. Scanning in place keeps [`parse_user_agent`] off the heap
+/// — it runs once per request in the analyzer's ingest loop, and a
+/// lowercased copy of the header would be the loop's only allocation.
+fn has(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    h.len() >= n.len() && h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
 /// Parses a user-agent string. Unknown strings fall back to
 /// `Other`/`Smartphone`/`MobileWeb` — the analyzer must classify every
 /// request, not just well-formed ones.
 pub fn parse_user_agent(ua: &str) -> UaFingerprint {
-    let lower = ua.to_ascii_lowercase();
-
     // App-side fingerprints first: process VMs and HTTP stacks.
-    let in_app = lower.contains("dalvik")
-        || lower.contains("cfnetwork")
-        || lower.contains("darwin")
-        || lower.contains("nativehost")
-        || lower.contains("genericmobileapp");
+    let in_app = has(ua, "dalvik")
+        || has(ua, "cfnetwork")
+        || has(ua, "darwin")
+        || has(ua, "nativehost")
+        || has(ua, "genericmobileapp");
 
-    let os = if lower.contains("android") || lower.contains("dalvik") {
+    let os = if has(ua, "android") || has(ua, "dalvik") {
         Os::Android
-    } else if lower.contains("iphone")
-        || lower.contains("ipad")
-        || lower.contains("cfnetwork")
-        || lower.contains("darwin")
-        || lower.contains("like mac os x")
+    } else if has(ua, "iphone")
+        || has(ua, "ipad")
+        || has(ua, "cfnetwork")
+        || has(ua, "darwin")
+        || has(ua, "like mac os x")
     {
         Os::Ios
-    } else if lower.contains("windows phone") || lower.contains("windowsphone") {
+    } else if has(ua, "windows phone") || has(ua, "windowsphone") {
         Os::WindowsMobile
     } else {
         Os::Other
     };
 
-    let device = if lower.contains("ipad") || lower.contains("tablet") {
+    let device = if has(ua, "ipad") || has(ua, "tablet") {
         DeviceType::Tablet
-    } else if lower.contains("windows nt") || lower.contains("macintosh") {
+    } else if has(ua, "windows nt") || has(ua, "macintosh") {
         DeviceType::Pc
     } else {
         DeviceType::Smartphone

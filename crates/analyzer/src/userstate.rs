@@ -80,9 +80,13 @@ impl UserState {
         }
     }
 
-    /// Folds a visited publisher (content request).
+    /// Folds a visited publisher (content request). The membership probe
+    /// before the insert keeps revisits (the steady-state case) free of
+    /// heap traffic — the owned key is only built for a first visit.
     pub fn record_publisher(&mut self, host: &str, iab: Option<IabCategory>) {
-        self.publishers.insert(host.to_owned());
+        if !self.publishers.contains(host) {
+            self.publishers.insert(host.to_owned());
+        }
         if let Some(c) = iab {
             self.iab_views[c.index()] += 1;
         }
@@ -166,7 +170,7 @@ pub struct GlobalState {
 }
 
 /// Aggregates about one advertiser-side bidder (keyed by callback domain).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DspStats {
     /// Notifications observed.
     pub requests: u64,

@@ -26,7 +26,7 @@ use yav_types::{Adx, Cpm, DspId, PriceVisibility, SimTime};
 const HORIZON_DAYS: i64 = 730;
 
 /// One (exchange, DSP) reporting channel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Integration {
     adx: Adx,
     dsp: DspId,
@@ -74,7 +74,12 @@ impl Integration {
 }
 
 /// The full integration matrix.
-#[derive(Debug)]
+///
+/// Cloning copies the derived keys instead of re-deriving them — the
+/// parallel world builders stamp per-shard matrices from one template
+/// build (see [`crate::MarketTemplate`]), since deriving the keys costs
+/// two HMAC-SHA256s per (exchange, DSP) pair.
+#[derive(Debug, Clone)]
 pub struct IntegrationMatrix {
     map: HashMap<(Adx, DspId), Integration>,
 }
@@ -156,10 +161,13 @@ impl IntegrationMatrix {
 }
 
 /// Assembles the notification payload an exchange hands to the browser.
+/// The price payload is passed in pre-encoded so the market can share one
+/// [`Integration::encode_price`] call between this owned form and the
+/// allocation-free borrowed renderer.
 #[allow(clippy::too_many_arguments)]
 pub fn notification(
-    integration: &mut Integration,
-    charge: Cpm,
+    dsp: DspId,
+    price: PricePayload,
     winner_bid: Cpm,
     req: &crate::request::AdRequest,
     impression: yav_types::ImpressionId,
@@ -167,10 +175,9 @@ pub fn notification(
     campaign: Option<yav_types::CampaignId>,
     latency_ms: u32,
 ) -> NurlFields {
-    let price = integration.encode_price(charge, req.time);
     NurlFields {
         adx: req.adx,
-        dsp: integration.dsp,
+        dsp,
         price,
         bid_price: Some(winner_bid),
         impression,

@@ -14,10 +14,10 @@ use crate::request::AdRequest;
 use crate::valuation::ValuationModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use yav_nurl::fields::NurlFields;
+use yav_nurl::fields::{NurlFields, NurlFieldsRef, PricePayload};
 use yav_nurl::template;
 use yav_nurl::url::Url;
-use yav_types::{AuctionId, CampaignId, Cpm, DspId, ImpressionId, PriceVisibility};
+use yav_types::{Adx, AuctionId, CampaignId, Cpm, DspId, ImpressionId, PriceVisibility};
 
 /// A probing campaign's standing order: bid up to `max_bid` through `dsp`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,15 +84,166 @@ impl AuctionResult {
     }
 }
 
+/// A resolved sale on the allocation-free path: everything the streaming
+/// generator needs to book ground truth, with the notification URL already
+/// rendered into the caller's buffer instead of materialised as
+/// [`NurlFields`] + [`Url`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaleLite {
+    /// The winning bidder.
+    pub winner: DspId,
+    /// The winner's bid.
+    pub bid: Cpm,
+    /// Ground-truth charge price (second-highest bid, floored).
+    pub charge: Cpm,
+    /// Whether the notification carried the price encrypted.
+    pub visibility: PriceVisibility,
+    /// Impression identifier.
+    pub impression: ImpressionId,
+    /// Auction identifier.
+    pub auction: AuctionId,
+}
+
+/// Everything [`Market::resolve_core`] decides before the notification
+/// payload takes shape — shared by the owned and borrowed emitters so the
+/// RNG stream, id counters, IV counters and telemetry stay identical.
+struct ResolvedCore {
+    winner: DspId,
+    winner_bid: Cpm,
+    charge: Cpm,
+    visibility: PriceVisibility,
+    impression: ImpressionId,
+    auction: AuctionId,
+    campaign: Option<CampaignId>,
+    latency_ms: u32,
+    price: PricePayload,
+}
+
+/// Pre-resolved `auction.market.*` metric handles. Auctions run millions
+/// of times per window; looking the handles up by name (and formatting
+/// the per-exchange histogram name) on every call was both a registry
+/// lock and a heap allocation on the hot path.
+struct MarketMetrics {
+    runs: yav_telemetry::Counter,
+    no_sale: yav_telemetry::Counter,
+    sold_encrypted: yav_telemetry::Counter,
+    sold_cleartext: yav_telemetry::Counter,
+    /// Wall time per resolved auction, for the bench's phase breakdown.
+    time_us: yav_telemetry::Histogram,
+    /// `auction.market.charge_cpm.{adx}`, indexed by [`Adx::index`].
+    charge_cpm: [yav_telemetry::Histogram; 17],
+}
+
+impl MarketMetrics {
+    fn resolve() -> MarketMetrics {
+        MarketMetrics {
+            runs: yav_telemetry::counter("auction.market.runs"),
+            no_sale: yav_telemetry::counter("auction.market.no_sale"),
+            sold_encrypted: yav_telemetry::counter("auction.market.sold_encrypted"),
+            sold_cleartext: yav_telemetry::counter("auction.market.sold_cleartext"),
+            time_us: yav_telemetry::histogram("auction.market.us"),
+            charge_cpm: std::array::from_fn(|i| {
+                // yav-lint: allow(alloc-in-gen-path) — per-shard metric-handle resolution
+                yav_telemetry::histogram(&format!(
+                    "auction.market.charge_cpm.{}",
+                    // yav-lint: allow(alloc-in-gen-path) — per-shard metric-handle resolution
+                    Adx::from_index(i).name().to_ascii_lowercase()
+                ))
+            }),
+        }
+    }
+}
+
+/// The shard-invariant market structure: DSP roster, integration matrix
+/// (with its derived per-pair price keys), cached participation weight.
+///
+/// Building this is the expensive part of standing up a market — the
+/// matrix derives two HMAC-SHA256 keys per (exchange, DSP) pair, which
+/// at the default 17 × 60 roster costs milliseconds. It is also a pure
+/// function of `config`, identical for every shard. The parallel world
+/// builders therefore build one template per run and stamp per-shard
+/// markets out of it with [`MarketTemplate::shard`]: a clone of the
+/// shared structure (a memcpy of already-derived keys) plus the shard's
+/// own randomness streams, id namespaces and scratch.
+#[derive(Clone)]
+pub struct MarketTemplate {
+    config: MarketConfig,
+    dsps: Vec<DspProfile>,
+    total_weight: f64,
+    integrations: IntegrationMatrix,
+}
+
+impl MarketTemplate {
+    /// Builds the shared structure once from configuration.
+    pub fn new(config: MarketConfig) -> MarketTemplate {
+        let dsps = DspProfile::roster(config.n_dsps);
+        let integrations = IntegrationMatrix::build(
+            config.seed,
+            &dsps,
+            config.migration_rate_major,
+            config.migration_rate_minor,
+        );
+        let total_weight = dsps.iter().map(|d| d.participation).sum();
+        MarketTemplate {
+            config,
+            dsps,
+            total_weight,
+            integrations,
+        }
+    }
+
+    /// Stamps the market for one logical shard — bit-for-bit the market
+    /// `Market::new_shard(config, shard)` builds, without re-deriving
+    /// the shared structure. Only the auction and DMP randomness streams
+    /// derive from `(config.seed, shard)`, and auction/impression ids
+    /// live in a per-shard namespace so merged streams never collide.
+    pub fn shard(&self, shard: u64) -> Market {
+        let config = self.config.clone();
+        let mix = if shard == 0 {
+            0
+        } else {
+            yav_exec::derive_seed(config.seed, shard)
+        };
+        let dmp = Dmp::new(
+            config.seed ^ mix,
+            config.whale_fraction,
+            config.user_value_sigma,
+        );
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x3A2B_0000_0000_0003 ^ mix);
+        Market {
+            config,
+            dsps: self.dsps.clone(),
+            total_weight: self.total_weight,
+            dmp,
+            integrations: self.integrations.clone(),
+            rng,
+            next_auction: shard << 32,
+            next_impression: shard << 32,
+            metrics: MarketMetrics::resolve(),
+            // yav-lint: allow(alloc-in-gen-path) — per-shard bid scratch, reused across auctions
+            participants: Vec::with_capacity(16),
+            // yav-lint: allow(alloc-in-gen-path) — per-shard bid scratch, reused across auctions
+            bids: Vec::with_capacity(16),
+        }
+    }
+}
+
 /// The deterministic RTB market.
 pub struct Market {
     config: MarketConfig,
     dsps: Vec<DspProfile>,
+    /// Cached `Σ participation` over the roster — invariant per market.
+    total_weight: f64,
     dmp: Dmp,
     integrations: IntegrationMatrix,
     rng: StdRng,
     next_auction: u64,
     next_impression: u64,
+    metrics: MarketMetrics,
+    /// Scratch for the turnout draw, reused across auctions.
+    participants: Vec<usize>,
+    /// Scratch for the collected bids, reused across auctions.
+    bids: Vec<(DspId, Cpm)>,
 }
 
 impl Market {
@@ -111,33 +262,7 @@ impl Market {
     /// per-shard namespace so merged streams never collide. Shard 0 is
     /// bit-for-bit the market [`Market::new`] builds.
     pub fn new_shard(config: MarketConfig, shard: u64) -> Market {
-        let mix = if shard == 0 {
-            0
-        } else {
-            yav_exec::derive_seed(config.seed, shard)
-        };
-        let dsps = DspProfile::roster(config.n_dsps);
-        let integrations = IntegrationMatrix::build(
-            config.seed,
-            &dsps,
-            config.migration_rate_major,
-            config.migration_rate_minor,
-        );
-        let dmp = Dmp::new(
-            config.seed ^ mix,
-            config.whale_fraction,
-            config.user_value_sigma,
-        );
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x3A2B_0000_0000_0003 ^ mix);
-        Market {
-            config,
-            dsps,
-            dmp,
-            integrations,
-            rng,
-            next_auction: shard << 32,
-            next_impression: shard << 32,
-        }
+        MarketTemplate::new(config).shard(shard)
     }
 
     /// The valuation model in force.
@@ -172,6 +297,42 @@ impl Market {
         self.resolve(req, Some(probe))
     }
 
+    /// Runs one organic auction on the allocation-free path. The decision
+    /// process — RNG stream, id/IV counters, telemetry — is shared with
+    /// [`Market::run_auction`]; the only difference is the output shape:
+    /// the notification URL is rendered straight into `nurl_out` (cleared
+    /// first) and the sale comes back as a plain-old-data [`SaleLite`],
+    /// so a resolved auction touches the heap only to grow reused
+    /// buffers. `None` means no sale (backfill), in which case `nurl_out`
+    /// is left cleared.
+    pub fn run_auction_into(&mut self, req: &AdRequest, nurl_out: &mut String) -> Option<SaleLite> {
+        nurl_out.clear();
+        let core = self.resolve_core(req, None)?;
+        let fields = NurlFieldsRef {
+            adx: req.adx,
+            dsp: core.winner,
+            price: core.price,
+            bid_price: Some(core.winner_bid),
+            impression: core.impression,
+            auction: core.auction,
+            campaign: core.campaign,
+            slot: Some(req.slot),
+            publisher: Some(&req.publisher_name),
+            country: Some("ES"),
+            latency_ms: Some(core.latency_ms),
+            ad_domain: None,
+        };
+        template::render_into(&fields, nurl_out);
+        Some(SaleLite {
+            winner: core.winner,
+            bid: core.winner_bid,
+            charge: core.charge,
+            visibility: core.visibility,
+            impression: core.impression,
+            auction: core.auction,
+        })
+    }
+
     /// Core resolution: collect bids, apply Vickrey rules, emit the nURL.
     fn resolve(
         &mut self,
@@ -179,7 +340,47 @@ impl Market {
         probe: Option<&ProbeBid>,
     ) -> (AuctionResult, Option<ProbeWin>) {
         let _span = yav_telemetry::span!("auction.market.run");
-        yav_telemetry::counter("auction.market.runs").inc();
+        let Some(core) = self.resolve_core(req, probe) else {
+            return (AuctionResult::NoSale, None);
+        };
+        let fields = notification(
+            core.winner,
+            core.price,
+            core.winner_bid,
+            req,
+            core.impression,
+            core.auction,
+            core.campaign,
+            core.latency_ms,
+        );
+        let nurl = template::emit(&fields);
+
+        let outcome = AuctionOutcome {
+            winner: core.winner,
+            bid: core.winner_bid,
+            charge: core.charge,
+            visibility: core.visibility,
+            fields: fields.clone(),
+            nurl: nurl.clone(),
+        };
+
+        let probe_win = probe.filter(|p| p.dsp == core.winner).map(|_| ProbeWin {
+            charge: core.charge,
+            visibility: core.visibility,
+            fields,
+            nurl,
+        });
+
+        // yav-lint: allow(alloc-in-gen-path) — owned emitter for the materialising builder; the streamed sink uses run_auction_into
+        (AuctionResult::Sale(Box::new(outcome)), probe_win)
+    }
+
+    /// Everything up to (and including) price encoding: bid solicitation,
+    /// Vickrey resolution, id assignment and telemetry. Both emitters
+    /// call this, so their observable side effects are identical.
+    fn resolve_core(&mut self, req: &AdRequest, probe: Option<&ProbeBid>) -> Option<ResolvedCore> {
+        let _t = self.metrics.time_us.time_us();
+        self.metrics.runs.inc();
         let user_value = self.dmp.user_value(req.user).factor;
         let mu_base = self.config.valuation.mu(req, user_value);
 
@@ -199,10 +400,9 @@ impl Market {
             let jitter = (self.rng.gen_range(0..3) as i64 - 1).max(-1);
             ((self.config.mean_bidders.round() as i64 + jitter).max(2) as usize).min(eligible)
         };
-        let mut participants: Vec<usize> = Vec::with_capacity(turnout);
-        let total_weight: f64 = self.dsps.iter().map(|d| d.participation).sum();
-        while participants.len() < turnout {
-            let mut x = self.rng.gen::<f64>() * total_weight;
+        self.participants.clear();
+        while self.participants.len() < turnout {
+            let mut x = self.rng.gen::<f64>() * self.total_weight;
             let mut pick = 0usize;
             for (i, d) in self.dsps.iter().enumerate() {
                 x -= d.participation;
@@ -214,13 +414,13 @@ impl Market {
             if Some(self.dsps[pick].id) == excluded {
                 continue;
             }
-            if !participants.contains(&pick) {
-                participants.push(pick);
+            if !self.participants.contains(&pick) {
+                self.participants.push(pick);
             }
         }
 
-        let mut bids: Vec<(DspId, Cpm)> = Vec::new();
-        for &pi in &participants {
+        self.bids.clear();
+        for &pi in &self.participants {
             let dsp = &self.dsps[pi];
             // The confidential-channel premium (§2.3's explanation for
             // dearer encrypted prices). It is an *exchange-level*
@@ -248,26 +448,30 @@ impl Market {
             let mu = mu_base + dsp.mu_offset + dsp.match_premium * req.interest_match + premium;
             let sigma = self.config.valuation.sigma(req);
             let bid = (mu + sigma * standard_normal(&mut self.rng)).exp();
-            bids.push((dsp.id, Cpm::from_f64(bid)));
+            self.bids.push((dsp.id, Cpm::from_f64(bid)));
         }
 
         if let Some(p) = probe {
-            bids.push((p.dsp, p.max_bid));
+            self.bids.push((p.dsp, p.max_bid));
         }
 
         // Vickrey: winner pays max(second bid, floor).
-        bids.sort_by_key(|&(_, bid)| std::cmp::Reverse(bid));
-        if bids.is_empty() || (bids.len() == 1 && probe.is_none()) {
+        self.bids.sort_by_key(|&(_, bid)| std::cmp::Reverse(bid));
+        if self.bids.is_empty() || (self.bids.len() == 1 && probe.is_none()) {
             // A lone organic bidder gets backfilled in our market: real
             // exchanges need competition or a deal floor; probing
             // campaigns however buy remnant inventory at the floor.
             if probe.is_none() {
-                yav_telemetry::counter("auction.market.no_sale").inc();
-                return (AuctionResult::NoSale, None);
+                self.metrics.no_sale.inc();
+                return None;
             }
         }
-        let (winner, winner_bid) = bids[0];
-        let second = bids.get(1).map(|&(_, b)| b).unwrap_or(self.config.floor);
+        let (winner, winner_bid) = self.bids[0];
+        let second = self
+            .bids
+            .get(1)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.config.floor);
         let charge = second.max(self.config.floor);
 
         let auction = AuctionId(self.next_auction);
@@ -283,45 +487,24 @@ impl Market {
             .get_mut(req.adx, winner)
             .expect("winner always has an integration on its exchange");
         let visibility = integration.visibility(req.time);
-        yav_telemetry::histogram(&format!(
-            "auction.market.charge_cpm.{}",
-            req.adx.name().to_ascii_lowercase()
-        ))
-        .observe(charge.as_f64());
-        yav_telemetry::counter(match visibility {
-            PriceVisibility::Encrypted => "auction.market.sold_encrypted",
-            PriceVisibility::Cleartext => "auction.market.sold_cleartext",
-        })
-        .inc();
-        let fields = notification(
-            integration,
-            charge,
+        self.metrics.charge_cpm[req.adx.index()].observe(charge.as_f64());
+        match visibility {
+            PriceVisibility::Encrypted => self.metrics.sold_encrypted.inc(),
+            PriceVisibility::Cleartext => self.metrics.sold_cleartext.inc(),
+        }
+        let price = integration.encode_price(charge, req.time);
+
+        Some(ResolvedCore {
+            winner,
             winner_bid,
-            req,
+            charge,
+            visibility,
             impression,
             auction,
             campaign,
             latency_ms,
-        );
-        let nurl = template::emit(&fields);
-
-        let outcome = AuctionOutcome {
-            winner,
-            bid: winner_bid,
-            charge,
-            visibility,
-            fields: fields.clone(),
-            nurl: nurl.clone(),
-        };
-
-        let probe_win = probe.filter(|p| p.dsp == winner).map(|_| ProbeWin {
-            charge,
-            visibility,
-            fields,
-            nurl,
-        });
-
-        (AuctionResult::Sale(Box::new(outcome)), probe_win)
+            price,
+        })
     }
 }
 
@@ -508,6 +691,39 @@ mod tests {
         );
         assert_eq!(ids(m7).0 >> 32, 7, "shard id namespace");
         assert_eq!(ids(m0).0 >> 32, 0);
+    }
+
+    #[test]
+    fn borrowed_auction_path_matches_owned() {
+        // Two identically-seeded markets, one driven through the owned
+        // API and one through the allocation-free path: every outcome —
+        // including the rendered nURL bytes — must agree.
+        let t = SimTime::from_ymd_hm(2015, 4, 4, 16, 0);
+        let mut owned = market();
+        let mut borrowed = market();
+        let mut buf = String::new();
+        let mut sales = 0;
+        for i in 0usize..200 {
+            let mut req = request(Adx::from_index(i % 17), t.plus_minutes(i as i64 * 11));
+            req.user = UserId(i as u32 % 20);
+            let a = owned.run_auction(&req);
+            let b = borrowed.run_auction_into(&req, &mut buf);
+            match (a, b) {
+                (AuctionResult::Sale(o), Some(s)) => {
+                    sales += 1;
+                    assert_eq!(buf, o.nurl.to_string(), "nURL bytes at {i}");
+                    assert_eq!(s.winner, o.winner);
+                    assert_eq!(s.bid, o.bid);
+                    assert_eq!(s.charge, o.charge);
+                    assert_eq!(s.visibility, o.visibility);
+                    assert_eq!(s.impression, o.fields.impression);
+                    assert_eq!(s.auction, o.fields.auction);
+                }
+                (AuctionResult::NoSale, None) => assert!(buf.is_empty()),
+                (a, b) => panic!("divergent outcomes at {i}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(sales > 150, "most auctions should clear, got {sales}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! World assembly: dataset D + campaigns + trained PME at a chosen scale.
 
 use yav_analyzer::{AnalyzerReport, WeblogAnalyzer};
-use yav_auction::{Market, MarketConfig};
+use yav_auction::{MarketConfig, MarketTemplate};
 use yav_campaign::{Campaign, CampaignReport};
 use yav_exec::ExecConfig;
 use yav_ml::RandomForestConfig;
@@ -238,16 +238,17 @@ impl World {
         let market_config = MarketConfig::default();
         let shards = generator.shard_count();
         yav_telemetry::gauge("exec.world.weblog_shards").set(shards as f64);
+        let market_template = MarketTemplate::new(market_config.clone());
 
         let parts = yav_exec::par_map_indexed(exec, shards, |s| {
-            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut market = market_template.shard(s as u64);
             let mut analyzer = WeblogAnalyzer::new();
             let mut part = ShardPart::new();
             let mut truth = Vec::new();
             generator.run_shard(
                 s,
                 &mut market,
-                |req| part.ingest(&mut analyzer, &req),
+                |req| part.ingest(&mut analyzer, req),
                 |t| truth.push(t),
             );
             part.truth = truth;
@@ -280,13 +281,14 @@ impl World {
         // Phase 1: materialise the full weblog, one log per shard, in
         // per-shard emission order (the exact order the fused builder
         // feeds its analyzer).
+        let market_template = MarketTemplate::new(market_config.clone());
         let logs: Vec<Weblog> = yav_exec::par_map_indexed(exec, shards, |s| {
-            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut market = market_template.shard(s as u64);
             let mut log = Weblog::default();
             generator.run_shard(
                 s,
                 &mut market,
-                |r| log.requests.push(r),
+                |r| log.requests.push(r.clone()),
                 |t| log.truth.push(t),
             );
             log

@@ -350,10 +350,10 @@ pub fn execute_parallel(
     let eligible = eligible_publishers(universe, campaign);
     yav_telemetry::gauge("exec.campaign.shards").set(setups.len() as f64);
 
+    let template = yav_auction::MarketTemplate::new(market_config.clone());
     let runs = yav_exec::par_map_indexed(exec, setups.len(), |i| {
         let setup = &setups[i];
-        let mut market =
-            Market::new_shard(market_config.clone(), campaign_shard(campaign, setup.id));
+        let mut market = template.shard(campaign_shard(campaign, setup.id));
         let mut rng = StdRng::seed_from_u64(yav_exec::derive_seed(
             campaign.seed ^ 0xCA4B_0000_0000_0007,
             setup.id as u64 + 1,

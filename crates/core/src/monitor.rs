@@ -186,6 +186,65 @@ pub(crate) fn sift_request(
     Ok((fields, ctx))
 }
 
+/// [`sift_request`] for callers that only need the price: parses with
+/// the borrowed-payload template path (no owned field strings) and
+/// builds the estimator's [`CoreContext`] — the one allocating piece —
+/// only when `want_ctx` is set. With no model loaded, the whole sift is
+/// heap-free, which is what keeps the multi-tenant feed path inside the
+/// steady-state zero-allocation contract (`no_alloc_gen.rs`).
+pub(crate) fn sift_request_priced(
+    home_city: Option<City>,
+    req: &HttpRequest,
+    scratch: &mut SiftScratch,
+    want_ctx: bool,
+) -> Result<(PricePayload, Option<CoreContext>), SiftDrop> {
+    let adx = match yav_nurl::screen_adx(&req.url) {
+        Ok(adx) => adx,
+        Err(yav_nurl::FastReject::Scheme) => return Err(SiftDrop::ParseError),
+        Err(yav_nurl::FastReject::Host) => return Err(SiftDrop::NotNotification),
+    };
+    let url = UrlRef::parse(&req.url).map_err(|_| SiftDrop::ParseError)?;
+    let fields = match template::parse_borrowed_screened_tallied_ref(
+        adx,
+        &url,
+        &mut scratch.url,
+        &mut scratch.tally,
+    ) {
+        Ok(Some(fields)) => fields,
+        Ok(None) => return Err(SiftDrop::NotNotification),
+        Err(_) => return Err(SiftDrop::ParseError),
+    };
+
+    // Extract everything the context needs while the borrowed payload is
+    // live: it ties up the URL scratch, which the fingerprint memo does
+    // not touch, but the owned publisher copy must happen here anyway.
+    let price = fields.price.clone();
+    let (format, field_adx) = (fields.slot, fields.adx);
+    let (iab, publisher) = if want_ctx {
+        (
+            fields.publisher.and_then(taxonomy::categorize),
+            fields.publisher.map(str::to_owned),
+        )
+    } else {
+        (None, None)
+    };
+    let ctx = want_ctx.then(|| {
+        let fp = scratch.fingerprint(&req.user_agent);
+        CoreContext {
+            city: home_city,
+            time: req.time,
+            device: fp.device,
+            os: fp.os,
+            interaction: fp.interaction,
+            format,
+            adx: field_adx,
+            iab,
+            publisher,
+        }
+    });
+    Ok((price, ctx))
+}
+
 /// The client-side monitor.
 #[derive(Debug, Default)]
 pub struct YourAdValue {

@@ -11,14 +11,14 @@
 //! monitors would spend on ledgers alone.
 //!
 //! The pipeline reuses the exact pieces the single-user paths use —
-//! [`crate::monitor::sift_request`] for the zero-copy screen-first sift
+//! [`crate::monitor::sift_request_priced`] for the zero-copy screen-first sift
 //! and `CompiledForest::predict_batch` for valuing encrypted
 //! notifications — so a tenant's totals are bit-identical to what a
 //! dedicated [`crate::YourAdValue`] fed only that tenant's requests would
 //! report (the tenant-equivalence test pins this).
 
 use crate::ledger::CostSummary;
-use crate::monitor::{sift_request, DropStats, SiftDrop};
+use crate::monitor::{sift_request_priced, DropStats, SiftDrop};
 use yav_nurl::fields::PricePayload;
 
 use yav_pme::model::{self, ClientModel};
@@ -202,9 +202,13 @@ pub struct TenantStore {
     /// every iteration (the [`TenantStore::report`] fold) is in user
     /// order — deterministic regardless of arrival order.
     shards: Vec<std::collections::BTreeMap<u32, TenantState>>,
-    /// Push-path staging buffer, bounded by [`TENANT_BATCH`].
+    /// Push-path staging slots, bounded by [`TENANT_BATCH`]. Slots are
+    /// pooled: a flush resets `buf_len`, not the vector, so steady-state
+    /// feeding copies into retained string capacity instead of cloning.
     // yav-lint: allow(stream-materialize) — bounded: flushed at TENANT_BATCH requests, never grows with the population
     buf: Vec<HttpRequest>,
+    /// Live prefix of `buf` (slots past it hold reusable stale records).
+    buf_len: usize,
     /// Stream-level drop accounting (drops are not attributable to a
     /// tenant: rejected URLs never reach user routing).
     drops: DropStats,
@@ -257,23 +261,30 @@ impl TenantStore {
 
     /// Push-style ingestion: buffers the request and flushes through
     /// [`TenantStore::observe_batch`] every [`TENANT_BATCH`] requests.
-    /// Call [`TenantStore::flush`] when the stream ends.
+    /// Call [`TenantStore::flush`] when the stream ends. Staging reuses
+    /// pooled slots, so once every slot exists and has grown to the
+    /// stream's line-length high-water mark, feeding allocates nothing.
     pub fn feed(&mut self, model: Option<&ClientModel>, req: &HttpRequest) {
-        self.buf.push(req.clone());
-        if self.buf.len() >= TENANT_BATCH {
+        if self.buf_len < self.buf.len() {
+            self.buf[self.buf_len].copy_from(req);
+        } else {
+            self.buf.push(req.clone());
+        }
+        self.buf_len += 1;
+        if self.buf_len >= TENANT_BATCH {
             self.flush(model);
         }
     }
 
     /// Processes any buffered [`TenantStore::feed`] requests.
     pub fn flush(&mut self, model: Option<&ClientModel>) {
-        if self.buf.is_empty() {
+        if self.buf_len == 0 {
             return;
         }
         let buf = std::mem::take(&mut self.buf);
-        self.observe_batch(model, &buf);
+        self.observe_batch(model, &buf[..self.buf_len]);
         self.buf = buf;
-        self.buf.clear();
+        self.buf_len = 0;
     }
 
     /// Observes a multiplexed batch: requests from any mix of tenants,
@@ -293,9 +304,13 @@ impl TenantStore {
         let mut drop_parse_error = 0u64;
         let mut drop_not_notification = 0u64;
         let mut events = 0u64;
+        // The estimator context is the sift's only allocating piece
+        // (owned publisher string); it is only built when a model will
+        // actually encode it, so the model-free fleet stays heap-quiet.
+        let want_ctx = model.is_some();
         for req in reqs {
             let home = self.tenant(req.user).and_then(|t| t.home);
-            let (fields, ctx) = match sift_request(home, req, &mut self.sift) {
+            let (price, ctx) = match sift_request_priced(home, req, &mut self.sift, want_ctx) {
                 Ok(found) => found,
                 Err(SiftDrop::ParseError) => {
                     drop_parse_error += 1;
@@ -307,14 +322,15 @@ impl TenantStore {
                 }
             };
             events += 1;
-            match &fields.price {
+            match price {
                 PricePayload::Cleartext(price) => {
                     let t = self.state_mut(req.user.0);
-                    t.cleartext = t.cleartext.saturating_add(*price);
+                    t.cleartext = t.cleartext.saturating_add(price);
                     t.cleartext_count += 1;
                 }
                 PricePayload::Encrypted(_) => match model {
                     Some(m) => {
+                        let ctx = ctx.expect("context built whenever a model is loaded");
                         model::encode_append(&ctx, m.with_publisher, &mut rows);
                         staged.push((req.user.0, Cpm::ZERO));
                     }

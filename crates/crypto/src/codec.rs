@@ -40,11 +40,28 @@ const HEX: &[u8; 16] = b"0123456789abcdef";
 /// Encodes bytes as lowercase hex.
 pub fn hex_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len() * 2);
+    hex_encode_push(data, &mut out);
+    out
+}
+
+/// Appends the lowercase-hex encoding of `data` to `out` — the
+/// allocation-free form used by hot-path renderers.
+pub fn hex_encode_push(data: &[u8], out: &mut String) {
     for &b in data {
         out.push(HEX[(b >> 4) as usize] as char);
         out.push(HEX[(b & 0x0f) as usize] as char);
     }
-    out
+}
+
+/// Appends the UPPERCASE-hex encoding of `data` to `out` — the wire
+/// shape of hex price tokens (`price=B6A3F3C1…`), without the
+/// encode-then-`to_ascii_uppercase` round trip.
+pub fn hex_encode_push_upper(data: &[u8], out: &mut String) {
+    const HEX_UP: &[u8; 16] = b"0123456789ABCDEF";
+    for &b in data {
+        out.push(HEX_UP[(b >> 4) as usize] as char);
+        out.push(HEX_UP[(b & 0x0f) as usize] as char);
+    }
 }
 
 fn nibble(b: u8, pos: usize) -> Result<u8, CodecError> {
@@ -94,6 +111,13 @@ const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012
 /// exchanges embed in query strings).
 pub fn base64url_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    base64url_encode_push(data, &mut out);
+    out
+}
+
+/// Appends the unpadded URL-safe base64 encoding of `data` to `out` —
+/// the allocation-free form used by hot-path renderers.
+pub fn base64url_encode_push(data: &[u8], out: &mut String) {
     for chunk in data.chunks(3) {
         let b0 = chunk[0] as u32;
         let b1 = *chunk.get(1).unwrap_or(&0) as u32;
@@ -108,7 +132,6 @@ pub fn base64url_encode(data: &[u8]) -> String {
             out.push(B64[n as usize & 63] as char);
         }
     }
-    out
 }
 
 /// Inverse-alphabet table: base64url value per byte, `0xFF` for bytes

@@ -34,8 +34,8 @@ pub mod price;
 pub mod sha256;
 
 pub use codec::{
-    base64url_decode, base64url_decode_into, base64url_encode, hex_decode, hex_decode_into,
-    hex_encode, CodecError,
+    base64url_decode, base64url_decode_into, base64url_encode, base64url_encode_push, hex_decode,
+    hex_decode_into, hex_encode, hex_encode_push, hex_encode_push_upper, CodecError,
 };
 pub use hmac::{hmac_sha256, HmacKey};
 pub use price::{EncryptedPrice, PriceCrypter, PriceKeys, PriceTokenError};

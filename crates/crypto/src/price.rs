@@ -171,6 +171,18 @@ impl EncryptedPrice {
         base64url_encode(&self.bytes)
     }
 
+    /// Appends the wire form to `buf` without allocating — the hot-path
+    /// counterpart of [`EncryptedPrice::to_wire`].
+    pub fn write_wire(&self, buf: &mut String) {
+        crate::codec::base64url_encode_push(&self.bytes, buf);
+    }
+
+    /// Appends the 56-character UPPERCASE-hex wire form to `buf` — what
+    /// hex-token exchanges embed as `price=B6A3F3C1…`.
+    pub fn write_hex_wire_upper(&self, buf: &mut String) {
+        crate::codec::hex_encode_push_upper(&self.bytes, buf);
+    }
+
     /// The raw token bytes.
     pub fn as_bytes(&self) -> &[u8; TOKEN_LEN] {
         &self.bytes

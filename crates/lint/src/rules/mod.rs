@@ -5,6 +5,7 @@
 //! module, listing its name here, and adding it to [`all`]; a graph
 //! rule additionally plugs into the engine's graph stage.
 
+pub mod alloc_gen;
 pub mod alloc_reject;
 pub mod boundary_escape;
 pub mod forbid_unsafe;
@@ -29,6 +30,7 @@ pub const RULE_NAMES: &[&str] = &[
     "metric-name-hygiene",
     "money-cast",
     "alloc-in-reject-path",
+    "alloc-in-gen-path",
     "span-hygiene",
     "stream-materialize",
     "privacy-taint",
@@ -116,6 +118,16 @@ pub const RULE_DOCS: &[RuleDoc] = &[
         example: "`to_owned()` on the reject path of the borrowed parser",
     },
     RuleDoc {
+        name: "alloc-in-gen-path",
+        kind: "token",
+        invariant: "No allocating constructs in the per-event generate/market hot path \
+                    (`weblog/src/generator.rs`, `auction/src/market.rs`): steady-state \
+                    events splice interned corpus spans into per-shard scratch with \
+                    zero heap traffic (DESIGN.md §18); per-shard setup allocates only \
+                    behind an explicit allow.",
+        example: "`format!` allocates in the generate/market hot path",
+    },
+    RuleDoc {
         name: "span-hygiene",
         kind: "token",
         invariant: "`trace_span!` names follow the dotted `area.op` convention and \
@@ -190,6 +202,7 @@ pub fn all() -> Vec<Box<dyn crate::engine::Rule>> {
         Box::new(forbid_unsafe::ForbidUnsafeCoverage),
         Box::new(money_cast::MoneyCast),
         Box::new(alloc_reject::AllocInRejectPath),
+        Box::new(alloc_gen::AllocInGenPath),
         Box::new(span_hygiene::SpanHygiene),
         Box::new(stream_materialize::StreamMaterialize),
     ]

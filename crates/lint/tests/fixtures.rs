@@ -85,6 +85,14 @@ const CASES: &[Case] = &[
         min_findings: 6,
     },
     Case {
+        rule: "alloc-in-gen-path",
+        positive: "alloc_gen_pos.rs",
+        negative: "alloc_gen_neg.rs",
+        crate_name: "weblog",
+        rel: "crates/weblog/src/generator.rs",
+        min_findings: 7,
+    },
+    Case {
         rule: "span-hygiene",
         positive: "span_pos.rs",
         negative: "span_neg.rs",

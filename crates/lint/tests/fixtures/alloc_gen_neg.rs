@@ -1,0 +1,46 @@
+//! Negative fixture for `alloc-in-gen-path`: per-event work splices
+//! spans and integers into caller-owned scratch, and per-shard setup
+//! allocates only behind an explicit allow. Test code may allocate
+//! freely (`format!` names in doc comments are fine too).
+
+/// Splices a pre-rendered host and a counter into a reused buffer —
+/// the shape of the interned-corpus hot path.
+pub fn splice_url(buf: &mut String, host: &str, path_id: u32) {
+    buf.clear();
+    buf.push_str("http://");
+    buf.push_str(host);
+    buf.push_str("/ad/");
+    let mut digits = [0u8; 10];
+    let mut n = path_id;
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    for &d in &digits[i..] {
+        buf.push(d as char);
+    }
+}
+
+/// Per-shard setup: the one place allocation is allowed, explicitly.
+pub fn shard_scratch() -> String {
+    // yav-lint: allow(alloc-in-gen-path) — per-shard setup, not per-event work
+    String::with_capacity(256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splices_without_heap_traffic() {
+        let mut buf = shard_scratch();
+        splice_url(&mut buf, "pub001.example.com", 42);
+        let rendered = format!("{buf}");
+        assert_eq!(rendered, "http://pub001.example.com/ad/42");
+    }
+}

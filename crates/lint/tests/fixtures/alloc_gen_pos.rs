@@ -1,0 +1,17 @@
+//! Positive fixture for `alloc-in-gen-path`: linted as
+//! `crates/weblog/src/generator.rs`, where every heap allocation in
+//! non-test code is a finding. Each statement below trips one pattern
+//! class.
+
+pub fn emit_request(host: &str, path_id: u32) -> usize {
+    let url = format!("http://{host}/ad/{path_id}");
+    let ua = url.to_string();
+    let lowered = host.to_ascii_lowercase();
+    let owned = lowered.to_owned();
+    let parts: Vec<&str> = owned.split('.').collect();
+    let label = String::from("pubstatic");
+    let mut buf = Vec::new();
+    buf.push(parts.len());
+    let batch = vec![label, ua];
+    batch.len() + buf.len()
+}

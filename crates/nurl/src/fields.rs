@@ -102,6 +102,79 @@ impl NurlFields {
     }
 }
 
+/// The borrowed twin of [`NurlFields`]: identical payload, but the free-form
+/// string metadata (publisher name, country, ad domain) is borrowed from the
+/// caller instead of owned. The auction hot path assembles one of these from
+/// per-shard state and renders it straight into a reused buffer via
+/// [`crate::template::render_into`] — no per-notification heap traffic.
+#[derive(Debug, Clone)]
+pub struct NurlFieldsRef<'a> {
+    /// The exchange that ran the auction.
+    pub adx: Adx,
+    /// The winning bidder being notified.
+    pub dsp: DspId,
+    /// The charge price, cleartext or encrypted.
+    pub price: PricePayload,
+    /// The winner's echoed bid price, when present.
+    pub bid_price: Option<Cpm>,
+    /// Impression identifier.
+    pub impression: ImpressionId,
+    /// Auction identifier.
+    pub auction: AuctionId,
+    /// The winning campaign, when echoed.
+    pub campaign: Option<CampaignId>,
+    /// Auctioned slot size, when echoed.
+    pub slot: Option<AdSlotSize>,
+    /// Publisher name, when echoed.
+    pub publisher: Option<&'a str>,
+    /// ISO country code, when echoed.
+    pub country: Option<&'a str>,
+    /// Auction latency in milliseconds, when echoed.
+    pub latency_ms: Option<u32>,
+    /// Advertised landing domain, when echoed.
+    pub ad_domain: Option<&'a str>,
+}
+
+impl NurlFieldsRef<'_> {
+    /// Materialises an owned [`NurlFields`] with identical payload.
+    pub fn to_owned_fields(&self) -> NurlFields {
+        NurlFields {
+            adx: self.adx,
+            dsp: self.dsp,
+            price: self.price.clone(),
+            bid_price: self.bid_price,
+            impression: self.impression,
+            auction: self.auction,
+            campaign: self.campaign,
+            slot: self.slot,
+            publisher: self.publisher.map(str::to_owned),
+            country: self.country.map(str::to_owned),
+            latency_ms: self.latency_ms,
+            ad_domain: self.ad_domain.map(str::to_owned),
+        }
+    }
+}
+
+impl NurlFields {
+    /// Borrows this payload as a [`NurlFieldsRef`].
+    pub fn as_ref_fields(&self) -> NurlFieldsRef<'_> {
+        NurlFieldsRef {
+            adx: self.adx,
+            dsp: self.dsp,
+            price: self.price.clone(),
+            bid_price: self.bid_price,
+            impression: self.impression,
+            auction: self.auction,
+            campaign: self.campaign,
+            slot: self.slot,
+            publisher: self.publisher.as_deref(),
+            country: self.country.as_deref(),
+            latency_ms: self.latency_ms,
+            ad_domain: self.ad_domain.as_deref(),
+        }
+    }
+}
+
 /// Observer-side record of one detected charge price: what YourAdValue and
 /// the weblog analyzer store per notification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

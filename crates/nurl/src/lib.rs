@@ -39,11 +39,12 @@ pub mod urlref;
 pub use detect::{
     exchange_host, is_candidate, screen, screen_adx, DetectedPrice, FastReject, NurlDetector,
 };
-pub use fields::{NurlFields, PricePayload};
+pub use fields::{NurlFields, NurlFieldsRef, PricePayload};
 pub use scratch::{DecodedPairs, UrlScratch};
 pub use template::{
-    emit, emit_into, parse, parse_borrowed, parse_borrowed_screened,
-    parse_borrowed_screened_tallied, parse_screened, NurlParseError, NurlRefError, TemplateTally,
+    emit, emit_into, parse, parse_borrowed, parse_borrowed_ref, parse_borrowed_screened,
+    parse_borrowed_screened_tallied, parse_borrowed_screened_tallied_ref, parse_screened, render_into, NurlParseError, NurlRefError,
+    TemplateTally,
 };
 pub use url::{Url, UrlParseError};
 pub use urlref::{QueryIter, UrlRef};

@@ -15,7 +15,7 @@
 //! shorter opaque blobs. The *observable property* — an opaque,
 //! undecryptable price field — is identical.
 
-use crate::fields::{NurlFields, PricePayload};
+use crate::fields::{NurlFields, NurlFieldsRef, PricePayload};
 use crate::scratch::{DecodedPairs, UrlScratch};
 use crate::url::{Url, UrlParseError};
 use crate::urlref::UrlRef;
@@ -325,6 +325,86 @@ pub fn emit_into(fields: &NurlFields, out: &mut String) {
     let _ = write!(out, "{}", emit(fields));
 }
 
+/// Renders the notification URL for a borrowed payload straight into a
+/// caller-owned buffer — byte-identical to `emit(&f.to_owned_fields())
+/// .to_string()` (pinned by `render_into_matches_emit`) with zero heap
+/// allocations beyond growth of `out` itself. This is the generator hot
+/// path's emitter: every id, token and price has a `fmt::Write`-style
+/// writer, so the whole URL is assembled by appending into `out`.
+///
+/// Fixed-format values (hex wire ids, dsp/adx domains, decimal CPMs,
+/// base64url/hex price tokens, `WxH` slot sizes, `latency` seconds and
+/// `USD`) consist solely of RFC-3986 unreserved bytes, so they are
+/// written raw; the free-form metadata strings go through the same
+/// percent-encoder the owned [`Url`] display uses.
+pub fn render_into(fields: &NurlFieldsRef<'_>, out: &mut String) {
+    let t = template_for(fields.adx);
+    out.clear();
+    out.push_str("http://");
+    out.push_str(fields.adx.domain());
+    out.push_str(t.path);
+
+    // Identifier block first, like real beacons.
+    out.push_str("?imp=");
+    fields.impression.wire_into(out);
+    out.push_str("&auc=");
+    fields.auction.wire_into(out);
+    out.push_str("&bidder=");
+    fields.dsp.write_domain(out);
+
+    if let Some(c) = fields.campaign {
+        out.push_str("&cmpid=");
+        c.wire_into(out);
+    }
+
+    // Price, in house encoding.
+    out.push('&');
+    out.push_str(t.price_param);
+    out.push('=');
+    match &fields.price {
+        PricePayload::Cleartext(p) => {
+            let _ = write!(out, "{p}");
+        }
+        PricePayload::Encrypted(token) => match t.token.unwrap_or(TokenCodec::Base64) {
+            TokenCodec::Base64 => token.write_wire(out),
+            TokenCodec::Hex => token.write_hex_wire_upper(out),
+        },
+    }
+
+    if let (Some(bid_param), Some(bid)) = (t.bid_param, fields.bid_price) {
+        out.push('&');
+        out.push_str(bid_param);
+        out.push('=');
+        let _ = write!(out, "{bid}");
+    }
+
+    if t.rich_metadata {
+        if let Some(slot) = fields.slot {
+            // `AdSlotSize`'s `Display` is its `WxH` wire form.
+            let _ = write!(out, "&size={slot}");
+        }
+        if let Some(p) = fields.publisher {
+            out.push_str("&pub_name=");
+            crate::url::percent_encode_into(p, out);
+        }
+        if let Some(c) = fields.country {
+            out.push_str("&country=");
+            crate::url::percent_encode_into(c, out);
+        }
+        if let Some(d) = fields.ad_domain {
+            out.push_str("&ad_domain=");
+            crate::url::percent_encode_into(d, out);
+        }
+        if let Some(lat) = fields.latency_ms {
+            // `lat/1000.0` rendered to three decimals is exactly the
+            // integer-split form: u32 millis are exact in f64 and the
+            // division error is far below half a thousandth.
+            let _ = write!(out, "&latency={}.{:03}", lat / 1000, lat % 1000);
+        }
+        out.push_str("&currency=USD");
+    }
+}
+
 /// Attempts to parse a URL as a winning-price notification.
 ///
 /// * `Ok(None)` — not a notification URL (unknown host or path): ordinary
@@ -522,6 +602,81 @@ fn parse_borrowed_inner(
     parse_screened_inner(adx, url, scratch)
 }
 
+/// [`parse_borrowed`] returning a [`NurlFieldsRef`] whose free-form
+/// metadata borrows the scratch's decoded bytes instead of being copied
+/// out — the analyzer hot path's parser. Result semantics, stage order
+/// and `nurl.template.*` accounting are identical to [`parse_borrowed`];
+/// `to_owned_fields()` on the returned payload reproduces its output
+/// exactly (pinned by `borrowed_ref_parse_matches_owned_parse`). The
+/// borrow ties the payload to the scratch, so callers extract what they
+/// fold before the next decode.
+pub fn parse_borrowed_ref<'s, 'a: 's>(
+    url: &UrlRef<'a>,
+    scratch: &'s mut UrlScratch,
+) -> Result<Option<NurlFieldsRef<'s>>, NurlRefError> {
+    let _trace = yav_trace::trace_span!("nurl.parse_borrowed");
+    let c = template_counters();
+    c.urls_seen.inc();
+    let result = parse_borrowed_ref_inner(url, scratch);
+    match &result {
+        Ok(Some(_)) => c.matched.inc(),
+        Ok(None) => c.not_notification.inc(),
+        Err(_) => c.malformed_dropped.inc(),
+    }
+    result
+}
+
+/// [`parse_borrowed_screened_tallied`] returning a [`NurlFieldsRef`]:
+/// pre-screened exchange, deferred accounting, borrowed payload — the
+/// batch sift path's parser. Same stage order and outcomes as the owned
+/// form; `to_owned_fields()` reproduces its output exactly.
+pub fn parse_borrowed_screened_tallied_ref<'s, 'a: 's>(
+    adx: Adx,
+    url: &UrlRef<'a>,
+    scratch: &'s mut UrlScratch,
+    tally: &mut TemplateTally,
+) -> Result<Option<NurlFieldsRef<'s>>, NurlRefError> {
+    let _trace = yav_trace::trace_span!("nurl.parse_borrowed");
+    tally.urls_seen += 1;
+    let result = parse_screened_ref_inner(adx, url, scratch);
+    match &result {
+        Ok(Some(_)) => tally.matched += 1,
+        Ok(None) => tally.not_notification += 1,
+        Err(_) => tally.malformed_dropped += 1,
+    }
+    result
+}
+
+fn parse_screened_ref_inner<'s, 'a: 's>(
+    adx: Adx,
+    url: &UrlRef<'a>,
+    scratch: &'s mut UrlScratch,
+) -> Result<Option<NurlFieldsRef<'s>>, NurlRefError> {
+    let pairs = scratch.decode(url).map_err(NurlRefError::Url)?;
+    if url.path() != template_for(adx).path {
+        return Ok(None);
+    }
+    fields_ref_from_query(adx, &pairs)
+        .map(Some)
+        .map_err(NurlRefError::Payload)
+}
+
+fn parse_borrowed_ref_inner<'s, 'a: 's>(
+    url: &UrlRef<'a>,
+    scratch: &'s mut UrlScratch,
+) -> Result<Option<NurlFieldsRef<'s>>, NurlRefError> {
+    let Some(adx) = crate::detect::exchange_host(url.host_raw()) else {
+        return Ok(None);
+    };
+    let pairs = scratch.decode(url).map_err(NurlRefError::Url)?;
+    if url.path() != template_for(adx).path {
+        return Ok(None);
+    }
+    fields_ref_from_query(adx, &pairs)
+        .map(Some)
+        .map_err(NurlRefError::Payload)
+}
+
 fn parse_screened_inner(
     adx: Adx,
     url: &UrlRef<'_>,
@@ -563,11 +718,22 @@ impl<'q> QueryLookup<'q> for &DecodedPairs<'q> {
 }
 
 /// Extracts the typed payload once host and path have matched `adx`'s
-/// template — shared verbatim by the owned and borrowed parsers. A
-/// single walk over the pairs routes each key to its field slot, first
-/// value winning — observably identical to per-key lookups (which also
-/// took the first match) at a fifth of the pair-list traffic.
+/// template — the owning wrapper over [`fields_ref_from_query`], shared
+/// by the owned and borrowed parsers. Materialising through the borrowed
+/// extraction keeps the two pipelines a single code path.
 fn fields_from_query<'q>(adx: Adx, q: impl QueryLookup<'q>) -> Result<NurlFields, NurlParseError> {
+    fields_ref_from_query(adx, q).map(|f| f.to_owned_fields())
+}
+
+/// Extracts the typed payload as a [`NurlFieldsRef`] borrowing the query
+/// pairs' decoded text. A single walk over the pairs routes each key to
+/// its field slot, first value winning — observably identical to per-key
+/// lookups (which also took the first match) at a fifth of the pair-list
+/// traffic.
+fn fields_ref_from_query<'q>(
+    adx: Adx,
+    q: impl QueryLookup<'q>,
+) -> Result<NurlFieldsRef<'q>, NurlParseError> {
     let t = template_for(adx);
     let mut raw_price = None;
     let mut imp = None;
@@ -610,21 +776,21 @@ fn fields_from_query<'q>(adx: Adx, q: impl QueryLookup<'q>) -> Result<NurlFields
         .and_then(DspId::from_domain)
         .ok_or(NurlParseError::BadId("bidder"))?;
 
-    Ok(NurlFields {
+    Ok(NurlFieldsRef {
         adx,
         dsp,
         price,
-        bid_price: raw_bid.and_then(|v| v.parse::<Cpm>().ok()),
+        bid_price: raw_bid.and_then(Cpm::parse_str),
         impression,
         auction,
         campaign: wire_id(cmpid).map(|v| CampaignId(v as u32)),
-        slot: size.and_then(|s| s.parse::<AdSlotSize>().ok()),
-        publisher: pub_name.map(str::to_owned),
-        country: country.map(str::to_owned),
+        slot: size.and_then(AdSlotSize::parse_wire),
+        publisher: pub_name,
+        country,
         latency_ms: latency
             .and_then(|s| s.parse::<f64>().ok())
             .map(|secs| (secs * 1000.0).round() as u32),
-        ad_domain: ad_domain.map(str::to_owned),
+        ad_domain,
     })
 }
 
@@ -640,7 +806,7 @@ fn decode_price(t: &Template, raw: &str) -> Result<PricePayload, NurlParseError>
         }
     }
     // A decimal parses as cleartext CPM.
-    if let Ok(p) = raw.parse::<Cpm>() {
+    if let Some(p) = Cpm::parse_str(raw) {
         return Ok(PricePayload::Cleartext(p));
     }
     // Otherwise try the base64url token shape.
@@ -728,6 +894,46 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_ref_parse_matches_owned_parse() {
+        // The ref-returning parser must reproduce `parse_borrowed`'s
+        // output exactly once materialised — every exchange, both price
+        // visibilities, both metadata shapes, plus the malformed and
+        // ordinary-traffic outcomes.
+        let mut scratch = UrlScratch::new();
+        let mut scratch2 = UrlScratch::new();
+        let mut raw = String::new();
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(0.42)),
+                PricePayload::Encrypted(sample_token(9)),
+            ] {
+                for fields in [
+                    rich_fields(adx, price.clone()),
+                    NurlFields::minimal(adx, DspId(1), price, ImpressionId(7), AuctionId(7)),
+                ] {
+                    emit_into(&fields, &mut raw);
+                    let url = UrlRef::parse(&raw).expect("emitted nURL parses");
+                    let owned = parse_borrowed(&url, &mut scratch);
+                    let reffed = parse_borrowed_ref(&url, &mut scratch2)
+                        .map(|o| o.map(|f| f.to_owned_fields()));
+                    assert_eq!(owned, reffed, "{raw}");
+                }
+            }
+        }
+        for raw in [
+            "http://cpp.imp.mpx.mopub.com/imp?currency=USD", // malformed payload
+            "http://cpp.imp.mpx.mopub.com/robots.txt",       // ordinary traffic
+            "http://www.elpais.es/articles/page.html?id=5",  // unknown host
+        ] {
+            let url = UrlRef::parse(raw).expect("parses structurally");
+            let owned = parse_borrowed(&url, &mut scratch);
+            let reffed =
+                parse_borrowed_ref(&url, &mut scratch2).map(|o| o.map(|f| f.to_owned_fields()));
+            assert_eq!(owned, reffed, "{raw}");
+        }
+    }
+
+    #[test]
     fn tallied_parse_matches_counted_parse() {
         // The tallied entry point must return the same results as the
         // counting one, and one flush must land the same totals the
@@ -808,6 +1014,49 @@ mod tests {
             let url = Url::parse(raw).expect("parses structurally");
             assert_eq!(parse(&url), parse_screened(adx, &url), "{raw}");
         }
+    }
+
+    #[test]
+    fn render_into_matches_emit() {
+        // The allocation-free renderer must be byte-identical to the
+        // builder pipeline for every exchange, both price visibilities
+        // and both metadata shapes — it is what the hot path emits and
+        // what the analyzer re-parses.
+        let mut buf = String::new();
+        for adx in Adx::ALL {
+            for price in [
+                PricePayload::Cleartext(Cpm::from_f64(0.95)),
+                PricePayload::Cleartext(Cpm::from_micros(1)),
+                PricePayload::Cleartext(Cpm::from_f64(3.0)),
+                PricePayload::Encrypted(sample_token(7)),
+            ] {
+                for fields in [
+                    rich_fields(adx, price.clone()),
+                    NurlFields::minimal(adx, DspId(1), price.clone(), ImpressionId(5), AuctionId(6)),
+                ] {
+                    render_into(&fields.as_ref_fields(), &mut buf);
+                    assert_eq!(buf, emit(&fields).to_string(), "{adx} {price:?}");
+                    // The borrowed payload round-trips to the owned one.
+                    assert_eq!(fields.as_ref_fields().to_owned_fields(), fields);
+                }
+            }
+        }
+        // Reserved bytes in free-form metadata still percent-encode.
+        let mut odd = rich_fields(Adx::MoPub, PricePayload::Cleartext(Cpm::ONE));
+        odd.publisher = Some("el país/ñ".to_owned());
+        render_into(&odd.as_ref_fields(), &mut buf);
+        assert_eq!(buf, emit(&odd).to_string());
+        assert!(buf.contains("pub_name=el%20pa%C3%ADs%2F%C3%B1"));
+        // High-roster dsp ids use the synthetic domain form.
+        let far = NurlFields::minimal(
+            Adx::OpenX,
+            DspId(173),
+            PricePayload::Encrypted(sample_token(4)),
+            ImpressionId(1),
+            AuctionId(2),
+        );
+        render_into(&far.as_ref_fields(), &mut buf);
+        assert_eq!(buf, emit(&far).to_string());
     }
 
     #[test]

@@ -191,6 +191,14 @@ const HEX_UPPER: &[u8; 16] = b"0123456789ABCDEF";
 /// Percent-encodes a query component.
 pub fn percent_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    percent_encode_into(s, &mut out);
+    out
+}
+
+/// Percent-encodes a query component into a caller-owned buffer — the
+/// reused-buffer form of [`percent_encode`]. The buffer is appended to,
+/// not cleared.
+pub fn percent_encode_into(s: &str, out: &mut String) {
     for &b in s.as_bytes() {
         if is_unreserved(b) {
             out.push(b as char);
@@ -200,7 +208,6 @@ pub fn percent_encode(s: &str) -> String {
             out.push(HEX_UPPER[(b & 0xf) as usize] as char);
         }
     }
-    out
 }
 
 /// Percent-decodes a query component. `+` decodes to space (the

@@ -1,0 +1,169 @@
+//! Walker alias tables: O(1) draws from a fixed categorical
+//! distribution.
+//!
+//! The weblog generator draws publishers, IAB topics, hours-of-day,
+//! cities and slot sizes billions of times per simulated year; a linear
+//! CDF scan per draw is O(n) in the category count and shows up at the
+//! top of the profile. An [`AliasTable`] preprocesses the weights once
+//! (O(n), Vose's stable construction) and answers every subsequent draw
+//! with one table lookup and one comparison.
+//!
+//! Each draw consumes **exactly one uniform** from the caller's RNG —
+//! the same budget as a single CDF scan — so swapping a scan for an
+//! alias table keeps per-event RNG consumption counts identical, which
+//! is what the thread-count determinism suite relies on (the *values*
+//! drawn differ from the scan's, re-pinning the sampled world to an
+//! equally valid realisation).
+
+/// A preprocessed categorical distribution supporting O(1) sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability of bucket `i`'s own index.
+    prob: Vec<f64>,
+    /// The donor index used when bucket `i` rejects.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised). Non-finite or negative weights are treated as zero;
+    /// an empty or all-zero input yields a table that always returns 0.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        let n = weights.len().max(1);
+        let clean: Vec<f64> = (0..n)
+            .map(|i| {
+                let w = weights.get(i).copied().unwrap_or(0.0);
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total: f64 = clean.iter().sum();
+        if total <= 0.0 {
+            return AliasTable {
+                prob: vec![1.0; n],
+                alias: (0..n as u32).collect(),
+            };
+        }
+        // Vose: scale each weight to mean 1, then pair every deficit
+        // ("small") bucket with a surplus ("large") donor.
+        let mut scaled: Vec<f64> = clean.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0 up to rounding.
+        for &i in small.iter().chain(&large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never: construction pads
+    /// to at least one bucket; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples a category index from one uniform draw `u ∈ [0, 1)`.
+    /// O(1): the uniform's high part picks a bucket, the low part
+    /// resolves accept-vs-alias within it.
+    pub fn sample_with(&self, u: f64) -> usize {
+        let n = self.prob.len();
+        let scaled = u.clamp(0.0, 0.999_999_999_999_999_9) * n as f64;
+        let i = (scaled as usize).min(n - 1);
+        let frac = scaled - i as f64;
+        if frac < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Samples a category using one uniform from `rng` — exactly one
+    /// `gen::<f64>()` call, mirroring a single CDF-scan draw.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        self.sample_with(rng.gen::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_matches_weights() {
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight bucket drawn");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            let want = w / total;
+            assert!(
+                (got - want).abs() < 0.01,
+                "bucket {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_total() {
+        assert_eq!(AliasTable::new(&[]).sample_with(0.5), 0);
+        assert_eq!(AliasTable::new(&[0.0, 0.0]).len(), 2);
+        let t = AliasTable::new(&[f64::NAN, 2.0, -1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category_always_wins() {
+        let t = AliasTable::new(&[42.0]);
+        for u in [0.0, 0.25, 0.999_999] {
+            assert_eq!(t.sample_with(u), 0);
+        }
+    }
+
+    #[test]
+    fn u_at_domain_edges_stays_in_bounds() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0]);
+        for u in [0.0, 1.0, 1.5, -0.5, f64::NAN] {
+            let i = t.sample_with(if u.is_nan() { 0.0 } else { u });
+            assert!(i < 3);
+        }
+    }
+}

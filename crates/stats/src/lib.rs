@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alias;
 pub mod cdf;
 pub mod corr;
 pub mod hist;
@@ -17,6 +18,7 @@ pub mod ks;
 pub mod sampling;
 pub mod summary;
 
+pub use alias::AliasTable;
 pub use cdf::Ecdf;
 pub use corr::{pearson, spearman};
 pub use hist::Histogram;

@@ -39,6 +39,29 @@ pub enum AdSlotSize {
 }
 
 impl AdSlotSize {
+    /// Every representable size (declaration order).
+    pub const EVERY: [AdSlotSize; 19] = [
+        AdSlotSize::S300x50,
+        AdSlotSize::S320x50,
+        AdSlotSize::S468x60,
+        AdSlotSize::S200x200,
+        AdSlotSize::S316x150,
+        AdSlotSize::S728x90,
+        AdSlotSize::S280x250,
+        AdSlotSize::S120x600,
+        AdSlotSize::S300x250,
+        AdSlotSize::S336x280,
+        AdSlotSize::S160x600,
+        AdSlotSize::S800x130,
+        AdSlotSize::S400x300,
+        AdSlotSize::S320x480,
+        AdSlotSize::S480x320,
+        AdSlotSize::S300x600,
+        AdSlotSize::S350x600,
+        AdSlotSize::S768x1024,
+        AdSlotSize::S1024x768,
+    ];
+
     /// The seventeen dataset formats of Figure 12 (area order).
     pub const FIGURE12: [AdSlotSize; 17] = [
         AdSlotSize::S300x50,
@@ -148,6 +171,26 @@ impl AdSlotSize {
         let (w, h) = self.dimensions();
         format!("{w}x{h}")
     }
+
+    /// Parses the `WxH` wire form. The heap-free form of the [`FromStr`]
+    /// impl, run once per notification URL carrying a `size` parameter:
+    /// the textual match against [`Self::wire`] is a numeric match that
+    /// additionally rejects non-canonical digits (leading zeros), so no
+    /// candidate strings need rendering.
+    pub fn parse_wire(s: &str) -> Option<AdSlotSize> {
+        fn dim(part: &str) -> Option<u32> {
+            let canonical =
+                !part.is_empty() && (part.len() == 1 || !part.starts_with('0'));
+            if canonical && part.bytes().all(|b| b.is_ascii_digit()) {
+                part.parse().ok()
+            } else {
+                None
+            }
+        }
+        let (w, h) = s.split_once('x')?;
+        let dims = (dim(w)?, dim(h)?);
+        AdSlotSize::EVERY.iter().find(|sz| sz.dimensions() == dims).copied()
+    }
 }
 
 impl fmt::Display for AdSlotSize {
@@ -172,33 +215,9 @@ impl std::error::Error for ParseAdSlotSizeError {}
 impl FromStr for AdSlotSize {
     type Err = ParseAdSlotSizeError;
 
+    /// See [`AdSlotSize::parse_wire`], which this delegates to.
     fn from_str(s: &str) -> Result<AdSlotSize, ParseAdSlotSizeError> {
-        const EVERY: [AdSlotSize; 19] = [
-            AdSlotSize::S300x50,
-            AdSlotSize::S320x50,
-            AdSlotSize::S468x60,
-            AdSlotSize::S200x200,
-            AdSlotSize::S316x150,
-            AdSlotSize::S728x90,
-            AdSlotSize::S280x250,
-            AdSlotSize::S120x600,
-            AdSlotSize::S300x250,
-            AdSlotSize::S336x280,
-            AdSlotSize::S160x600,
-            AdSlotSize::S800x130,
-            AdSlotSize::S400x300,
-            AdSlotSize::S320x480,
-            AdSlotSize::S480x320,
-            AdSlotSize::S300x600,
-            AdSlotSize::S350x600,
-            AdSlotSize::S768x1024,
-            AdSlotSize::S1024x768,
-        ];
-        EVERY
-            .iter()
-            .find(|sz| sz.wire() == s)
-            .copied()
-            .ok_or_else(|| ParseAdSlotSizeError(s.to_owned()))
+        AdSlotSize::parse_wire(s).ok_or_else(|| ParseAdSlotSizeError(s.to_owned()))
     }
 }
 

@@ -205,9 +205,28 @@ impl DspId {
 
     /// The DSP's callback domain as embedded in nURLs.
     pub fn domain(self) -> String {
+        let mut out = String::new();
+        self.write_domain(&mut out);
+        out
+    }
+
+    /// The roster domain, when this id has one — `None` for synthetic
+    /// ids, whose domain must be rendered via [`DspId::write_domain`].
+    pub fn static_domain(self) -> Option<&'static str> {
+        Self::ROSTER.get(self.0 as usize).copied()
+    }
+
+    /// Appends the callback domain to `buf` without allocating — the
+    /// hot-path form used by the allocation-free nURL renderer.
+    pub fn write_domain(self, buf: &mut String) {
+        use std::fmt::Write;
         match Self::ROSTER.get(self.0 as usize) {
-            Some(d) => (*d).to_owned(),
-            None => format!("dsp{}.bid.example.com", self.0),
+            Some(d) => buf.push_str(d),
+            // String's fmt::Write never fails; the fallback keeps the
+            // path panic-free.
+            None => {
+                let _ = write!(buf, "dsp{}.bid.example.com", self.0);
+            }
         }
     }
 

@@ -26,6 +26,15 @@ macro_rules! id_type {
 
             /// Renders the id as the hexadecimal token carried in nURLs.
             pub fn wire(self) -> String {
+                let mut out = String::with_capacity(16);
+                self.wire_into(&mut out);
+                out
+            }
+
+            /// Appends the wire token to `buf` without allocating (beyond
+            /// any growth of `buf` itself) — the hot-path form used by the
+            /// allocation-free nURL renderer.
+            pub fn wire_into(self, buf: &mut String) {
                 // Mix the bits so consecutive ids don't look consecutive on
                 // the wire (real exchanges emit opaque tokens). This is the
                 // splitmix64 finaliser — a bijection, so ids stay unique.
@@ -33,7 +42,10 @@ macro_rules! id_type {
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^= z >> 31;
-                format!("{z:016x}")
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                for shift in (0..16).rev() {
+                    buf.push(HEX[((z >> (shift * 4)) & 0xf) as usize] as char);
+                }
             }
         }
 
@@ -79,6 +91,18 @@ mod tests {
             assert_eq!(tok.len(), 16);
             assert!(tok.bytes().all(|b| b.is_ascii_hexdigit()));
             assert!(seen.insert(tok), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn wire_into_matches_wire() {
+        let mut buf = String::from("x=");
+        AuctionId(12345).wire_into(&mut buf);
+        assert_eq!(buf, format!("x={}", AuctionId(12345).wire()));
+        for i in [0u32, 1, 255, u32::MAX] {
+            let mut b = String::new();
+            UserId(i).wire_into(&mut b);
+            assert_eq!(b, UserId(i).wire());
         }
     }
 

@@ -177,10 +177,20 @@ impl fmt::Display for Cpm {
         if frac == 0 {
             return write!(f, "{sign}{whole}");
         }
-        let mut frac_str = format!("{frac:06}");
-        while frac_str.ends_with('0') {
-            frac_str.pop();
+        // Six zero-padded fractional digits with trailing zeros stripped,
+        // rendered through a stack buffer: Display sits on the nURL
+        // render hot path and must not allocate.
+        let mut digits = [0u8; 6];
+        let mut rest = frac;
+        for d in digits.iter_mut().rev() {
+            *d = b'0' + (rest % 10) as u8;
+            rest /= 10;
         }
+        let mut len = 6;
+        while len > 1 && digits[len - 1] == b'0' {
+            len -= 1;
+        }
+        let frac_str = std::str::from_utf8(&digits[..len]).map_err(|_| fmt::Error)?;
         write!(f, "{sign}{whole}.{frac_str}")
     }
 }
@@ -199,55 +209,61 @@ impl fmt::Display for ParseCpmError {
 
 impl std::error::Error for ParseCpmError {}
 
-impl FromStr for Cpm {
-    type Err = ParseCpmError;
-
+impl Cpm {
     /// Parses decimal prices as they appear in notification URLs, e.g.
     /// `"0.95"`, `"1"`, `"12.5"`. Scientific notation and signs other than a
     /// single leading `-` are rejected.
-    fn from_str(s: &str) -> Result<Cpm, ParseCpmError> {
-        let err = || ParseCpmError {
-            input: s.to_owned(),
-        };
+    ///
+    /// The heap-free form of the [`FromStr`] impl: price screening runs
+    /// once per notification URL, and most screened values are encrypted
+    /// tokens that *must* fail — an error type carrying the input would
+    /// make rejection itself allocate.
+    pub fn parse_str(s: &str) -> Option<Cpm> {
         let (neg, body) = match s.strip_prefix('-') {
             Some(rest) => (true, rest),
             None => (false, s),
         };
         if body.is_empty() {
-            return Err(err());
+            return None;
         }
         let (whole_str, frac_str) = match body.split_once('.') {
             Some((w, fr)) => (w, fr),
             None => (body, ""),
         };
         if whole_str.is_empty() && frac_str.is_empty() {
-            return Err(err());
+            return None;
         }
         if !whole_str.bytes().all(|b| b.is_ascii_digit())
             || !frac_str.bytes().all(|b| b.is_ascii_digit())
         {
-            return Err(err());
+            return None;
         }
-        if frac_str.len() > 6 {
-            // More precision than micro-CPM: truncate (real exchanges quote
-            // at micro precision or coarser, but be liberal in what we accept).
-            return Cpm::from_str(&format!("{whole_str}.{}", &frac_str[..6]));
-        }
+        // More precision than micro-CPM: truncate (real exchanges quote
+        // at micro precision or coarser, but be liberal in what we accept).
+        let frac_str = &frac_str[..frac_str.len().min(6)];
         let whole: i64 = if whole_str.is_empty() {
             0
         } else {
-            whole_str.parse().map_err(|_| err())?
+            whole_str.parse().ok()?
         };
         let mut frac: i64 = 0;
         if !frac_str.is_empty() {
-            frac = frac_str.parse().map_err(|_| err())?;
+            frac = frac_str.parse().ok()?;
             frac *= 10_i64.pow(6 - frac_str.len() as u32);
         }
-        let micros = whole
-            .checked_mul(MICROS)
-            .and_then(|w| w.checked_add(frac))
-            .ok_or_else(err)?;
-        Ok(Cpm(if neg { -micros } else { micros }))
+        let micros = whole.checked_mul(MICROS)?.checked_add(frac)?;
+        Some(Cpm(if neg { -micros } else { micros }))
+    }
+}
+
+impl FromStr for Cpm {
+    type Err = ParseCpmError;
+
+    /// See [`Cpm::parse_str`], which this delegates to.
+    fn from_str(s: &str) -> Result<Cpm, ParseCpmError> {
+        Cpm::parse_str(s).ok_or_else(|| ParseCpmError {
+            input: s.to_owned(),
+        })
     }
 }
 

@@ -19,8 +19,15 @@ use crate::population::{Panel, PanelUser};
 use crate::publisher::{sample_slot, Publisher, PublisherUniverse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use yav_auction::{AdRequest, AuctionResult, Market, MarketConfig};
-use yav_types::{City, InteractionType, SimTime};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use yav_arena::{Bump, Span};
+use yav_auction::{AdRequest, Market, MarketConfig};
+use yav_stats::AliasTable;
+use yav_types::{
+    AdSlotSize, Adx, City, DeviceType, IabCategory, InteractionType, Os, PublisherId, SimTime,
+    UserId,
+};
 
 /// Users per logical generation shard. This is a **structural** constant:
 /// the canonical parallel stream depends on the shard cut (each shard
@@ -64,6 +71,74 @@ impl Weblog {
     pub fn sort_canonical(&mut self) {
         self.requests.sort_by_key(|r| (r.time.minutes(), r.user.0));
         self.truth.sort_by_key(|t| (t.time.minutes(), t.user.0));
+    }
+}
+
+/// Reusable per-shard buffers for the steady-state event loop. One
+/// [`HttpRequest`] and one [`AdRequest`] are written in place and lent to
+/// the sinks; the [`Bump`] arenas intern everything textual that varies
+/// only per shard (exchange ad-URL prefixes) or per user (pre-rendered
+/// user-agent strings). After the first few events warm the buffer
+/// capacities, the loop performs zero heap allocations per event
+/// (`crates/core/tests/no_alloc_gen.rs` proves it with a counting
+/// allocator).
+struct ShardScratch {
+    req: HttpRequest,
+    ad: AdRequest,
+    /// Shard-lifetime corpus: `http://{adx}/ad?pub=` per exchange.
+    corpus: Bump,
+    ad_prefix: [Span; Adx::ALL.len()],
+    /// Per-user arena, reset at each user switch.
+    ua: Bump,
+    web_ua: Span,
+    app_ua: Span,
+    rtb_slots: yav_telemetry::Counter,
+    rtb_impressions: yav_telemetry::Counter,
+}
+
+impl ShardScratch {
+    fn new() -> ShardScratch {
+        let mut corpus = Bump::with_capacity(1024);
+        let ad_prefix = std::array::from_fn(|i| {
+            corpus.push_with(|out| {
+                let _ = write!(out, "http://{}/ad?pub=", Adx::from_index(i).domain());
+            })
+        });
+        ShardScratch {
+            req: HttpRequest {
+                time: SimTime::EPOCH,
+                user: UserId(0),
+                // yav-lint: allow(alloc-in-gen-path) — per-shard scratch setup, reused for every event
+                url: String::with_capacity(256),
+                client_ip: 0,
+                // yav-lint: allow(alloc-in-gen-path) — per-shard scratch setup, reused for every event
+                user_agent: String::with_capacity(160),
+                bytes: 0,
+                duration_ms: 0,
+            },
+            ad: AdRequest {
+                time: SimTime::EPOCH,
+                user: UserId(0),
+                city: City::Madrid,
+                os: Os::Android,
+                device: DeviceType::Smartphone,
+                interaction: InteractionType::MobileWeb,
+                publisher: PublisherId(0),
+                // yav-lint: allow(alloc-in-gen-path) — per-shard scratch setup, reused for every event
+                publisher_name: String::with_capacity(48),
+                iab: IabCategory::News,
+                slot: AdSlotSize::S300x250,
+                adx: Adx::ALL[0],
+                interest_match: 0.0,
+            },
+            corpus,
+            ad_prefix,
+            ua: Bump::with_capacity(256),
+            web_ua: Span::EMPTY,
+            app_ua: Span::EMPTY,
+            rtb_slots: yav_telemetry::counter("weblog.generator.rtb_slots"),
+            rtb_impressions: yav_telemetry::counter("weblog.generator.rtb_impressions"),
+        }
     }
 }
 
@@ -122,10 +197,15 @@ impl WeblogGenerator {
 
     /// Runs the full simulation, streaming every HTTP request to `on_req`
     /// and every ground-truth impression record to `on_truth`.
+    ///
+    /// The request is lent, not given: it lives in a per-shard scratch
+    /// buffer that the next event overwrites. Sinks that need to keep an
+    /// event clone it; sinks that only read (the analyzer, the monitor)
+    /// touch no heap at all.
     pub fn run(
         &self,
         market: &mut Market,
-        mut on_req: impl FnMut(HttpRequest),
+        mut on_req: impl FnMut(&HttpRequest),
         mut on_truth: impl FnMut(GroundTruth),
     ) {
         let _span = yav_telemetry::span!("weblog.generator.run");
@@ -142,15 +222,9 @@ impl WeblogGenerator {
         &self,
         shard: usize,
         market: &mut Market,
-        on_req: impl FnMut(HttpRequest),
-        mut on_truth: impl FnMut(GroundTruth),
+        on_req: impl FnMut(&HttpRequest),
+        on_truth: impl FnMut(GroundTruth),
     ) {
-        let requests = yav_telemetry::counter("weblog.generator.requests");
-        let mut inner = on_req;
-        let mut on_req = move |r: HttpRequest| {
-            requests.inc();
-            inner(r)
-        };
         let n = self.config.users as usize;
         let lo = (shard * USERS_PER_SHARD).min(n);
         let hi = (lo + USERS_PER_SHARD).min(n);
@@ -165,14 +239,51 @@ impl WeblogGenerator {
                 &block
             }
         };
+        self.run_shard_with_users(users, market, on_req, on_truth);
+    }
+
+    /// Runs a shard over an explicit, already-materialised user block.
+    /// Streaming drivers that have the block in hand (the million-user
+    /// pipeline materialises each lazy block to size its windows) call
+    /// this directly instead of [`Self::run_shard`], which would derive
+    /// the block a second time.
+    pub fn run_shard_with_users(
+        &self,
+        users: &[PanelUser],
+        market: &mut Market,
+        on_req: impl FnMut(&HttpRequest),
+        mut on_truth: impl FnMut(GroundTruth),
+    ) {
+        let requests = yav_telemetry::counter("weblog.generator.requests");
+        let mut inner = on_req;
+        let mut on_req = move |r: &HttpRequest| {
+            requests.inc();
+            inner(r)
+        };
+        let mut scratch = ShardScratch::new();
         for user in users {
+            scratch.ua.reset();
+            scratch.web_ua = scratch.ua.push_with(|b| user.write_web_user_agent(b));
+            scratch.app_ua = scratch.ua.push_with(|b| user.write_app_user_agent(b));
+            scratch.req.user = user.id;
+            scratch.ad.user = user.id;
+            scratch.ad.os = user.os;
+            scratch.ad.device = user.device;
             // Per-user RNG: users are independent streams, so panel size
             // changes don't reshuffle existing users' behaviour.
             let mut rng =
                 StdRng::seed_from_u64(self.config.seed ^ 0x6E6E_0000_0000_0006 ^ user.id.0 as u64);
             for day in 0..self.config.days {
                 let midnight = self.config.start.plus_days(day as i64);
-                self.run_user_day(market, user, midnight, &mut rng, &mut on_req, &mut on_truth);
+                self.run_user_day(
+                    market,
+                    user,
+                    midnight,
+                    &mut rng,
+                    &mut scratch,
+                    &mut on_req,
+                    &mut on_truth,
+                );
             }
         }
     }
@@ -180,7 +291,11 @@ impl WeblogGenerator {
     /// Convenience: collect everything into memory (test scales only).
     pub fn collect(&self, market: &mut Market) -> Weblog {
         let mut log = Weblog::default();
-        self.run(market, |r| log.requests.push(r), |t| log.truth.push(t));
+        self.run(
+            market,
+            |r| log.requests.push(r.clone()),
+            |t| log.truth.push(t),
+        );
         log
     }
 
@@ -195,13 +310,14 @@ impl WeblogGenerator {
         let _span = yav_telemetry::span!("exec.weblog.collect_parallel");
         let shards = self.shard_count();
         yav_telemetry::gauge("exec.weblog.shards").set(shards as f64);
+        let template = yav_auction::MarketTemplate::new(market_config.clone());
         let parts = yav_exec::par_map_indexed(&self.config.exec, shards, |s| {
-            let mut market = Market::new_shard(market_config.clone(), s as u64);
+            let mut market = template.shard(s as u64);
             let mut log = Weblog::default();
             self.run_shard(
                 s,
                 &mut market,
-                |r| log.requests.push(r),
+                |r| log.requests.push(r.clone()),
                 |t| log.truth.push(t),
             );
             log
@@ -215,13 +331,15 @@ impl WeblogGenerator {
         merged
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_user_day(
         &self,
         market: &mut Market,
         user: &PanelUser,
         midnight: SimTime,
         rng: &mut StdRng,
-        on_req: &mut impl FnMut(HttpRequest),
+        scratch: &mut ShardScratch,
+        on_req: &mut impl FnMut(&HttpRequest),
         on_truth: &mut impl FnMut(GroundTruth),
     ) {
         let dow = midnight.day_of_week().index();
@@ -237,16 +355,20 @@ impl WeblogGenerator {
             user.home
         };
 
+        let mut interest_buf = [IabCategory::News; 4];
         for _ in 0..views {
             let hour = sample_hour(rng);
             let minute = rng.gen_range(0..60i64);
             let time = midnight.plus_minutes(hour as i64 * 60 + minute);
             let in_app = rng.gen::<f64>() < user.app_propensity;
-            let publisher = self
-                .universe
-                .sample(rng, in_app, &user.interest_categories(), 0.55);
+            let publisher = self.universe.sample(
+                rng,
+                in_app,
+                user.interest_categories_into(&mut interest_buf),
+                0.55,
+            );
             self.emit_view(
-                market, user, city, time, in_app, publisher, rng, on_req, on_truth,
+                market, user, city, time, in_app, publisher, rng, scratch, on_req, on_truth,
             );
         }
     }
@@ -261,80 +383,81 @@ impl WeblogGenerator {
         in_app: bool,
         publisher: &Publisher,
         rng: &mut StdRng,
-        on_req: &mut impl FnMut(HttpRequest),
+        scratch: &mut ShardScratch,
+        on_req: &mut impl FnMut(&HttpRequest),
         on_truth: &mut impl FnMut(GroundTruth),
     ) {
         let ua = if in_app {
-            user.app_user_agent()
+            scratch.app_ua
         } else {
-            user.web_user_agent()
+            scratch.web_ua
         };
-        let client_ip = city_ip(city, user.id, rng.gen::<u8>());
-        let mk = |time: SimTime, url: String, bytes: u32, duration_ms: u32| HttpRequest {
-            time,
-            user: user.id,
-            url,
-            client_ip,
-            user_agent: ua.clone(),
-            bytes,
-            duration_ms,
-        };
+        scratch.req.user_agent.clear();
+        scratch.req.user_agent.push_str(scratch.ua.get(ua));
+        scratch.req.client_ip = city_ip(city, user.id, rng.gen::<u8>());
 
         // 1. The content request itself (page or app API call).
-        let content_url = if in_app {
-            format!(
+        scratch.req.url.clear();
+        if in_app {
+            let _ = write!(
+                scratch.req.url,
                 "http://api.{}/v2/feed?sess={}",
                 publisher.name,
                 rng.gen::<u32>()
-            )
+            );
         } else {
-            format!(
+            let _ = write!(
+                scratch.req.url,
                 "http://www.{}/articulo/{}.html",
                 publisher.name,
                 rng.gen_range(1..5000)
-            )
-        };
-        on_req(mk(
-            time,
-            content_url,
-            rng.gen_range(8_000..160_000),
-            rng.gen_range(80..900),
-        ));
+            );
+        }
+        scratch.req.time = time;
+        scratch.req.bytes = rng.gen_range(8_000..160_000);
+        scratch.req.duration_ms = rng.gen_range(80..900);
+        on_req(&scratch.req);
 
         // 2. Auxiliary requests: assets, analytics, social, trackers.
         let aux = poisson(rng, self.config.aux_requests_per_view);
         for i in 0..aux {
             let t = time.plus_minutes(0).plus_minutes((i as i64) / 12); // bursts within a minute
             let roll: f64 = rng.gen();
-            let url = if roll < 0.45 {
+            scratch.req.url.clear();
+            if roll < 0.45 {
                 let host = domains::THIRD_PARTY[rng.gen_range(0..domains::THIRD_PARTY.len())];
-                format!("http://{host}/assets/{}.js", rng.gen_range(1..400))
+                let _ = write!(
+                    scratch.req.url,
+                    "http://{host}/assets/{}.js",
+                    rng.gen_range(1..400)
+                );
             } else if roll < 0.62 {
                 let host = domains::ANALYTICS[rng.gen_range(0..domains::ANALYTICS.len())];
-                format!("http://{host}/collect?pid={}&ev=pageview", publisher.id.0)
+                let _ = write!(
+                    scratch.req.url,
+                    "http://{host}/collect?pid={}&ev=pageview",
+                    publisher.id.0
+                );
             } else if roll < 0.74 {
                 let host = domains::SOCIAL[rng.gen_range(0..domains::SOCIAL.len())];
-                format!("http://{host}/widget.js?ref={}", publisher.name)
+                let _ = write!(scratch.req.url, "http://{host}/widget.js?ref={}", publisher.name);
             } else if roll < 0.90 {
                 let host = domains::BEACON_HOSTS[rng.gen_range(0..domains::BEACON_HOSTS.len())];
-                format!(
-                    "http://{host}/b.gif?u={}&r={}",
-                    user.id.wire(),
-                    rng.gen::<u32>()
-                )
+                let _ = write!(scratch.req.url, "http://{host}/b.gif?u=");
+                user.id.wire_into(&mut scratch.req.url);
+                let _ = write!(scratch.req.url, "&r={}", rng.gen::<u32>());
             } else {
-                format!(
+                let _ = write!(
+                    scratch.req.url,
                     "http://www.{}/static/img{}.jpg",
                     publisher.name,
                     rng.gen_range(1..900)
-                )
-            };
-            on_req(mk(
-                t,
-                url,
-                rng.gen_range(200..40_000),
-                rng.gen_range(15..400),
-            ));
+                );
+            }
+            scratch.req.time = t;
+            scratch.req.bytes = rng.gen_range(200..40_000);
+            scratch.req.duration_ms = rng.gen_range(15..400);
+            on_req(&scratch.req);
         }
 
         // 3. Cookie synchronisation (SSP ↔ DSP identity bridging).
@@ -343,15 +466,14 @@ impl WeblogGenerator {
                 domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
             let partner =
                 domains::COOKIE_SYNC_HOSTS[rng.gen_range(0..domains::COOKIE_SYNC_HOSTS.len())];
-            on_req(mk(
-                time,
-                format!(
-                    "http://{host}/getuid?uid={}&redir=http%3A%2F%2F{partner}%2Fsetuid",
-                    user.id.wire()
-                ),
-                rng.gen_range(100..600),
-                rng.gen_range(20..200),
-            ));
+            scratch.req.url.clear();
+            let _ = write!(scratch.req.url, "http://{host}/getuid?uid=");
+            user.id.wire_into(&mut scratch.req.url);
+            let _ = write!(scratch.req.url, "&redir=http%3A%2F%2F{partner}%2Fsetuid");
+            scratch.req.time = time;
+            scratch.req.bytes = rng.gen_range(100..600);
+            scratch.req.duration_ms = rng.gen_range(20..200);
+            on_req(&scratch.req);
             market.dmp_mut().record_cookie_sync(user.id);
         }
 
@@ -359,60 +481,61 @@ impl WeblogGenerator {
         if rng.gen::<f64>() >= self.config.rtb_slot_prob {
             return;
         }
-        yav_telemetry::counter("weblog.generator.rtb_slots").inc();
+        scratch.rtb_slots.inc();
         let slot = sample_slot(rng, time);
         let adx = yav_auction::config::sample_adx(rng.gen());
-        let req = AdRequest {
-            time,
-            user: user.id,
-            city,
-            os: user.os,
-            device: user.device,
-            interaction: if in_app {
-                InteractionType::MobileApp
-            } else {
-                InteractionType::MobileWeb
-            },
-            publisher: publisher.id,
-            publisher_name: publisher.name.clone(),
-            iab: publisher.iab,
-            slot,
-            adx,
-            interest_match: user.interest_weight(publisher.iab),
+        scratch.ad.time = time;
+        scratch.ad.city = city;
+        scratch.ad.interaction = if in_app {
+            InteractionType::MobileApp
+        } else {
+            InteractionType::MobileWeb
         };
+        scratch.ad.publisher = publisher.id;
+        scratch.ad.publisher_name.clear();
+        scratch.ad.publisher_name.push_str(&publisher.name);
+        scratch.ad.iab = publisher.iab;
+        scratch.ad.slot = slot;
+        scratch.ad.adx = adx;
+        scratch.ad.interest_match = user.interest_weight(publisher.iab);
 
         // The ad request toward the exchange (step 2–3 of Figure 1).
-        on_req(mk(
-            time,
-            format!(
-                "http://{}/ad?pub={}&size={}&cat=IAB{}",
-                adx.domain(),
-                publisher.id.0,
-                slot.wire(),
-                publisher.iab.code()
-            ),
-            rng.gen_range(300..2_000),
-            rng.gen_range(30..150),
-        ));
+        scratch.req.url.clear();
+        scratch
+            .req
+            .url
+            .push_str(scratch.corpus.get(scratch.ad_prefix[adx.index()]));
+        let _ = write!(
+            scratch.req.url,
+            "{}&size={}&cat=IAB{}",
+            publisher.id.0,
+            slot,
+            publisher.iab.code()
+        );
+        scratch.req.time = time;
+        scratch.req.bytes = rng.gen_range(300..2_000);
+        scratch.req.duration_ms = rng.gen_range(30..150);
+        on_req(&scratch.req);
 
-        if let AuctionResult::Sale(outcome) = market.run_auction(&req) {
+        // The notification URL is rendered straight into the reused
+        // request buffer; the borrowed auction path shares every RNG and
+        // side-effect step with `run_auction` (pinned by the
+        // `borrowed_auction_path_matches_owned` test in yav-auction).
+        if let Some(sale) = market.run_auction_into(&scratch.ad, &mut scratch.req.url) {
             // RTB impression rate = rtb_impressions / requests.
-            yav_telemetry::counter("weblog.generator.rtb_impressions").inc();
+            scratch.rtb_impressions.inc();
             // The notification URL fires through the browser as the
             // impression renders (steps 6–7).
-            on_req(mk(
-                time,
-                outcome.nurl.to_string(),
-                rng.gen_range(40..400),
-                rng.gen_range(10..120),
-            ));
+            scratch.req.bytes = rng.gen_range(40..400);
+            scratch.req.duration_ms = rng.gen_range(10..120);
+            on_req(&scratch.req);
             on_truth(GroundTruth {
-                impression: outcome.fields.impression,
+                impression: sale.impression,
                 user: user.id,
                 time,
                 adx,
-                charge: outcome.charge,
-                visibility: outcome.visibility,
+                charge: sale.charge,
+                visibility: sale.visibility,
             });
         }
     }
@@ -441,18 +564,11 @@ impl UserIdHash for yav_types::UserId {
     }
 }
 
-/// Samples an hour of day from the diurnal intensity profile.
+/// Samples an hour of day from the diurnal intensity profile (alias
+/// table built once; one uniform per draw, like the CDF it replaced).
 fn sample_hour<R: Rng>(rng: &mut R) -> u32 {
-    let total: f64 = HOURLY.iter().sum();
-    let x = rng.gen::<f64>() * total;
-    let mut acc = 0.0;
-    for (h, w) in HOURLY.iter().enumerate() {
-        acc += w;
-        if x < acc {
-            return h as u32;
-        }
-    }
-    23
+    static TABLE: OnceLock<AliasTable> = OnceLock::new();
+    TABLE.get_or_init(|| AliasTable::new(&HOURLY)).sample(rng) as u32
 }
 
 /// Knuth Poisson sampler (means here are small; fine without log-space).

@@ -37,38 +37,86 @@ pub struct PanelUser {
 impl PanelUser {
     /// The user-agent string this user's device emits for *web* requests.
     pub fn web_user_agent(&self) -> String {
+        let mut out = String::new();
+        self.write_web_user_agent(&mut out);
+        out
+    }
+
+    /// Appends the web user-agent to `buf` without allocating — the form
+    /// the generator uses to pre-render one UA per user per shard.
+    pub fn write_web_user_agent(&self, buf: &mut String) {
+        use std::fmt::Write as _;
         match self.os {
-            Os::Android => format!(
-                "Mozilla/5.0 (Linux; Android 5.1; SM-G{}00 Build/LMY47X) AppleWebKit/537.36 Chrome/43.0 Mobile Safari/537.36",
-                900 + self.id.0 % 30
+            Os::Android => {
+                let _ = write!(
+                    buf,
+                    "Mozilla/5.0 (Linux; Android 5.1; SM-G{}00 Build/LMY47X) AppleWebKit/537.36 Chrome/43.0 Mobile Safari/537.36",
+                    900 + self.id.0 % 30
+                );
+            }
+            Os::Ios => {
+                let hardware = if self.device == DeviceType::Tablet {
+                    "iPad;"
+                } else {
+                    "iPhone;"
+                };
+                let _ = write!(
+                    buf,
+                    "Mozilla/5.0 ({hardware} CPU iPhone OS 8_{} like Mac OS X) AppleWebKit/600.1 Version/8.0 Mobile Safari/600.1",
+                    1 + self.id.0 % 4
+                );
+            }
+            Os::WindowsMobile => buf.push_str(
+                "Mozilla/5.0 (Windows Phone 8.1; ARM; Trident/7.0; IEMobile/11.0) like Gecko",
             ),
-            Os::Ios => format!(
-                "Mozilla/5.0 (iPhone; CPU iPhone OS 8_{} like Mac OS X) AppleWebKit/600.1 Version/8.0 Mobile Safari/600.1",
-                1 + self.id.0 % 4
-            ),
-            Os::WindowsMobile => "Mozilla/5.0 (Windows Phone 8.1; ARM; Trident/7.0; IEMobile/11.0) like Gecko".to_owned(),
-            Os::Other => "Mozilla/5.0 (Mobile; rv:34.0) Gecko/34.0 Firefox/34.0".to_owned(),
+            Os::Other => buf.push_str("Mozilla/5.0 (Mobile; rv:34.0) Gecko/34.0 Firefox/34.0"),
         }
-        .replace("iPhone;", if self.device == DeviceType::Tablet && self.os == Os::Ios { "iPad;" } else { "iPhone;" })
     }
 
     /// The user-agent string for *in-app* requests (process VMs leak
     /// through, §4.3: Dalvik on Android, Darwin/CFNetwork on iOS).
     pub fn app_user_agent(&self) -> String {
+        let mut out = String::new();
+        self.write_app_user_agent(&mut out);
+        out
+    }
+
+    /// Appends the in-app user-agent to `buf` without allocating.
+    pub fn write_app_user_agent(&self, buf: &mut String) {
+        use std::fmt::Write as _;
         match self.os {
-            Os::Android => format!(
-                "Dalvik/2.1.0 (Linux; U; Android 5.1; SM-G{}00)",
-                900 + self.id.0 % 30
-            ),
-            Os::Ios => format!("App/{} CFNetwork/711.3 Darwin/14.0.0", 1 + self.id.0 % 9),
-            Os::WindowsMobile => "WindowsPhoneApp/8.1 NativeHost".to_owned(),
-            Os::Other => "GenericMobileApp/1.0".to_owned(),
+            Os::Android => {
+                let _ = write!(
+                    buf,
+                    "Dalvik/2.1.0 (Linux; U; Android 5.1; SM-G{}00)",
+                    900 + self.id.0 % 30
+                );
+            }
+            Os::Ios => {
+                let _ = write!(buf, "App/{} CFNetwork/711.3 Darwin/14.0.0", 1 + self.id.0 % 9);
+            }
+            Os::WindowsMobile => buf.push_str("WindowsPhoneApp/8.1 NativeHost"),
+            Os::Other => buf.push_str("GenericMobileApp/1.0"),
         }
     }
 
     /// Interest categories only (for publisher affinity sampling).
     pub fn interest_categories(&self) -> Vec<IabCategory> {
         self.interests.iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Interest categories into a fixed buffer (profiles carry at most
+    /// four): the allocation-free twin of
+    /// [`PanelUser::interest_categories`]. Returns the filled prefix.
+    pub fn interest_categories_into<'a>(
+        &self,
+        buf: &'a mut [IabCategory; 4],
+    ) -> &'a [IabCategory] {
+        let n = self.interests.len().min(4);
+        for (slot, &(c, _)) in buf.iter_mut().zip(self.interests.iter()) {
+            *slot = c;
+        }
+        &buf[..n]
     }
 
     /// The weight of one category in this user's profile (0 if absent).
@@ -118,17 +166,15 @@ impl Panel {
     }
 
     fn draw_user(rng: &mut StdRng, id: UserId) -> PanelUser {
-        // Home city: population-weighted.
-        let total_pop: f64 = City::ALL.iter().map(|c| c.population() as f64).sum();
-        let mut x = rng.gen::<f64>() * total_pop;
-        let mut home = City::Madrid;
-        for c in City::ALL {
-            x -= c.population() as f64;
-            if x <= 0.0 {
-                home = c;
-                break;
-            }
-        }
+        // Home city: population-weighted, O(1) via a shared alias table
+        // (one uniform per draw, same budget as the old CDF walk).
+        static CITY_TABLE: std::sync::OnceLock<yav_stats::AliasTable> =
+            std::sync::OnceLock::new();
+        let table = CITY_TABLE.get_or_init(|| {
+            let pops: Vec<f64> = City::ALL.iter().map(|c| c.population() as f64).collect();
+            yav_stats::AliasTable::new(&pops)
+        });
+        let home = City::ALL[table.sample(rng)];
 
         // OS market shares (Fig. 8: Android ≈2× iOS in volume).
         let os = match rng.gen::<f64>() {

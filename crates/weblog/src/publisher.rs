@@ -9,6 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+use yav_stats::AliasTable;
 use yav_types::{AdSlotSize, IabCategory, PublisherId, SimTime};
 
 /// One publisher (a website or a mobile app).
@@ -30,9 +32,12 @@ pub struct Publisher {
 #[derive(Debug, Clone)]
 pub struct PublisherUniverse {
     publishers: Vec<Publisher>,
-    /// Cumulative weights for O(log n) sampling, web and app separately.
-    web_cum: Vec<(f64, usize)>,
-    app_cum: Vec<(f64, usize)>,
+    /// Alias tables for O(1) popularity draws, web and app separately,
+    /// plus the map from alias bucket back into `publishers`.
+    web_alias: AliasTable,
+    app_alias: AliasTable,
+    web_idx: Vec<u32>,
+    app_idx: Vec<u32>,
 }
 
 /// Category mix: News/Entertainment/Sports-heavy, Business/Science thin —
@@ -80,24 +85,25 @@ impl PublisherUniverse {
                 id += 1;
             }
         }
-        let cum = |app_flag: bool| {
-            let mut acc = 0.0;
-            publishers
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.is_app == app_flag)
-                .map(|(i, p)| {
-                    acc += p.weight;
-                    (acc, i)
-                })
-                .collect::<Vec<_>>()
+        let channel = |app_flag: bool| {
+            let mut idx = Vec::new();
+            let mut weights = Vec::new();
+            for (i, p) in publishers.iter().enumerate() {
+                if p.is_app == app_flag {
+                    idx.push(i as u32);
+                    weights.push(p.weight);
+                }
+            }
+            (AliasTable::new(&weights), idx)
         };
-        let web_cum = cum(false);
-        let app_cum = cum(true);
+        let (web_alias, web_idx) = channel(false);
+        let (app_alias, app_idx) = channel(true);
         PublisherUniverse {
             publishers,
-            web_cum,
-            app_cum,
+            web_alias,
+            app_alias,
+            web_idx,
+            app_idx,
         }
     }
 
@@ -133,27 +139,24 @@ impl PublisherUniverse {
     }
 
     fn sample_raw<R: Rng>(&self, rng: &mut R, is_app: bool) -> &Publisher {
-        let cum = if is_app { &self.app_cum } else { &self.web_cum };
-        let total = cum.last().map(|&(w, _)| w).unwrap_or(0.0);
-        let x = rng.gen::<f64>() * total;
-        let idx = cum.partition_point(|&(w, _)| w < x).min(cum.len() - 1);
-        &self.publishers[cum[idx].1]
+        let (alias, idx) = if is_app {
+            (&self.app_alias, &self.app_idx)
+        } else {
+            (&self.web_alias, &self.web_idx)
+        };
+        &self.publishers[idx[alias.sample(rng)] as usize]
     }
 }
 
-/// Samples an IAB category from the content mix (weights normalised at
-/// draw time so the table need not sum to exactly 1).
+/// Samples an IAB category from the content mix (alias table built once;
+/// one uniform per draw, same budget as the CDF scan it replaced).
 fn sample_iab<R: Rng>(rng: &mut R) -> IabCategory {
-    let total: f64 = IAB_WEIGHTS.iter().map(|&(_, w)| w).sum();
-    let x: f64 = rng.gen::<f64>() * total;
-    let mut acc = 0.0;
-    for (iab, w) in IAB_WEIGHTS {
-        acc += w;
-        if x < acc {
-            return iab;
-        }
-    }
-    IabCategory::Science
+    static TABLE: OnceLock<AliasTable> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let weights: Vec<f64> = IAB_WEIGHTS.iter().map(|&(_, w)| w).collect();
+        AliasTable::new(&weights)
+    });
+    IAB_WEIGHTS[table.sample(rng)].0
 }
 
 /// Synthesises a deterministic publisher name from category + id.
@@ -264,19 +267,25 @@ pub fn slot_mix(time: SimTime) -> Vec<(AdSlotSize, f64)> {
     mix
 }
 
-/// Samples a slot format from the mix in force at `time`.
+/// Samples a slot format from the mix in force at `time`. The mix only
+/// varies by month (and saturates after 2015), so twelve alias tables
+/// cover every reachable distribution; each draw is O(1) and consumes
+/// one uniform, like the CDF scan it replaced.
 pub fn sample_slot<R: Rng>(rng: &mut R, time: SimTime) -> AdSlotSize {
-    let mix = slot_mix(time);
-    let total: f64 = mix.iter().map(|(_, w)| w).sum();
-    let x = rng.gen::<f64>() * total;
-    let mut acc = 0.0;
-    for (s, w) in &mix {
-        acc += w;
-        if x < acc {
-            return *s;
-        }
-    }
-    AdSlotSize::S300x250
+    static TABLES: OnceLock<[AliasTable; 12]> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        std::array::from_fn(|m| {
+            let t = SimTime::from_ymd_hm(2015, m as u32 + 1, 15, 0, 0);
+            let weights: Vec<f64> = slot_mix(t).iter().map(|&(_, w)| w).collect();
+            AliasTable::new(&weights)
+        })
+    });
+    let month = if time.year() <= 2015 {
+        time.month().index()
+    } else {
+        11
+    };
+    AdSlotSize::FIGURE12[tables[month].sample(rng)]
 }
 
 #[cfg(test)]

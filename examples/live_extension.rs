@@ -33,7 +33,7 @@ fn main() {
         &mut sink_market,
         |req| {
             if req.user == UserId(3) {
-                session.push(req);
+                session.push(req.clone());
             }
         },
         |_| {},

@@ -41,7 +41,7 @@ fn main() {
     generator.run(
         &mut market,
         |req| {
-            batch.push(req);
+            batch.push(req.clone());
             if batch.len() == batch.capacity() {
                 yav.observe_batch(&batch);
                 batch.clear();

@@ -12,7 +12,7 @@ fn pipeline_run_produces_a_full_snapshot() {
     let mut analyzer = WeblogAnalyzer::new();
     let mut yav = YourAdValue::new(Some(City::Madrid));
     let mut requests = Vec::new();
-    generator.run(&mut market, |req| requests.push(req), |_| {});
+    generator.run(&mut market, |req| requests.push(req.clone()), |_| {});
     for req in &requests {
         analyzer.ingest(req);
         yav.observe(req);
